@@ -1,0 +1,32 @@
+# Convenience targets for the TEA reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-quick examples lint clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-output:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-output:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+# Smaller datasets + fewer walks: a fast sanity pass.
+bench-quick:
+	REPRO_BENCH_SCALE=0.25 REPRO_BENCH_R=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .hypothesis \
+	       bench_results .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +

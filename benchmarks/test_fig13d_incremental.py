@@ -1,0 +1,89 @@
+"""Figure 13d — incremental HPAT update vs rebuild from scratch.
+
+Paper: appending a batch to a vertex whose degree far exceeds the batch
+is enormously cheaper incrementally (8,975× at degree 10⁶ / batch 100;
+79.3× at batch 10,000); when degree ≲ batch the two converge (speedup
+→ 1 at degree 1, ≈1.8× at degree == batch).
+
+Here: same grid shape — batch sizes {100, 10,000} × vertex degrees
+{1, 100, 10k, 100k} (10⁶ is out of reach for a per-cell pure-Python
+rebuild; 10⁵ already shows the regime). The asserted shape: speedup
+grows monotonically with degree/batch and is large in the paper's
+"degree ≫ batch" regime.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.bench.report import format_series
+from repro.core.incremental import VertexIncrementalHPAT
+from repro.core.weights import WeightModel
+
+DEGREES = [1, 100, 10_000, 100_000]
+BATCHES = [100, 10_000]
+
+_speedups = {f"batch={b}": {} for b in BATCHES}
+
+
+def _timed_update(degree: int, batch: int):
+    rng = np.random.default_rng(degree + batch)
+    model = WeightModel("exponential", scale=1000.0)
+    base_times = np.sort(rng.uniform(0.0, 1000.0, degree))
+    new_times = np.sort(rng.uniform(1000.0, 1001.0, batch))
+
+    vert = VertexIncrementalHPAT(model)
+    if degree:
+        vert.append_batch(np.arange(degree), base_times)
+    t0 = time.perf_counter()
+    vert.append_batch(np.arange(batch), new_times)
+    incremental_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    rebuilt = VertexIncrementalHPAT(model)
+    rebuilt.append_batch(
+        np.arange(degree + batch), np.concatenate([base_times, new_times])
+    )
+    rebuild_s = time.perf_counter() - t0
+    return incremental_s, rebuild_s
+
+
+@pytest.mark.parametrize("batch", BATCHES)
+@pytest.mark.parametrize("degree", DEGREES)
+def test_fig13d_incremental_update(benchmark, degree, batch):
+    result = benchmark.pedantic(
+        _timed_update, args=(degree, batch), rounds=1, iterations=1
+    )
+    incremental_s, rebuild_s = result
+    speedup = rebuild_s / max(incremental_s, 1e-9)
+    _speedups[f"batch={batch}"][f"deg={degree}"] = speedup
+    benchmark.extra_info.update(
+        incremental_s=incremental_s, rebuild_s=rebuild_s, speedup=speedup
+    )
+    if degree >= 100 * batch:
+        # Paper's headline regime: degree ≫ batch ⇒ large speedup.
+        assert speedup > 10, (degree, batch, speedup)
+    if degree <= batch // 10:
+        # Degenerate regime: rebuild ≈ incremental (speedup near 1).
+        assert speedup < 5, (degree, batch, speedup)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    if not all(len(v) == len(DEGREES) for v in _speedups.values()):
+        return
+    text = format_series(
+        _speedups,
+        x_label="vertex degree",
+        title=(
+            "Figure 13d: incremental HPAT update speedup over rebuild\n"
+            "paper: 8,975x at degree 1e6/batch 100; ~1x when degree <= batch"
+        ),
+    )
+    for label, series in _speedups.items():
+        values = [series[f"deg={d}"] for d in DEGREES]
+        assert values[-1] > values[0], f"{label}: speedup must grow with degree"
+    write_result("fig13d_incremental", text)

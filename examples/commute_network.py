@@ -1,0 +1,66 @@
+"""The paper's running example: the commuting network of Figure 1.
+
+Demonstrates why temporal information matters (Section 1): a commuter
+path must obey the temporal connectivity rule — out-edge times must
+exceed in-edge times. We rebuild the toy graph, show that walks arriving
+at vertex 7 from different sources see *different* candidate edge sets
+(Figure 4), and estimate temporal reachability by Monte Carlo walks —
+contrasting it against static reachability, which overcounts.
+
+Run:  python examples/commute_network.py
+"""
+
+from collections import Counter
+
+import numpy as np
+
+from repro import TemporalGraph, TeaEngine, Workload, toy_commute_graph, unbiased_walk
+from repro.rng import make_rng
+
+
+def candidate_sets() -> None:
+    graph = TemporalGraph.from_stream(toy_commute_graph())
+    print("Vertex 7's out-edges (time-descending):")
+    nbrs, times = graph.neighbors(7)
+    print("  " + ", ".join(f"7->{v}@{t:g}" for v, t in zip(nbrs, times)))
+    print("\nCandidate edge sets at vertex 7 by arriving edge (paper Figure 4):")
+    for src, t in ((8, 0.0), (0, 3.0), (9, 4.0)):
+        count = graph.candidate_count(7, t)
+        cands = nbrs[:count]
+        print(f"  arrive from {src} at t={t:g}: Γ = {sorted(int(v) for v in cands)}")
+
+
+def temporal_reachability(start: int = 9, walks: int = 4000) -> None:
+    """Monte Carlo estimate of where a commuter starting at ``start`` ends."""
+    graph = TemporalGraph.from_stream(toy_commute_graph())
+    engine = TeaEngine(graph, unbiased_walk())
+    workload = Workload(
+        walks_per_vertex=walks, max_length=4, start_vertices=[start]
+    )
+    result = engine.run(workload, seed=1)
+    endpoints = Counter(path.vertices[-1] for path in result.paths)
+    print(f"\nTemporal-walk endpoints from vertex {start} (length<=4, {walks} walks):")
+    for vertex, count in endpoints.most_common():
+        print(f"  vertex {vertex}: {count / walks:.1%}")
+    # Static reachability for contrast: ignore times entirely.
+    reach = {start}
+    frontier = [start]
+    while frontier:
+        u = frontier.pop()
+        for v in graph.neighbors(u)[0]:
+            if int(v) not in reach:
+                reach.add(int(v))
+                frontier.append(int(v))
+    print(f"static reachability from {start}: {sorted(reach)}")
+    temporal = {v for v in endpoints}
+    print(f"temporally reachable endpoints:    {sorted(temporal)}")
+    print("(the gap is exactly the paths that violate time order)")
+
+
+def main() -> None:
+    candidate_sets()
+    temporal_reachability()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""E-commerce walk corpus: temporal co-visitation recommendation.
+
+The paper motivates temporal walks with e-commerce networks (Section 1):
+"users' preferences evolve from time to time; static graph analysis
+would ... result in inaccurate or misleading market decisions." This
+example builds a bipartite user→item interaction stream, generates a
+temporal node2vec walk corpus with TEA (what CTDNE/EHNA feed to their
+embedding models), and derives item-to-item recommendations from walk
+co-occurrence — the classic DeepWalk-style pipeline, minus the neural
+net (out of scope for a systems library).
+
+It then contrasts against a *static* walk corpus (uniform weights,
+temporal order ignored by resetting times) to show the temporal bias
+shifting recommendations toward the user's recent interests.
+
+Run:  python examples/ecommerce_recommendation.py
+"""
+
+from collections import Counter, defaultdict
+
+import numpy as np
+
+from repro import TemporalGraph, TeaEngine, Workload, temporal_node2vec, unbiased_walk
+from repro.graph.generators import temporal_bipartite
+
+NUM_USERS = 120
+NUM_ITEMS = 60
+NUM_EVENTS = 4000
+
+
+def build_graph(seed: int = 3) -> TemporalGraph:
+    stream = temporal_bipartite(
+        num_left=NUM_USERS,
+        num_right=NUM_ITEMS,
+        num_edges=NUM_EVENTS,
+        alpha=0.8,
+        time_horizon=365.0,  # one year of interactions
+        seed=seed,
+    )
+    return TemporalGraph.from_stream(stream)
+
+
+def item_id(v: int) -> int:
+    return v - NUM_USERS
+
+
+def is_item(v: int) -> bool:
+    return v >= NUM_USERS
+
+
+def walk_corpus(graph: TemporalGraph, spec, seed: int) -> list:
+    engine = TeaEngine(graph, spec)
+    workload = Workload(walks_per_vertex=2, max_length=12, max_walks=800)
+    return engine.run(workload, seed=seed).paths
+
+
+def co_visits(paths) -> dict:
+    """Item→item co-occurrence counts within each walk (window = walk)."""
+    table = defaultdict(Counter)
+    for path in paths:
+        items = [item_id(v) for v in path.vertices if is_item(v)]
+        for i, a in enumerate(items):
+            for b in items[i + 1 :]:
+                if a != b:
+                    table[a][b] += 1
+                    table[b][a] += 1
+    return table
+
+
+def main() -> None:
+    graph = build_graph()
+    print(f"interaction graph: {graph}")
+
+    temporal_paths = walk_corpus(graph, temporal_node2vec(p=0.5, q=2.0, scale=30.0), seed=11)
+    static_paths = walk_corpus(graph, unbiased_walk(), seed=11)
+
+    temporal_recs = co_visits(temporal_paths)
+    static_recs = co_visits(static_paths)
+
+    # Most-interacted items make the clearest demo anchors.
+    popularity = Counter()
+    for path in temporal_paths:
+        popularity.update(item_id(v) for v in path.vertices if is_item(v))
+    anchors = [item for item, _ in popularity.most_common(3)]
+
+    print("\ntop-3 recommendations per anchor item:")
+    print(f"{'anchor':>8} | {'temporal node2vec':^28} | {'static uniform':^28}")
+    for anchor in anchors:
+        t3 = ", ".join(f"{b}({c})" for b, c in temporal_recs[anchor].most_common(3))
+        s3 = ", ".join(f"{b}({c})" for b, c in static_recs[anchor].most_common(3))
+        print(f"{anchor:>8} | {t3:^28} | {s3:^28}")
+
+    # Quantify how much the temporal bias concentrates on recent events:
+    # average timestamp of edges traversed by each corpus.
+    def mean_walk_time(paths):
+        times = [t for p in paths for _, t in p.hops if t is not None]
+        return float(np.mean(times)) if times else float("nan")
+
+    print(
+        f"\nmean traversed-edge timestamp: "
+        f"temporal={mean_walk_time(temporal_paths):.1f} days, "
+        f"static={mean_walk_time(static_paths):.1f} days "
+        f"(temporal walks favour recent interactions)"
+    )
+
+
+if __name__ == "__main__":
+    main()

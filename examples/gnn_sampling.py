@@ -1,0 +1,88 @@
+"""Temporal GNN mini-batch sampling served by TEA (paper §4.4).
+
+The paper's discussion section predicts that temporal GNN training —
+whose dominant cost is neighborhood *sampling* — "could benefit
+enormously" from TEA. This example builds a TGN-style training data
+path: for each batch of interactions, sample multi-hop recency-biased
+temporal neighborhoods of both endpoints, never peeking at the future.
+It then contrasts throughput against a naive per-query scan sampler
+(what reference TGNN implementations do).
+
+Run:  python examples/gnn_sampling.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import TemporalGraph
+from repro.gnn import TemporalNeighborSampler
+from repro.graph.generators import temporal_powerlaw
+from repro.rng import make_rng
+
+
+def naive_sample(graph, nodes, times, k, rng):
+    """Reference-style sampler: per query, scan the past and sample."""
+    out = np.zeros((len(nodes), k), dtype=np.int64)
+    mask = np.zeros((len(nodes), k), dtype=bool)
+    for i, (v, t) in enumerate(zip(nodes, times)):
+        nbrs, etimes = graph.neighbors(int(v))
+        past = etimes < t
+        cand = nbrs[past]
+        ct = etimes[past]
+        if cand.size == 0:
+            continue
+        w = np.exp((ct - ct.max()) / 20.0)
+        p = w / w.sum()
+        out[i] = rng.choice(cand, size=k, p=p)
+        mask[i] = True
+    return out, mask
+
+
+def main() -> None:
+    graph = TemporalGraph.from_stream(
+        temporal_powerlaw(1500, 120_000, alpha=1.0, time_horizon=500.0, seed=30)
+    )
+    print(f"interaction graph: {graph}")
+
+    sampler = TemporalNeighborSampler(graph, recency_scale=20.0, seed=0)
+
+    # A TGN-style epoch slice: batches of interactions in time order.
+    stream = graph.to_stream()
+    batch = slice(80_000, 81_024)  # one 1024-interaction training batch
+    seed_nodes = np.concatenate([stream.src[batch], stream.dst[batch]])
+    seed_times = np.concatenate([stream.time[batch], stream.time[batch]])
+
+    t0 = time.perf_counter()
+    blocks = sampler.sample_blocks(seed_nodes, seed_times, fanouts=[10, 5])
+    tea_s = time.perf_counter() - t0
+    total = sum(int(b.mask.sum()) for b in blocks)
+    print(
+        f"\nTEA sampler: 2-hop blocks for {seed_nodes.size} queries "
+        f"({total} sampled edges) in {tea_s * 1e3:.1f} ms"
+    )
+    for i, block in enumerate(blocks):
+        print(f"  hop {i + 1}: fanout {block.fanout}, "
+              f"{int(block.mask.sum())} real samples, "
+              f"coverage {block.mask.any(axis=1).mean():.0%} of queries")
+
+    rng = make_rng(0)
+    t0 = time.perf_counter()
+    naive_sample(graph, seed_nodes[:512], seed_times[:512], 10, rng)
+    naive_s = (time.perf_counter() - t0) * (seed_nodes.size / 512)
+    print(
+        f"\nnaive per-query scan sampler (extrapolated for the same batch): "
+        f"{naive_s * 1e3:.1f} ms -> TEA is ~{naive_s / tea_s:.1f}x faster, "
+        f"and the gap grows with degree (the paper's §4.4 prediction)."
+    )
+
+    # The no-future-peeking guarantee, checked explicitly.
+    for block in blocks:
+        assert np.all(block.times[block.mask] < np.repeat(
+            block.seed_times, block.fanout
+        ).reshape(block.times.shape)[block.mask])
+    print("verified: every sampled edge precedes its query time.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Temporal vs static walks for link prediction — the paper's motivation.
+
+Section 1: "various graph learning projects identify that integrating
+temporal information into random walks can dramatically improve graph
+learning accuracy." This example measures that end to end:
+
+1. split an interaction stream by time (train on the past, predict the
+   future);
+2. generate walk corpora with TEA under three specs — unbiased
+   (time order respected but no recency bias), exponential temporal
+   weights, and temporal node2vec;
+3. train SGNS embeddings on each corpus and score held-out future edges
+   against sampled non-edges (AUC).
+
+Run:  python examples/link_prediction.py
+"""
+
+from repro.embeddings import temporal_link_prediction
+from repro.graph.generators import temporal_powerlaw
+from repro.walks.apps import exponential_walk, temporal_node2vec, unbiased_walk
+
+
+def main() -> None:
+    stream = temporal_powerlaw(
+        num_vertices=120, num_edges=8000, alpha=0.9,
+        time_horizon=400.0, seed=17,
+    )
+    print(f"stream: {len(stream)} interactions over {stream.time_range()}")
+    print("training on the first 80% (by time), predicting the final 20%\n")
+
+    specs = [
+        unbiased_walk(),
+        exponential_walk(scale=80.0),
+        temporal_node2vec(p=0.5, q=2.0, scale=80.0),
+    ]
+    print(f"{'walk spec':14s} {'AUC':>6s} {'test edges':>11s}")
+    print("-" * 34)
+    for spec in specs:
+        result = temporal_link_prediction(
+            stream, spec, dim=32, walks_per_vertex=8, walk_length=10,
+            epochs=4, seed=3,
+        )
+        print(f"{spec.name:14s} {result.auc:6.3f} {result.num_test_edges:11d}")
+    print(
+        "\nAll corpora respect temporal paths (TEA enforces that); the "
+        "biased specs additionally weight recent edges, which is what "
+        "helps predict the *future* — the paper's opening argument."
+    )
+
+
+if __name__ == "__main__":
+    main()

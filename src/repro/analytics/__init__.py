@@ -1,0 +1,29 @@
+"""Applications built *atop* TEA (paper Section 5.2, "Applications scope").
+
+The paper notes that popular static-graph random-walk algorithms —
+personalized PageRank, SimRank, meta-path walks — "do not have existing
+variations on temporal graphs", but can be conveniently implemented on
+top of TEA's optimised sampling. This package does exactly that: each
+algorithm drives the prepared TEA index through the public sampling
+interface, inheriting the hybrid-sampling speed and the temporal-path
+semantics (all traversals respect strictly increasing edge times).
+"""
+
+from repro.analytics.pagerank import temporal_pagerank
+from repro.analytics.simrank import temporal_simrank
+from repro.analytics.metapath import MetapathWalker, temporal_metapath_walks
+from repro.analytics.reachability import (
+    earliest_arrival_times,
+    temporal_reachability,
+    walk_reachability_estimate,
+)
+
+__all__ = [
+    "temporal_pagerank",
+    "temporal_simrank",
+    "MetapathWalker",
+    "temporal_metapath_walks",
+    "earliest_arrival_times",
+    "temporal_reachability",
+    "walk_reachability_estimate",
+]

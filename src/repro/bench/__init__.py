@@ -1,0 +1,22 @@
+"""Benchmark harness: workloads, runners, and table/series formatting.
+
+Each experiment in the paper's evaluation (Figures 2, 9–14; Table 4) has
+a pytest-benchmark target under ``benchmarks/`` built from these pieces;
+:mod:`repro.bench.runner` produces the measured rows, and
+:mod:`repro.bench.report` prints them in the paper's shape so
+EXPERIMENTS.md can compare side by side.
+"""
+
+from repro.bench.workloads import paper_workload, quick_workload
+from repro.bench.runner import ExperimentRow, run_engines, speedups
+from repro.bench.report import format_rows, format_series
+
+__all__ = [
+    "paper_workload",
+    "quick_workload",
+    "ExperimentRow",
+    "run_engines",
+    "speedups",
+    "format_rows",
+    "format_series",
+]

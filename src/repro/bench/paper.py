@@ -1,0 +1,123 @@
+"""The paper's published numbers, as data.
+
+Single source of truth for every figure/table value quoted in
+EXPERIMENTS.md and printed by the benchmarks next to measured results.
+Keeping them in code (a) lets benches annotate their output with the
+published counterpart, and (b) lets tests assert the documentation
+quotes the paper correctly.
+
+All values are transcribed from the EuroSys '23 paper (Tables 3–4,
+Figures 2, 9–14, and the §5.2 text).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+# ---------------------------------------------------------------------------
+# Table 3 — datasets
+# ---------------------------------------------------------------------------
+
+TABLE3: Dict[str, Dict[str, float]] = {
+    "growth": {"V": 1_870_000, "E": 39_953_000, "mean_degree": 42.714,
+               "max_degree": 226_577},
+    "edit": {"V": 21_504_000, "E": 266_769_000, "mean_degree": 21.069,
+             "max_degree": 3_270_682},
+    "delicious": {"V": 33_777_000, "E": 301_183_000, "mean_degree": 66.752,
+                  "max_degree": 4_358_622},
+    "twitter": {"V": 41_652_000, "E": 1_468_365_000, "mean_degree": 74.678,
+                "max_degree": 3_691_240},
+}
+
+# ---------------------------------------------------------------------------
+# Figure 2 — average sampling cost (edges / step), exponential walk
+# ---------------------------------------------------------------------------
+
+FIG2_EDGES_PER_STEP = {
+    "tea": 5.5,
+    "knightking": 11_071.0,
+    "graphwalker": 19_046.0,
+}
+
+# ---------------------------------------------------------------------------
+# Table 4 — total runtime in seconds: (graphwalker, knightking-8node, tea)
+# ---------------------------------------------------------------------------
+
+TABLE4_SECONDS: Dict[Tuple[str, str], Tuple[float, float, float]] = {
+    ("growth", "linear"): (14.97, 2.46, 0.56),
+    ("edit", "linear"): (161.12, 25.8, 5.21),
+    ("delicious", "linear"): (248.36, 40.60, 7.98),
+    ("twitter", "linear"): (479.84, 73.26, 12.16),
+    ("growth", "exponential"): (39.71, 4.82, 2.93),
+    ("edit", "exponential"): (27_961.48, 2_583.94, 32.51),
+    ("delicious", "exponential"): (46_479.26, 5_044.26, 38.84),
+    ("twitter", "exponential"): (224_421.26, 37_968.30, 71.47),
+    ("growth", "node2vec"): (52.18, 7.03, 3.52),
+    ("edit", "node2vec"): (71_907.56, 10_388.17, 46.81),
+    ("delicious", "node2vec"): (119_724.11, 29_627.98, 59.82),
+    ("twitter", "node2vec"): (572_274.20, 88_677.35, 92.93),
+}
+
+
+def table4_speedups(dataset: str, app: str) -> Tuple[float, float]:
+    """Published (GraphWalker, KnightKing-8node) speedups of TEA."""
+    gw, kk, tea = TABLE4_SECONDS[(dataset, app)]
+    return gw / tea, kk / tea
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — memory (GB); §5.2 text values
+# ---------------------------------------------------------------------------
+
+FIG9_MEMORY_GB = {
+    ("twitter", "tea"): 78.06,
+    ("twitter", "graphwalker"): 36.48,
+    ("twitter", "knightking-1node"): 45.0,
+    ("growth", "tea"): 2.0,
+}
+FIG9_INDEX_SHARE = (0.825, 0.912)  # HPAT index share of TEA memory
+
+# ---------------------------------------------------------------------------
+# Figures 10–14 and §5.2 — headline factors
+# ---------------------------------------------------------------------------
+
+FIG10_MAX_SPEEDUP = {"knightking-1node": 5_627.0, "ctdne": 8_816.0}
+
+FIG11_HPAT_SPEEDUP = (5.4, 1_788.0)        # over GraphWalker baseline
+FIG11_INDEX_SPEEDUP = (2.75, 3.45)         # auxiliary index on top of HPAT
+
+FIG12 = {
+    "alias_vs_hpat_speed": 1.38,           # on growth, the only fit
+    "alias_vs_hpat_memory": 51.7,
+    "hpat_vs_pat_speed": (1.43, 2.97),
+    "pat_vs_its_speed": (1.22, 1.89),
+    "hpat_vs_pat_memory": 1.95,
+    "pat_vs_its_memory": 1.26,
+}
+
+FIG13_THREAD_SCALING = 12.8                # 1 → 16 threads
+FIG13_HPAT_SHARE = 0.80                    # of preprocessing time
+FIG13_AUX_SHARE = 0.05
+
+FIG13D_SPEEDUP = {
+    (1_000_000, 100): 8_975.0,
+    (1_000_000, 10_000): 79.3,
+    ("equal", 100): 1.82,
+    ("equal", 10_000): 1.65,
+}
+
+FIG14_RUNTIME_SPEEDUP = (115.0, 1_172.0)   # min (growth), max (twitter)
+FIG14_IO_SPEEDUP = (130.3, 1_107.8)
+
+PARAM_R2_OVER_R1 = (1.91, 2.14)
+PARAM_L80_OVER_L10 = (4.7, 5.9)
+
+
+def describe(dataset: str, app: str) -> str:
+    """One-line published summary for a Table 4 cell."""
+    gw, kk = table4_speedups(dataset, app)
+    return (
+        f"paper {dataset}/{app}: TEA {TABLE4_SECONDS[(dataset, app)][2]:g}s, "
+        f"{gw:.1f}x over GraphWalker, {kk:.1f}x over 8-node KnightKing"
+    )

@@ -1,0 +1,146 @@
+"""Performance-regression baselines.
+
+A lightweight harness for tracking this library's own performance over
+time: record a named set of measurements to JSON
+(:func:`save_baseline`), reload it later, and compare a fresh run
+against it with a tolerance (:func:`compare`). Used by the repo's
+maintainers before merging changes to the sampling hot paths; the
+cost-model metrics (edges/step) must match *exactly* across versions —
+they are deterministic — while wall-times get a slack factor.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+PathLike = Union[str, os.PathLike]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Regression:
+    """One metric that moved beyond tolerance."""
+
+    name: str
+    baseline: float
+    measured: float
+    ratio: float
+    kind: str  # "exact" or "timing"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name}: baseline {self.baseline:g} -> measured "
+            f"{self.measured:g} ({self.ratio:.2f}x, {self.kind})"
+        )
+
+
+def save_baseline(
+    path: PathLike,
+    exact: Dict[str, float],
+    timings: Dict[str, float],
+    note: str = "",
+) -> None:
+    """Write a baseline file.
+
+    ``exact`` metrics are deterministic (cost-model numbers: edges/step,
+    steps, memory bytes) and compared strictly; ``timings`` are
+    wall-clock seconds and compared with slack.
+    """
+    payload = {
+        "version": BASELINE_VERSION,
+        "note": note,
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "exact": {k: float(v) for k, v in exact.items()},
+        "timings": {k: float(v) for k, v in timings.items()},
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+def load_baseline(path: PathLike) -> dict:
+    with open(path) as f:
+        payload = json.load(f)
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {payload.get('version')}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    return payload
+
+
+def compare(
+    baseline: dict,
+    exact: Dict[str, float],
+    timings: Dict[str, float],
+    exact_rtol: float = 1e-9,
+    timing_slack: float = 1.5,
+) -> List[Regression]:
+    """Return the metrics that regressed (empty list = clean).
+
+    * exact metrics must match within ``exact_rtol`` (both directions —
+      an unexplained *improvement* in a deterministic metric is also a
+      behaviour change worth flagging);
+    * timings may be up to ``timing_slack``× the baseline (only
+      slowdowns are flagged; machines vary).
+    """
+    problems: List[Regression] = []
+    for name, base_value in baseline.get("exact", {}).items():
+        if name not in exact:
+            problems.append(Regression(name, base_value, float("nan"),
+                                       float("nan"), "exact-missing"))
+            continue
+        measured = float(exact[name])
+        if base_value == 0:
+            ok = measured == 0
+            ratio = float("inf") if measured else 1.0
+        else:
+            ratio = measured / base_value
+            ok = abs(ratio - 1.0) <= exact_rtol
+        if not ok:
+            problems.append(Regression(name, base_value, measured, ratio, "exact"))
+    for name, base_value in baseline.get("timings", {}).items():
+        if name not in timings:
+            continue  # timing sets may shrink without being a regression
+        measured = float(timings[name])
+        if base_value > 0 and measured / base_value > timing_slack:
+            problems.append(
+                Regression(name, base_value, measured, measured / base_value,
+                           "timing")
+            )
+    return problems
+
+
+def standard_metrics(seed: int = 0) -> Tuple[Dict[str, float], Dict[str, float]]:
+    """The canonical metric set: TEA on the growth analogue.
+
+    Returns ``(exact, timings)`` suitable for :func:`save_baseline` /
+    :func:`compare`. Deterministic given the seed.
+    """
+    import time
+
+    from repro.engines import TeaEngine, Workload
+    from repro.graph.datasets import load_dataset
+    from repro.walks.apps import exponential_walk
+
+    graph = load_dataset("growth", seed=0)
+    engine = TeaEngine(graph, exponential_walk(scale=6.0))
+    t0 = time.perf_counter()
+    engine.prepare()
+    prep_s = time.perf_counter() - t0
+    result = engine.run(Workload(walks_per_vertex=2, max_length=80),
+                        seed=seed, record_paths=False)
+    exact = {
+        "steps": float(result.total_steps),
+        "edges_per_step": result.counters.edges_per_step,
+        "memory_bytes": float(result.memory.total),
+    }
+    timings = {"prepare_s": prep_s, "walk_s": result.walk_seconds}
+    return exact, timings

@@ -1,0 +1,92 @@
+"""Plain-text table/series rendering for experiment output.
+
+Benchmarks print these tables so ``pytest benchmarks/ --benchmark-only -s``
+regenerates the paper's rows; EXPERIMENTS.md pastes them next to the
+published numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.bench.runner import ExperimentRow
+from repro.metrics.memory import format_bytes
+
+
+def _fmt(value: float, digits: int = 3) -> str:
+    if isinstance(value, float) and math.isnan(value):
+        return "OOM"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def format_rows(
+    rows: Sequence[ExperimentRow],
+    columns: Sequence[str] = (
+        "dataset",
+        "engine",
+        "app",
+        "total_seconds",
+        "edges_per_step",
+        "memory_bytes",
+    ),
+    title: str = "",
+) -> str:
+    """Fixed-width table of the selected row fields."""
+    headers = list(columns)
+    table: List[List[str]] = [headers]
+    for row in rows:
+        rendered = []
+        for col in columns:
+            if row.oom and col not in ("dataset", "engine", "app"):
+                rendered.append("OOM")
+                continue
+            value = getattr(row, col)
+            if col == "memory_bytes":
+                rendered.append(format_bytes(value))
+            elif isinstance(value, float):
+                rendered.append(_fmt(value))
+            else:
+                rendered.append(str(value))
+        table.append(rendered)
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, rendered in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(rendered)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    series: Mapping[str, Mapping[str, float]],
+    x_label: str = "x",
+    title: str = "",
+    digits: int = 3,
+) -> str:
+    """A figure-style table: one column per named series, one row per x.
+
+    ``series`` maps series name → {x: y}; x values are unioned and sorted.
+    """
+    xs: List = sorted({x for ys in series.values() for x in ys}, key=str)
+    headers = [x_label] + list(series)
+    table = [headers]
+    for x in xs:
+        row = [str(x)]
+        for name in series:
+            y = series[name].get(x)
+            row.append("-" if y is None else _fmt(float(y), digits))
+        table.append(row)
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    for i, row in enumerate(table):
+        lines.append("  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Experiment runner: engines × specs × datasets → measured rows."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.engines.base import Engine, EngineResult, Workload
+from repro.exceptions import SimulatedOOM
+from repro.graph.temporal_graph import TemporalGraph
+from repro.rng import RngLike
+from repro.walks.spec import WalkSpec
+
+EngineFactory = Callable[[TemporalGraph, WalkSpec], Engine]
+
+
+@dataclass
+class ExperimentRow:
+    """One measured cell of a paper table/figure."""
+
+    dataset: str
+    engine: str
+    app: str
+    total_seconds: float = float("nan")
+    prepare_seconds: float = float("nan")
+    walk_seconds: float = float("nan")
+    edges_per_step: float = float("nan")
+    steps: int = 0
+    memory_bytes: int = 0
+    io_blocks: int = 0
+    oom: bool = False
+
+    @classmethod
+    def from_result(cls, dataset: str, result: EngineResult) -> "ExperimentRow":
+        return cls(
+            dataset=dataset,
+            engine=result.engine,
+            app=result.spec.split(",")[0],
+            total_seconds=result.total_seconds,
+            prepare_seconds=result.prepare_seconds,
+            walk_seconds=result.walk_seconds,
+            edges_per_step=result.counters.edges_per_step,
+            steps=result.total_steps,
+            memory_bytes=result.memory.total,
+            io_blocks=result.counters.io_blocks,
+        )
+
+    @classmethod
+    def oom_row(cls, dataset: str, engine: str, app: str) -> "ExperimentRow":
+        return cls(dataset=dataset, engine=engine, app=app, oom=True)
+
+
+def run_engines(
+    graph: TemporalGraph,
+    spec: WalkSpec,
+    engines: Dict[str, EngineFactory],
+    workload: Workload,
+    seed: RngLike = 0,
+    dataset: str = "?",
+) -> List[ExperimentRow]:
+    """Run every engine factory on the same graph/spec/workload.
+
+    A factory raising :class:`SimulatedOOM` during preparation yields an
+    OOM row (the Figure 12 convention) instead of aborting the sweep.
+    """
+    rows: List[ExperimentRow] = []
+    for label, factory in engines.items():
+        try:
+            engine = factory(graph, spec)
+            result = engine.run(workload, seed=seed, record_paths=False)
+        except SimulatedOOM:
+            rows.append(ExperimentRow.oom_row(dataset, label, spec.name))
+            continue
+        row = ExperimentRow.from_result(dataset, result)
+        row.engine = label  # prefer the sweep's label over the engine name
+        rows.append(row)
+    return rows
+
+
+def speedups(
+    rows: Sequence[ExperimentRow], baseline: str, metric: str = "total_seconds"
+) -> Dict[str, float]:
+    """Per-engine speedup of ``baseline`` over each engine on ``metric``.
+
+    Matches the paper's convention: speedup of TEA over engine X is
+    X.time / TEA.time, so ``speedups(rows, baseline='tea')['graphwalker']``
+    is the Table 4 "(N×)" annotation.
+    """
+    by_engine = {r.engine: r for r in rows}
+    if baseline not in by_engine:
+        raise KeyError(f"baseline {baseline!r} not among {sorted(by_engine)}")
+    base_value = getattr(by_engine[baseline], metric)
+    out: Dict[str, float] = {}
+    for name, row in by_engine.items():
+        if row.oom:
+            out[name] = float("nan")
+        else:
+            value = getattr(row, metric)
+            out[name] = value / base_value if base_value else float("inf")
+    return out

@@ -1,0 +1,28 @@
+"""Standard walk workloads for the reproduction experiments.
+
+The paper's setup (Section 5.1): R = 1 walk per vertex, maximum length
+L = 80. At our dataset scale a full R·|V| sweep in pure Python is
+possible but slow for the scan-heavy baselines, so experiment workloads
+cap the number of walks (sampled start vertices); the per-step cost
+model is walk-count-invariant, and EXPERIMENTS.md compares normalized
+quantities (time/step, edges/step).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engines.base import Workload
+
+PAPER_R = 1
+PAPER_L = 80
+
+
+def paper_workload(max_walks: Optional[int] = None, length: int = PAPER_L) -> Workload:
+    """R=1, L=80 per the paper; ``max_walks`` caps the start set."""
+    return Workload(walks_per_vertex=PAPER_R, max_length=length, max_walks=max_walks)
+
+
+def quick_workload(max_walks: int = 64, length: int = 20) -> Workload:
+    """Small workload for unit tests and smoke benchmarks."""
+    return Workload(walks_per_vertex=1, max_length=length, max_walks=max_walks)

@@ -1,0 +1,322 @@
+"""Command-line interface: ``tea-repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``info``      — dataset registry and graph statistics.
+``generate``  — materialise a synthetic dataset analogue to an edge list.
+``walk``      — run a walk workload on a chosen engine and print paths
+                or a summary.
+``compare``   — run several engines on one dataset/application and print
+                the speedup table (a handheld Table 4 cell).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.report import format_rows
+from repro.bench.runner import run_engines
+from repro.engines import (
+    BatchTeaEngine,
+    CtdneEngine,
+    GraphWalkerEngine,
+    KnightKingEngine,
+    TeaEngine,
+    TeaOutOfCoreEngine,
+    Workload,
+)
+from repro.graph import io as graph_io
+from repro.graph.datasets import DATASETS, load_dataset
+from repro.graph.temporal_graph import TemporalGraph
+from repro.walks.apps import APPLICATIONS
+
+ENGINES = {
+    "tea": lambda g, s: TeaEngine(g, s),
+    "tea-batch": lambda g, s: BatchTeaEngine(g, s),
+    "tea-pat": lambda g, s: TeaEngine(g, s, structure="pat"),
+    "tea-its": lambda g, s: TeaEngine(g, s, structure="its"),
+    "tea-ooc": lambda g, s: TeaOutOfCoreEngine(g, s),
+    "graphwalker": lambda g, s: GraphWalkerEngine(g, s),
+    "graphwalker-ooc": lambda g, s: GraphWalkerEngine(g, s, out_of_core=True),
+    "knightking": lambda g, s: KnightKingEngine(g, s, nodes=8),
+    "knightking-1node": lambda g, s: KnightKingEngine(g, s, nodes=1),
+    "ctdne": lambda g, s: CtdneEngine(g, s),
+}
+
+
+def _load_graph(args) -> TemporalGraph:
+    if args.input:
+        return TemporalGraph.from_stream(graph_io.load_auto(args.input))
+    return load_dataset(args.dataset, seed=args.seed, scale=args.scale)
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="growth", choices=sorted(DATASETS))
+    parser.add_argument("--input", help="edge-list file instead of a named dataset")
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_info(args) -> int:
+    if args.dataset or args.input:
+        graph = _load_graph(args)
+        print(graph)
+        degrees = graph.degrees()
+        if degrees.size:
+            print(f"degree: mean={graph.mean_degree():.2f} max={graph.max_degree()}")
+        return 0
+    return 0
+
+
+def cmd_generate(args) -> int:
+    spec = DATASETS[args.dataset]
+    stream = spec.generate(seed=args.seed, scale=args.scale)
+    if args.output.endswith(".tegb"):
+        graph_io.save_binary(stream, args.output)
+    else:
+        graph_io.save_edge_list(stream, args.output)
+    print(f"wrote {len(stream)} edges to {args.output}")
+    return 0
+
+
+def cmd_walk(args) -> int:
+    graph = _load_graph(args)
+    spec = APPLICATIONS[args.app]
+    engine = ENGINES[args.engine](graph, spec)
+    workload = Workload(
+        walks_per_vertex=args.walks_per_vertex,
+        max_length=args.length,
+        max_walks=args.max_walks,
+    )
+    result = engine.run(workload, seed=args.seed)
+    for key, value in result.summary().items():
+        print(f"{key}: {value}")
+    if args.show_paths:
+        for path in result.paths[: args.show_paths]:
+            hops = " -> ".join(
+                f"{v}" if t is None else f"{v}@{t:g}" for v, t in path.hops
+            )
+            print(hops)
+    return 0
+
+
+def cmd_stats(args) -> int:
+    graph = _load_graph(args)
+    from repro.core.weights import WeightModel
+    from repro.graph.stats import graph_stats, predict_sampling_costs
+
+    for key, value in graph_stats(graph).snapshot().items():
+        print(f"{key}: {value}")
+    if args.predict_costs:
+        pred = predict_sampling_costs(
+            graph, WeightModel("exponential", scale=args.exp_scale)
+        )
+        print("\nanalytic sampling cost (edges/step, paper Figure 2 model):")
+        for key, value in pred.snapshot().items():
+            print(f"  {key}: {value}")
+    return 0
+
+
+def cmd_pagerank(args) -> int:
+    graph = _load_graph(args)
+    from repro.analytics import temporal_pagerank
+
+    sources = args.sources if args.sources else None
+    scores = temporal_pagerank(
+        graph, sources=sources, alpha=args.alpha,
+        num_walks=args.num_walks, seed=args.seed,
+    )
+    import numpy as np
+
+    top = np.argsort(scores)[::-1][: args.top]
+    print(f"temporal {'personalized ' if sources else ''}PageRank (top {args.top}):")
+    for v in top:
+        print(f"  vertex {v}: {scores[v]:.5f}")
+    return 0
+
+
+def cmd_corpus(args) -> int:
+    graph = _load_graph(args)
+    spec = APPLICATIONS[args.app]
+    engine = ENGINES[args.engine](graph, spec)
+    from repro.walks.sink import WalkSink
+
+    workload = Workload(
+        walks_per_vertex=args.walks_per_vertex,
+        max_length=args.length,
+        max_walks=args.max_walks,
+    )
+    with WalkSink(args.output, flush_threshold=args.flush_threshold) as sink:
+        result = engine.run(workload, seed=args.seed, record_paths=False, sink=sink)
+    print(
+        f"wrote {sink.walks_written} walks ({result.total_steps} hops) "
+        f"to {args.output} in {sink.flushes} flushes"
+    )
+    return 0
+
+
+def cmd_validate_corpus(args) -> int:
+    graph = _load_graph(args)
+    from repro.walks.sink import validate_corpus
+
+    count, problems = validate_corpus(graph, args.corpus)
+    print(f"{args.corpus}: {count} walks, {len(problems)} problems")
+    for index, reason in problems[:20]:
+        print(f"  walk {index}: {reason}")
+    return 0 if not problems else 1
+
+
+def cmd_link_predict(args) -> int:
+    from repro.embeddings import temporal_link_prediction
+    from repro.graph.datasets import DATASETS
+
+    if args.input:
+        stream = graph_io.load_auto(args.input)
+    else:
+        stream = DATASETS[args.dataset].generate(seed=args.seed, scale=args.scale)
+    print(f"{'walk spec':14s} {'AUC':>6s}")
+    for name in args.apps:
+        result = temporal_link_prediction(
+            stream, APPLICATIONS[name], dim=args.dim,
+            walks_per_vertex=args.walks_per_vertex, epochs=args.epochs,
+            seed=args.seed,
+        )
+        print(f"{name:14s} {result.auc:6.3f}")
+    return 0
+
+
+BENCH_TARGETS = {
+    "fig2": "test_fig2_sampling_cost.py",
+    "table4": "test_table4_runtime.py",
+    "fig9": "test_fig9_memory.py",
+    "fig10": "test_fig10_other_engines.py",
+    "fig11": "test_fig11_breakdown.py",
+    "fig12": "test_fig12_sampling_methods.py",
+    "fig13": "test_fig13_construction.py",
+    "fig13d": "test_fig13d_incremental.py",
+    "fig14": "test_fig14_outofcore.py",
+    "params": "test_param_sensitivity.py",
+    "distributed": "test_distributed_scaling.py",
+    "batch": "test_batch_executor.py",
+    "trunksize": "test_trunk_size_ablation.py",
+    "gnn": "test_gnn_sampling.py",
+}
+
+
+def cmd_bench(args) -> int:
+    """Run one named paper experiment via pytest-benchmark."""
+    import subprocess
+    from pathlib import Path
+
+    bench_dir = Path(__file__).resolve().parent.parent.parent / "benchmarks"
+    target = bench_dir / BENCH_TARGETS[args.experiment]
+    if not target.exists():
+        print(f"benchmark file not found: {target} (run from a source checkout)")
+        return 2
+    cmd = [sys.executable, "-m", "pytest", str(target), "--benchmark-only", "-s"]
+    print("+ " + " ".join(cmd))
+    return subprocess.call(cmd)
+
+
+def cmd_compare(args) -> int:
+    graph = _load_graph(args)
+    spec = APPLICATIONS[args.app]
+    engines = {name: ENGINES[name] for name in args.engines}
+    workload = Workload(max_length=args.length, max_walks=args.max_walks)
+    rows = run_engines(graph, spec, engines, workload, seed=args.seed, dataset=args.dataset)
+    print(format_rows(rows, title=f"{args.dataset} / {args.app} ({workload.describe()})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tea-repro",
+        description="TEA temporal graph random walk engine (EuroSys '23 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="dataset registry / graph statistics")
+    _add_graph_args(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset to disk")
+    _add_graph_args(p)
+    p.add_argument("output")
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("walk", help="run a walk workload")
+    _add_graph_args(p)
+    p.add_argument("--app", default="node2vec", choices=sorted(APPLICATIONS))
+    p.add_argument("--engine", default="tea", choices=sorted(ENGINES))
+    p.add_argument("--length", type=int, default=80)
+    p.add_argument("--walks-per-vertex", type=int, default=1)
+    p.add_argument("--max-walks", type=int, default=None)
+    p.add_argument("--show-paths", type=int, default=0)
+    p.set_defaults(fn=cmd_walk)
+
+    p = sub.add_parser("bench", help="run one paper experiment")
+    p.add_argument("experiment", choices=sorted(BENCH_TARGETS))
+    p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser("corpus", help="generate a walk corpus to disk")
+    _add_graph_args(p)
+    p.add_argument("output", help="corpus path (.txt or .twalks)")
+    p.add_argument("--app", default="exponential", choices=sorted(APPLICATIONS))
+    p.add_argument("--engine", default="tea-batch", choices=sorted(ENGINES))
+    p.add_argument("--length", type=int, default=80)
+    p.add_argument("--walks-per-vertex", type=int, default=1)
+    p.add_argument("--max-walks", type=int, default=None)
+    p.add_argument("--flush-threshold", type=int, default=1024)
+    p.set_defaults(fn=cmd_corpus)
+
+    p = sub.add_parser("validate-corpus", help="check a corpus against a graph")
+    _add_graph_args(p)
+    p.add_argument("corpus")
+    p.set_defaults(fn=cmd_validate_corpus)
+
+    p = sub.add_parser("link-predict", help="temporal link-prediction AUC")
+    _add_graph_args(p)
+    p.add_argument("--apps", nargs="+", default=["unbiased", "exponential"],
+                   choices=sorted(APPLICATIONS))
+    p.add_argument("--dim", type=int, default=32)
+    p.add_argument("--walks-per-vertex", type=int, default=4)
+    p.add_argument("--epochs", type=int, default=3)
+    p.set_defaults(fn=cmd_link_predict)
+
+    p = sub.add_parser("stats", help="graph statistics + analytic cost model")
+    _add_graph_args(p)
+    p.add_argument("--predict-costs", action="store_true")
+    p.add_argument("--exp-scale", type=float, default=6.0)
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("pagerank", help="temporal (personalized) PageRank")
+    _add_graph_args(p)
+    p.add_argument("--sources", type=int, nargs="*", default=None)
+    p.add_argument("--alpha", type=float, default=0.15)
+    p.add_argument("--num-walks", type=int, default=2000)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(fn=cmd_pagerank)
+
+    p = sub.add_parser("compare", help="run several engines and tabulate")
+    _add_graph_args(p)
+    p.add_argument("--app", default="node2vec", choices=sorted(APPLICATIONS))
+    p.add_argument(
+        "--engines", nargs="+", default=["tea", "graphwalker", "knightking"],
+        choices=sorted(ENGINES),
+    )
+    p.add_argument("--length", type=int, default=80)
+    p.add_argument("--max-walks", type=int, default=200)
+    p.set_defaults(fn=cmd_compare)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""TEA's core contribution: hybrid-sampling index structures.
+
+* :mod:`~repro.core.weights` — the static-weight rewrite (Equation 3)
+  that removes the walker's arrival time from the transition probability;
+* :mod:`~repro.core.trunks` — trunk partitioning and binary decomposition;
+* :mod:`~repro.core.pat` — the Persistent Alias Table (Section 3.2);
+* :mod:`~repro.core.hpat` — the Hierarchical PAT (Section 3.3);
+* :mod:`~repro.core.aux_index` — O(1) trunk lookup (Section 3.4);
+* :mod:`~repro.core.builder` — parallel construction (Section 4.2);
+* :mod:`~repro.core.incremental` — streaming batch updates (Section 3.5);
+* :mod:`~repro.core.outofcore` — disk-resident PAT (Section 4.1).
+"""
+
+from repro.core.weights import WeightModel
+from repro.core.trunks import binary_decompose, pat_trunk_size
+from repro.core.pat import PersistentAliasTable
+from repro.core.hpat import HierarchicalPAT
+from repro.core.aux_index import AuxiliaryIndex
+from repro.core.incremental import IncrementalHPAT
+from repro.core.outofcore import OutOfCorePAT, TrunkStore
+
+__all__ = [
+    "WeightModel",
+    "binary_decompose",
+    "pat_trunk_size",
+    "PersistentAliasTable",
+    "HierarchicalPAT",
+    "AuxiliaryIndex",
+    "IncrementalHPAT",
+    "OutOfCorePAT",
+    "TrunkStore",
+]

@@ -1,0 +1,94 @@
+"""Auxiliary index: O(1) lookup of the trunks covering a candidate set.
+
+During HPAT sampling the engine must find which trunks compose a
+candidate prefix of size s — naively O(log D) of bit/boundary work per
+step. Since the decomposition depends only on *s* (and s ≤ D), the paper
+precomputes it for every possible size (Section 3.4), reducing trunk
+finding to a table lookup.
+
+Layout: one flat pair of arrays holds every decomposition back to back;
+``indptr[s-1] : indptr[s]`` (popcount(s) entries) gives size s's blocks as
+``levels`` (the k of each trunk, descending) and ``cuts`` (cumulative
+boundaries — for s = 7: cuts [4, 6, 7], levels [2, 1, 0]).
+
+Total entries are Σ popcount(s) ≈ D·log2(D)/2, so the index is capped at
+``max_precomputed`` sizes; rarer larger candidate sets fall back to the
+on-the-fly decomposition (and the fallback is counted, so experiments can
+verify the cap never distorts results at evaluation scale).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.trunks import binary_decompose
+
+DEFAULT_PRECOMPUTE_CAP = 1 << 20
+
+
+def _popcount(a: np.ndarray) -> np.ndarray:
+    """Per-element population count for non-negative int64 arrays."""
+    if hasattr(np, "bitwise_count"):  # numpy >= 2.0
+        return np.bitwise_count(a).astype(np.int64)
+    x = a.astype(np.uint64)
+    x = x - ((x >> np.uint64(1)) & np.uint64(0x5555555555555555))
+    x = (x & np.uint64(0x3333333333333333)) + ((x >> np.uint64(2)) & np.uint64(0x3333333333333333))
+    x = (x + (x >> np.uint64(4))) & np.uint64(0x0F0F0F0F0F0F0F0F)
+    return ((x * np.uint64(0x0101010101010101)) >> np.uint64(56)).astype(np.int64)
+
+
+class AuxiliaryIndex:
+    """Precomputed binary decompositions for candidate sizes 1..max_size."""
+
+    __slots__ = ("max_size", "indptr", "levels", "cuts", "fallback_lookups")
+
+    def __init__(self, max_size: int, precompute_cap: int = DEFAULT_PRECOMPUTE_CAP):
+        self.max_size = int(min(max(max_size, 0), precompute_cap))
+        self.fallback_lookups = 0
+        sizes = np.arange(1, self.max_size + 1, dtype=np.int64)
+        pops = _popcount(sizes) if sizes.size else np.zeros(0, dtype=np.int64)
+        self.indptr = np.zeros(self.max_size + 1, dtype=np.int64)
+        np.cumsum(pops, out=self.indptr[1:])
+        total = int(self.indptr[-1])
+        self.levels = np.empty(total, dtype=np.int8)
+        self.cuts = np.empty(total, dtype=np.int64)
+        if total:
+            # Fill both arrays one bit-position at a time, fully vectorised.
+            # For size s, the block at bit k sits at slot popcount(s >> (k+1))
+            # within s's entry (blocks are ordered from the highest bit) and
+            # its cumulative boundary is (s >> k) << k.
+            max_bit = int(sizes[-1]).bit_length() - 1
+            for k in range(max_bit, -1, -1):
+                has = (sizes >> k) & 1 == 1
+                s_k = sizes[has]
+                if not s_k.size:
+                    continue
+                slot = self.indptr[s_k - 1] + _popcount(s_k >> (k + 1))
+                self.levels[slot] = k
+                self.cuts[slot] = (s_k >> k) << k
+        self.levels.setflags(write=False)
+        self.cuts.setflags(write=False)
+        self.indptr.setflags(write=False)
+
+    def lookup(self, size: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(levels, cuts)`` of the decomposition of a candidate prefix.
+
+        O(1) (two slice views) for sizes within the precomputed range;
+        falls back to computing the decomposition for oversized requests.
+        """
+        if 1 <= size <= self.max_size:
+            lo, hi = self.indptr[size - 1], self.indptr[size]
+            return self.levels[lo:hi], self.cuts[lo:hi]
+        self.fallback_lookups += 1
+        blocks = binary_decompose(size)
+        levels = np.array([k for k, _ in blocks], dtype=np.int8)
+        cuts = np.array([off + (1 << k) for k, off in blocks], dtype=np.int64)
+        return levels, cuts
+
+    def nbytes(self) -> int:
+        return int(self.indptr.nbytes + self.levels.nbytes + self.cuts.nbytes)
+
+    def __repr__(self) -> str:
+        return f"AuxiliaryIndex(max_size={self.max_size}, entries={self.levels.size})"

@@ -1,0 +1,107 @@
+"""LRU caching for out-of-core reads — the paper's re-entry optimisation.
+
+Paper §4.1: "each to-be-loaded data will use the prior loaded data
+re-entry [1] to minimize the disk I/O" (the reference is CLIP's
+loaded-data reuse, ATC '17). Random walks revisit hot vertices
+constantly — power-law graphs concentrate walk mass on hubs — so caching
+recently loaded trunks converts most loads into hits.
+
+:class:`BlockCache` is a byte-budgeted LRU over (region, lo, hi) keys;
+:class:`~repro.core.outofcore.TrunkStore` consults it before touching
+the memory-map and only charges I/O counters on misses. The Figure 14
+companion benchmark ablates cache on/off.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class BlockCache:
+    """Byte-budgeted LRU cache of numpy array blocks.
+
+    Keys are arbitrary hashables (the stores use ``(region, lo, hi)``);
+    values are the loaded arrays. ``capacity_bytes <= 0`` disables
+    caching entirely (every get misses, nothing is stored), which gives
+    benchmarks a clean off switch.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def nbytes(self) -> int:
+        return self._bytes
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_bytes > 0
+
+    def get(self, key: Hashable):
+        if not self.enabled:
+            self.stats.misses += 1
+            return None
+        value = self._entries.get(key)
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    @staticmethod
+    def _nbytes(value) -> int:
+        if isinstance(value, tuple):
+            return int(sum(v.nbytes for v in value))
+        return int(value.nbytes)
+
+    def put(self, key: Hashable, value) -> None:
+        """Store an array (or tuple of arrays) under ``key``."""
+        if not self.enabled:
+            return
+        nbytes = self._nbytes(value)
+        if nbytes > self.capacity_bytes:
+            return  # oversized blocks are not worth evicting everything for
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= self._nbytes(old)
+        self._entries[key] = value
+        self._bytes += nbytes
+        while self._bytes > self.capacity_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= self._nbytes(evicted)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0

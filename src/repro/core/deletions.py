@@ -1,0 +1,207 @@
+"""Edge deletions — the paper's second piece of future work (§4.4).
+
+"Other cases such as deleting or changing vertices or edges are not
+supported. We plan to add support for these features to TEA in the
+future." This module adds that support for deletions on top of the
+static HPAT, without giving up its sampling complexity:
+
+* a deleted edge gets a **tombstone** and its stored weight is logically
+  zero. Until the owning vertex is rebuilt, sampling uses *tombstone
+  rejection*: draw from the stale HPAT, retry on a dead edge. Because
+  live edges keep their original weights, the accepted draw follows
+  exactly the live-restricted distribution (rejection preserves
+  conditionals) — property-tested.
+* when a vertex's dead fraction crosses ``rebuild_threshold``, its slice
+  of the HPAT (prefix sums + level tables) is rebuilt **in place** with
+  the dead weights at zero. The flat layout never changes — table sizes
+  depend only on the (physical) degree — so a per-vertex rebuild is a
+  local O(d log d) refresh, and zero-weight edges are unreachable by
+  construction (the ITS boundaries give them measure zero).
+* a bounded retry budget falls back to one exact live-weight scan
+  (cost-accounted), so adversarially tombstone-heavy prefixes stay
+  correct even just below the rebuild threshold.
+
+Vertex deletion is edge deletion of the vertex's out-edges plus
+tombstoning it as a walk target (walks simply treat it as a dead end).
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.builder import _hpat_fill_chunk, _prefix_chunk, hpat_layout
+from repro.core.hpat import HierarchicalPAT
+from repro.exceptions import EmptyCandidateSetError
+from repro.graph.temporal_graph import TemporalGraph
+from repro.sampling.counters import CostCounters
+from repro.sampling.prefix_sum import build_prefix_sums, draw_in_range, its_search
+
+MAX_TOMBSTONE_RETRIES = 32
+
+
+@dataclass
+class DeletionStats:
+    """Bookkeeping for one :class:`TombstoneHPAT`."""
+
+    deletions: int = 0
+    vertex_rebuilds: int = 0
+    tombstone_retries: int = 0
+    fallback_scans: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "deletions": self.deletions,
+            "vertex_rebuilds": self.vertex_rebuilds,
+            "tombstone_retries": self.tombstone_retries,
+            "fallback_scans": self.fallback_scans,
+        }
+
+
+class TombstoneHPAT:
+    """HPAT with tombstone deletions and per-vertex lazy rebuilds."""
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        weights: np.ndarray,
+        rebuild_threshold: float = 0.25,
+        with_aux_index: bool = True,
+    ):
+        if not (0.0 < rebuild_threshold <= 1.0):
+            raise ValueError("rebuild_threshold must be in (0, 1]")
+        from repro.core.builder import build_hpat
+
+        self.graph = graph
+        self.weights = np.array(weights, dtype=np.float64)  # mutable copy
+        self.rebuild_threshold = float(rebuild_threshold)
+        self.hpat: HierarchicalPAT = build_hpat(
+            graph, self.weights, with_aux_index=with_aux_index
+        )
+        # Rebuilds write in place; the builder returns fresh arrays, so
+        # they are writable already. Keep explicit for clarity.
+        self.hpat.c.setflags(write=True)
+        self.hpat.prob.setflags(write=True)
+        self.hpat.alias.setflags(write=True)
+        self.dead = np.zeros(graph.num_edges, dtype=bool)
+        # Per-vertex sorted lists of dead positions (local indices), for
+        # O(log) alive-count queries over candidate prefixes.
+        self._dead_positions: Dict[int, List[int]] = {}
+        self._stale_dead: Dict[int, int] = {}  # dead-but-not-rebuilt count
+        self.stats = DeletionStats()
+
+    # -- mutation ------------------------------------------------------------
+
+    def delete_position(self, v: int, position: int) -> None:
+        """Tombstone the ``position``-th newest out-edge of vertex v."""
+        d = self.graph.out_degree(v)
+        if not (0 <= position < d):
+            raise IndexError(f"vertex {v} has no out-edge position {position}")
+        pos = int(self.graph.indptr[v]) + position
+        if self.dead[pos]:
+            return
+        self.dead[pos] = True
+        self.weights[pos] = 0.0
+        bisect.insort(self._dead_positions.setdefault(v, []), position)
+        self._stale_dead[v] = self._stale_dead.get(v, 0) + 1
+        self.stats.deletions += 1
+        if self._stale_dead[v] / d >= self.rebuild_threshold:
+            self._rebuild_vertex(v)
+
+    def delete_edge(self, u: int, v: int, t: float) -> bool:
+        """Tombstone the edge (u, v, t); returns False if absent/already dead."""
+        nbrs, times = self.graph.neighbors(u)
+        matches = np.flatnonzero((nbrs == v) & (times == t))
+        deleted = False
+        for position in matches:
+            pos = int(self.graph.indptr[u]) + int(position)
+            if not self.dead[pos]:
+                self.delete_position(u, int(position))
+                deleted = True
+        return deleted
+
+    def delete_vertex_out_edges(self, v: int) -> int:
+        """Tombstone every out-edge of v (vertex deletion as a walk source)."""
+        count = 0
+        for position in range(self.graph.out_degree(v)):
+            pos = int(self.graph.indptr[v]) + position
+            if not self.dead[pos]:
+                self.delete_position(v, position)
+                count += 1
+        return count
+
+    def _rebuild_vertex(self, v: int) -> None:
+        """Refresh one vertex's prefix sums and level tables in place."""
+        g = self.graph
+        lo, hi = int(g.indptr[v]), int(g.indptr[v + 1])
+        d = hi - lo
+        if d == 0:
+            return
+        w = self.weights[lo:hi]
+        # Prefix sums: segment [lo + v, hi + v + 1).
+        cbase = lo + v
+        self.hpat.c[cbase : cbase + d + 1] = _prefix_chunk(
+            np.array([0, d], dtype=np.int64), w
+        )
+        # Level tables: this vertex's contiguous region of the flat arrays.
+        degrees = np.array([d], dtype=np.int64)
+        indptr = np.array([0, d], dtype=np.int64)
+        prob, alias = _hpat_fill_chunk(degrees, indptr, np.where(w > 0, w, 0.0))
+        if prob.size:
+            start = self.hpat.level_table_start(v, 1)
+            self.hpat.prob[start : start + prob.size] = prob
+            self.hpat.alias[start : start + alias.size] = alias
+        self._stale_dead[v] = 0
+        self.stats.vertex_rebuilds += 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def alive_count(self, v: int, candidate_size: int) -> int:
+        """Live candidates within the newest ``candidate_size`` edges of v."""
+        dead_here = self._dead_positions.get(v)
+        if not dead_here:
+            return int(candidate_size)
+        return int(candidate_size) - bisect.bisect_left(dead_here, candidate_size)
+
+    def is_dead(self, v: int, position: int) -> bool:
+        return bool(self.dead[int(self.graph.indptr[v]) + position])
+
+    # -- sampling --------------------------------------------------------------
+
+    def sample(
+        self,
+        v: int,
+        candidate_size: int,
+        rng: np.random.Generator,
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Sample a *live* edge index in ``[0, candidate_size)`` ∝ weight."""
+        s = int(candidate_size)
+        if self.alive_count(v, s) <= 0:
+            raise EmptyCandidateSetError(
+                f"vertex {v}: no live candidates in prefix of {s}"
+            )
+        lo = int(self.graph.indptr[v])
+        for _ in range(MAX_TOMBSTONE_RETRIES):
+            idx = self.hpat.sample(v, s, rng, counters)
+            if not self.dead[lo + idx]:
+                return idx
+            self.stats.tombstone_retries += 1
+            if counters is not None:
+                counters.record_trial(False)
+        # Exact fallback: one live-weight scan (rare; cost-accounted).
+        self.stats.fallback_scans += 1
+        if counters is not None:
+            counters.record_scan(s)
+        w = self.weights[lo : lo + s]
+        prefix = build_prefix_sums(w)
+        if not (prefix[s] > 0):
+            raise EmptyCandidateSetError(f"vertex {v}: zero live weight")
+        r = draw_in_range(rng, 0.0, prefix[s])
+        return its_search(prefix, r, 0, s, counters)
+
+    def nbytes(self) -> int:
+        return int(self.hpat.nbytes() + self.weights.nbytes + self.dead.nbytes)

@@ -1,0 +1,58 @@
+"""Pure-ITS index: the minimal-memory ablation of Figure 12.
+
+One prefix-sum array per vertex over the static weights, nothing else.
+Sampling a candidate prefix of size s is a single O(log s) binary search —
+the paper's ITS column: least memory, slowest of TEA's in-memory options.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import EmptyCandidateSetError
+from repro.sampling.counters import CostCounters
+from repro.sampling.prefix_sum import draw_in_range, its_search
+
+
+class ITSIndex:
+    """Flat per-vertex prefix sums (same ``c`` layout as PAT/HPAT)."""
+
+    __slots__ = ("indptr", "c")
+
+    def __init__(self, indptr: np.ndarray, c: np.ndarray):
+        self.indptr = indptr
+        self.c = c
+
+    @classmethod
+    def build(cls, graph, weights: np.ndarray) -> "ITSIndex":
+        from repro.core.builder import build_prefix_array
+
+        return cls(graph.indptr, build_prefix_array(graph, weights))
+
+    def c_base(self, v: int) -> int:
+        return int(self.indptr[v] + v)
+
+    def candidate_weight(self, v: int, candidate_size: int) -> float:
+        return float(self.c[self.c_base(v) + candidate_size])
+
+    def sample(
+        self,
+        v: int,
+        candidate_size: int,
+        rng: np.random.Generator,
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        s = int(candidate_size)
+        if s <= 0:
+            raise EmptyCandidateSetError(f"vertex {v}: empty candidate set")
+        base = self.c_base(v)
+        total = self.c[base + s]
+        if not (total > 0):
+            raise EmptyCandidateSetError(f"vertex {v}: zero-weight candidate set")
+        r = draw_in_range(rng, 0.0, total)
+        return its_search(self.c, r, base, base + s, counters) - base
+
+    def nbytes(self) -> int:
+        return int(self.c.nbytes)

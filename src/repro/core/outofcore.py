@@ -1,0 +1,205 @@
+"""Out-of-core PAT execution (paper Sections 3.2, 4.1, Figure 14).
+
+When the index cannot fit in memory TEA falls back from HPAT to the
+smaller PAT and keeps only the *trunk-granularity* prefix sums resident
+(size |E| / trunkSize); the per-trunk alias tables and per-edge prefix
+sums live on disk and are loaded per sampling step:
+
+* complete trunk selected → load that trunk's alias table
+  (O(trunkSize) bytes of I/O);
+* draw lands in the partial trunk → load that trunk's slice of the
+  per-edge prefix-sum array and ITS inside it.
+
+Either way a step reads O(trunkSize) bytes — versus GraphWalker's O(D)
+(it must load the vertex's whole neighbor list to rebuild the dynamic
+distribution). That I/O asymmetry is the entire story of Figure 14.
+
+:class:`TrunkStore` persists a built PAT to three flat binary files and
+reopens them as memory-maps; every access is accounted through
+:class:`~repro.sampling.counters.CostCounters` in I/O blocks so the
+benchmark reports a machine-independent I/O volume alongside wall time.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.pat import PersistentAliasTable
+from repro.exceptions import EmptyCandidateSetError
+from repro.sampling.alias import alias_draw
+from repro.sampling.counters import CostCounters
+from repro.sampling.prefix_sum import draw_in_range, its_search
+
+PathLike = Union[str, os.PathLike]
+
+
+class TrunkStore:
+    """Disk-resident PAT payload: per-edge prefix sums + alias arrays.
+
+    ``persist`` writes ``c.bin``, ``prob.bin`` and ``alias.bin`` into a
+    directory; ``open`` maps them read-only. The maps are accessed only in
+    trunk-sized slices by :class:`OutOfCorePAT`, which accounts each
+    access as disk I/O.
+    """
+
+    def __init__(self, directory: PathLike, cache_bytes: int = 0):
+        self.directory = Path(directory)
+        self._c: Optional[np.memmap] = None
+        self._prob: Optional[np.memmap] = None
+        self._alias: Optional[np.memmap] = None
+        # Paper §4.1's re-entry optimisation: reuse prior loaded data.
+        from repro.core.block_cache import BlockCache
+
+        self.cache = BlockCache(cache_bytes)
+
+    @classmethod
+    def persist(cls, pat: PersistentAliasTable, directory: PathLike,
+                cache_bytes: int = 0) -> "TrunkStore":
+        store = cls(directory, cache_bytes=cache_bytes)
+        store.directory.mkdir(parents=True, exist_ok=True)
+        pat.c.astype(np.float64).tofile(store.directory / "c.bin")
+        pat.prob.astype(np.float64).tofile(store.directory / "prob.bin")
+        pat.alias.astype(np.int64).tofile(store.directory / "alias.bin")
+        return store
+
+    def open(self) -> "TrunkStore":
+        self._c = np.memmap(self.directory / "c.bin", dtype=np.float64, mode="r")
+        self._prob = np.memmap(self.directory / "prob.bin", dtype=np.float64, mode="r")
+        self._alias = np.memmap(self.directory / "alias.bin", dtype=np.int64, mode="r")
+        return self
+
+    def close(self) -> None:
+        self._c = self._prob = self._alias = None
+
+    def __enter__(self) -> "TrunkStore":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- accounted reads ------------------------------------------------------
+
+    def read_c(self, lo: int, hi: int, counters: Optional[CostCounters]) -> np.ndarray:
+        cached = self.cache.get(("c", lo, hi))
+        if cached is not None:
+            return cached
+        if counters is not None:
+            counters.record_io((hi - lo) * 8)
+        block = np.asarray(self._c[lo:hi])
+        self.cache.put(("c", lo, hi), block)
+        return block
+
+    def read_alias_trunk(self, lo: int, hi: int, counters: Optional[CostCounters]):
+        cached = self.cache.get(("pa", lo, hi))
+        if cached is not None:
+            return cached
+        if counters is not None:
+            counters.record_io((hi - lo) * 16)  # prob + alias
+        block = (np.asarray(self._prob[lo:hi]), np.asarray(self._alias[lo:hi]))
+        self.cache.put(("pa", lo, hi), block)
+        return block
+
+
+class OutOfCorePAT:
+    """PAT sampling with trunk payloads on disk.
+
+    Memory-resident state is exactly what the paper keeps: per-vertex
+    trunk sizes and the prefix sums *at trunk boundaries*
+    (|E|/trunkSize + |V| floats). Same-seed draws match the in-memory
+    :class:`PersistentAliasTable` exactly (tested), because the sampling
+    logic consumes randomness identically — only the storage tier of each
+    array differs.
+    """
+
+    __slots__ = ("indptr", "trunk_sizes", "tr_indptr", "tr_prefix", "store")
+
+    def __init__(self, pat: PersistentAliasTable, store: TrunkStore):
+        self.indptr = pat.indptr
+        self.trunk_sizes = pat.trunk_sizes
+        self.store = store
+        # Trunk-boundary prefix sums, flat per vertex: vertex v has
+        # nt_v = ceil(d/ts) + 1 boundary values (0, C[ts], C[2ts], ..., C[d]).
+        n = self.indptr.size - 1
+        degrees = np.diff(self.indptr)
+        nt = np.zeros(n, dtype=np.int64)
+        nz = degrees > 0
+        nt[nz] = -(-degrees[nz] // self.trunk_sizes[nz]) + 1
+        self.tr_indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(nt, out=self.tr_indptr[1:])
+        self.tr_prefix = np.zeros(int(self.tr_indptr[-1]), dtype=np.float64)
+        for v in np.flatnonzero(nz):
+            d = int(degrees[v])
+            ts = int(self.trunk_sizes[v])
+            base = int(self.indptr[v] + v)  # c-layout base
+            bounds = np.minimum(np.arange(0, nt[v]) * ts, d)
+            self.tr_prefix[self.tr_indptr[v] : self.tr_indptr[v + 1]] = pat.c[base + bounds]
+
+    def resident_nbytes(self) -> int:
+        """Bytes held in memory (what Figure 14's 16 GB budget constrains)."""
+        return int(
+            self.tr_prefix.nbytes
+            + self.tr_indptr.nbytes
+            + self.trunk_sizes.nbytes
+            + self.indptr.nbytes
+        )
+
+    def candidate_weight(self, v: int, candidate_size: int, counters=None) -> float:
+        """Total weight of the candidate prefix (may need one disk read)."""
+        ts = int(self.trunk_sizes[v])
+        if candidate_size % ts == 0:
+            return float(self.tr_prefix[self.tr_indptr[v] + candidate_size // ts])
+        base = int(self.indptr[v] + v)
+        return float(self.store.read_c(base + candidate_size, base + candidate_size + 1, counters)[0])
+
+    def sample(
+        self,
+        v: int,
+        candidate_size: int,
+        rng: np.random.Generator,
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Sample an edge index in ``[0, candidate_size)`` of vertex v.
+
+        Mirrors :meth:`PersistentAliasTable.sample` draw for draw, with
+        trunk payloads read (and accounted) from the store.
+        """
+        s = int(candidate_size)
+        if s <= 0:
+            raise EmptyCandidateSetError(f"vertex {v}: empty candidate set")
+        ts = int(self.trunk_sizes[v])
+        full = s // ts
+        tb = self.tr_indptr[v]
+        cbase = int(self.indptr[v] + v)
+        if s % ts == 0:
+            total = float(self.tr_prefix[tb + full])
+        else:
+            # The candidate boundary falls inside the partial trunk: its
+            # exact prefix weight lives on disk.
+            total = float(self.store.read_c(cbase + s, cbase + s + 1, counters)[0])
+        if not (total > 0):
+            raise EmptyCandidateSetError(f"vertex {v}: zero-weight candidate set")
+        r = draw_in_range(rng, 0.0, total)
+        full_weight = float(self.tr_prefix[tb + full])
+        if full and r <= full_weight:
+            lo_j, hi_j = 0, full
+            while hi_j - lo_j > 1:
+                mid = (lo_j + hi_j) // 2
+                if counters is not None:
+                    counters.record_probe()
+                if self.tr_prefix[tb + mid] < r:
+                    lo_j = mid
+                else:
+                    hi_j = mid
+            trunk = lo_j
+            edge_lo = int(self.indptr[v]) + trunk * ts
+            prob, alias = self.store.read_alias_trunk(edge_lo, edge_lo + ts, counters)
+            local = alias_draw(prob, alias, rng, 0, ts, counters)
+            return trunk * ts + int(local)
+        if counters is not None:
+            counters.record_probe()
+        c_slice = self.store.read_c(cbase + full * ts, cbase + s + 1, counters)
+        return full * ts + (its_search(c_slice, r, 0, s - full * ts, counters))

@@ -1,0 +1,144 @@
+"""Index persistence: save/load prepared PAT/HPAT structures.
+
+Preprocessing dominates TEA's cost on repeated runs over the same graph
+and weight definition (Figure 13); a production deployment builds once
+and reloads. This module serialises the flat arrays of a prepared index
+(plus the per-edge candidate index) into one ``.npz`` container with a
+format version and a graph fingerprint, so a stale index is rejected
+instead of silently mis-sampling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.core.aux_index import AuxiliaryIndex
+from repro.core.hpat import HierarchicalPAT
+from repro.core.pat import PersistentAliasTable
+from repro.exceptions import GraphFormatError
+from repro.graph.temporal_graph import TemporalGraph
+
+PathLike = Union[str, os.PathLike]
+
+FORMAT_VERSION = 1
+
+
+def graph_fingerprint(graph: TemporalGraph) -> str:
+    """Stable digest of the CSR arrays (layout identity, not isomorphism)."""
+    h = hashlib.sha256()
+    h.update(graph.indptr.tobytes())
+    h.update(graph.nbr.tobytes())
+    h.update(graph.etime.tobytes())
+    if graph.eweight is not None:
+        h.update(graph.eweight.tobytes())
+    return h.hexdigest()
+
+
+def save_hpat(
+    path: PathLike,
+    hpat: HierarchicalPAT,
+    graph: TemporalGraph,
+    candidate_sizes: np.ndarray,
+    weight_desc: str = "",
+) -> None:
+    """Persist a prepared HPAT (+ candidate index) to ``path`` (.npz).
+
+    ``weight_desc`` identifies the weight model the index was built
+    with (e.g. ``WeightModel.describe()``); loading verifies it, because
+    the stored prefix sums and alias tables are weight-dependent.
+    """
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        kind=np.bytes_(b"hpat"),
+        weight_desc=np.bytes_(weight_desc.encode()),
+        fingerprint=np.bytes_(graph_fingerprint(graph).encode()),
+        indptr=hpat.indptr,
+        c=hpat.c,
+        prob=hpat.prob,
+        alias=hpat.alias,
+        lvl_ptr=hpat.lvl_ptr,
+        lvl_base=hpat.lvl_base,
+        aux_max=np.int64(hpat.aux.max_size if hpat.aux is not None else -1),
+        candidate_sizes=candidate_sizes,
+    )
+
+
+def load_hpat(
+    path: PathLike, graph: TemporalGraph, weight_desc: str = ""
+) -> Tuple[HierarchicalPAT, np.ndarray]:
+    """Reload a saved HPAT, verifying it matches ``graph`` and weights.
+
+    Returns ``(hpat, candidate_sizes)``. The auxiliary index is
+    regenerated (it depends only on the max degree and rebuilding it is
+    cheaper than storing ~D·log D entries).
+    """
+    with np.load(path) as data:
+        if int(data["version"]) != FORMAT_VERSION:
+            raise GraphFormatError(
+                f"{path}: index format v{int(data['version'])}, "
+                f"expected v{FORMAT_VERSION}"
+            )
+        if bytes(data["kind"]) != b"hpat":
+            raise GraphFormatError(f"{path}: not an HPAT container")
+        stored = bytes(data["fingerprint"]).decode()
+        if stored != graph_fingerprint(graph):
+            raise GraphFormatError(
+                f"{path}: index was built for a different graph "
+                f"(fingerprint mismatch)"
+            )
+        stored_weights = bytes(data["weight_desc"]).decode()
+        if stored_weights != weight_desc:
+            raise GraphFormatError(
+                f"{path}: index was built with weights "
+                f"{stored_weights!r}, expected {weight_desc!r}"
+            )
+        aux_max = int(data["aux_max"])
+        aux = AuxiliaryIndex(aux_max) if aux_max >= 0 else None
+        hpat = HierarchicalPAT(
+            indptr=data["indptr"],
+            c=data["c"],
+            prob=data["prob"],
+            alias=data["alias"],
+            lvl_ptr=data["lvl_ptr"],
+            lvl_base=data["lvl_base"],
+            aux=aux,
+        )
+        return hpat, data["candidate_sizes"]
+
+
+def save_pat(path: PathLike, pat: PersistentAliasTable, graph: TemporalGraph) -> None:
+    """Persist a prepared PAT to ``path`` (.npz)."""
+    np.savez_compressed(
+        path,
+        version=np.int64(FORMAT_VERSION),
+        kind=np.bytes_(b"pat"),
+        fingerprint=np.bytes_(graph_fingerprint(graph).encode()),
+        indptr=pat.indptr,
+        c=pat.c,
+        prob=pat.prob,
+        alias=pat.alias,
+        trunk_sizes=pat.trunk_sizes,
+    )
+
+
+def load_pat(path: PathLike, graph: TemporalGraph) -> PersistentAliasTable:
+    """Reload a saved PAT, verifying it matches ``graph``."""
+    with np.load(path) as data:
+        if int(data["version"]) != FORMAT_VERSION:
+            raise GraphFormatError(f"{path}: unsupported index format version")
+        if bytes(data["kind"]) != b"pat":
+            raise GraphFormatError(f"{path}: not a PAT container")
+        if bytes(data["fingerprint"]).decode() != graph_fingerprint(graph):
+            raise GraphFormatError(f"{path}: fingerprint mismatch")
+        return PersistentAliasTable(
+            indptr=data["indptr"],
+            c=data["c"],
+            prob=data["prob"],
+            alias=data["alias"],
+            trunk_sizes=data["trunk_sizes"],
+        )

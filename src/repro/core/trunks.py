@@ -1,0 +1,92 @@
+"""Trunk arithmetic: partitioning and binary decomposition.
+
+PAT partitions a vertex's time-descending edge list into equal trunks of
+``trunkSize`` edges; HPAT instead keeps, for every level k, the aligned
+trunks τ(k, i) covering positions [i·2^k, (i+1)·2^k). A candidate edge set
+is always a *prefix* of the list, so for HPAT it decomposes into the
+binary representation of its size: a prefix of length 7 is one level-2
+trunk, one level-1 trunk and one level-0 trunk (7 = 4 + 2 + 1), laid end
+to end — and each block is automatically aligned, because the offset in
+front of a 2^k block is a sum of strictly larger powers of two
+(paper Section 3.3, Figure 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+
+def binary_decompose(size: int) -> List[Tuple[int, int]]:
+    """Decompose a prefix of ``size`` edges into aligned HPAT trunks.
+
+    Returns ``[(level, offset), ...]`` ordered from the largest block
+    (offset 0, newest edges) to the smallest, where ``offset`` is the
+    block's starting position in the time-descending edge list and the
+    block spans ``2**level`` edges. ``offset`` is always divisible by
+    ``2**level`` (alignment), so the block is exactly the HPAT trunk
+    τ(level, offset >> level).
+
+    >>> binary_decompose(7)
+    [(2, 0), (1, 4), (0, 6)]
+    """
+    if size < 0:
+        raise ValueError("size must be non-negative")
+    out: List[Tuple[int, int]] = []
+    offset = 0
+    remaining = size
+    while remaining:
+        level = remaining.bit_length() - 1
+        out.append((level, offset))
+        block = 1 << level
+        offset += block
+        remaining -= block
+    return out
+
+
+def decompose_cuts(size: int) -> List[int]:
+    """The cumulative block boundaries of :func:`binary_decompose`.
+
+    For size 7 → ``[4, 6, 7]``: the ITS-over-trunks step picks the first
+    boundary whose prefix weight covers the draw (Section 3.3's
+    P(g1)=(0, C[4]/C[7]] etc.).
+    """
+    cuts: List[int] = []
+    offset = 0
+    remaining = size
+    while remaining:
+        block = 1 << (remaining.bit_length() - 1)
+        offset += block
+        cuts.append(offset)
+        remaining -= block
+    return cuts
+
+
+def pat_trunk_size(degree: int, memory_limited: bool = False, min_size: int = 2) -> int:
+    """The paper's trunkSize selection rule (end of Section 3.2).
+
+    In-memory: as large as possible while ITS over the trunk prefix stays
+    no cheaper than ITS inside a trunk, i.e. ``trunkSize = floor(sqrt(D))``
+    per vertex. Out-of-core: as *small* as possible subject to the trunk
+    prefix array fitting in memory — the caller passes
+    ``memory_limited=True`` and clamps with ``min_size`` (the paper picks
+    10 for twitter under 16 GB).
+    """
+    if degree <= 0:
+        return 1
+    if memory_limited:
+        return max(1, int(min_size))
+    return max(1, int(math.isqrt(degree)))
+
+
+def num_levels(degree: int) -> int:
+    """K + 1 where K = floor(log2(degree)) — HPAT level count (Eq. 5)."""
+    if degree <= 0:
+        return 0
+    return degree.bit_length()
+
+
+def level_width(degree: int, level: int) -> int:
+    """Edges covered by level ``level``: floor(d / 2^k) trunks of 2^k edges."""
+    block = 1 << level
+    return (degree // block) * block

@@ -1,0 +1,32 @@
+"""Distributed temporal walks — the paper's stated future work.
+
+Section 4.4: "TEA can not support distributed random walk and sampling.
+One possible solution could be replacing the rejection sampling of
+KnightKing by our PAT or HPAT in order to support distributed
+execution." This package implements exactly that solution as a
+simulated cluster: vertices are partitioned across workers, each worker
+owns the HPAT shards for its vertices (construction is per-vertex and
+lock-free, so sharding is clean), and walkers migrate between workers in
+BSP supersteps exactly like KnightKing's walker-centric engine — with
+the per-step sampler swapped for TEA's hybrid.
+
+Everything runs in one process with explicit accounting (per-worker
+steps, cross-partition messages, superstep count, modeled wall time), so
+experiments about communication/computation trade-offs are deterministic
+and hardware-independent.
+"""
+
+from repro.distributed.partition import (
+    degree_balanced_partition,
+    hash_partition,
+    range_partition,
+)
+from repro.distributed.engine import DistributedTeaEngine, DistributedStats
+
+__all__ = [
+    "hash_partition",
+    "range_partition",
+    "degree_balanced_partition",
+    "DistributedTeaEngine",
+    "DistributedStats",
+]

@@ -1,0 +1,298 @@
+"""BSP distributed walk engine: KnightKing's execution model, TEA's sampler.
+
+Execution proceeds in supersteps. Each worker holds a queue of resident
+walkers; in a superstep it advances every resident walker by one edge
+(sampling from its *local* HPAT shard — every vertex's index lives
+wholly on its owner, because PAT/HPAT are per-vertex structures), then
+walkers whose new vertex belongs elsewhere are shipped as messages and
+join the destination worker's queue for the next superstep. This is
+exactly KnightKing's walker-centric BSP loop with the rejection sampler
+swapped for TEA's hybrid sampling — the integration the paper's
+Section 4.4 proposes as future work.
+
+The cluster is simulated in-process with explicit cost accounting:
+
+* compute: per-worker sampling steps per superstep — a superstep's
+  modeled duration is its *busiest* worker (BSP barrier);
+* communication: one message per cross-partition hop, charged a
+  configurable per-message latency;
+* modeled makespan = Σ over supersteps of (max worker steps ×
+  step_cost + outgoing messages × message_cost / workers).
+
+Sampling statistics are identical to the single-node engine (tested):
+distribution depends only on the per-vertex index, which sharding does
+not change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core import builder
+from repro.distributed.partition import PARTITIONERS, edge_cut, partition_load
+from repro.engines.base import Workload
+from repro.graph.temporal_graph import TemporalGraph
+from repro.metrics.memory import MemoryReport
+from repro.metrics.timing import PhaseTimer
+from repro.rng import RngLike, make_rng, spawn
+from repro.sampling.counters import CostCounters
+from repro.walks.spec import WalkSpec
+from repro.walks.walker import WalkPath
+
+DEFAULT_STEP_COST = 1.0  # model units per sampling step
+DEFAULT_MESSAGE_COST = 0.2  # model units per walker migration
+
+
+@dataclass
+class DistributedStats:
+    """Accounting for one distributed run."""
+
+    num_workers: int
+    supersteps: int = 0
+    steps_per_worker: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    messages: int = 0
+    modeled_makespan: float = 0.0
+    edge_cut: int = 0
+    load: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @property
+    def total_steps(self) -> int:
+        return int(self.steps_per_worker.sum())
+
+    @property
+    def compute_balance(self) -> float:
+        """max/mean worker steps — 1.0 is perfect balance."""
+        mean = self.steps_per_worker.mean() if self.steps_per_worker.size else 0.0
+        if mean == 0:
+            return 1.0
+        return float(self.steps_per_worker.max() / mean)
+
+    @property
+    def migration_rate(self) -> float:
+        """Fraction of steps that crossed a partition boundary."""
+        return self.messages / self.total_steps if self.total_steps else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "workers": self.num_workers,
+            "supersteps": self.supersteps,
+            "total_steps": self.total_steps,
+            "messages": self.messages,
+            "migration_rate": round(self.migration_rate, 4),
+            "compute_balance": round(self.compute_balance, 3),
+            "modeled_makespan": round(self.modeled_makespan, 2),
+            "edge_cut": self.edge_cut,
+        }
+
+
+class _Worker:
+    """One simulated worker: a vertex shard plus its walker queue."""
+
+    __slots__ = ("worker_id", "counters", "queue", "steps")
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.counters = CostCounters()
+        self.queue: List[int] = []  # walker ids resident this superstep
+        self.steps = 0
+
+
+@dataclass
+class _WalkerState:
+    hops: List[Tuple[int, Optional[float]]]
+    remaining: int
+
+    @property
+    def vertex(self) -> int:
+        return self.hops[-1][0]
+
+    @property
+    def time(self) -> Optional[float]:
+        return self.hops[-1][1]
+
+    @property
+    def prev_vertex(self) -> Optional[int]:
+        return self.hops[-2][0] if len(self.hops) > 1 else None
+
+
+class DistributedTeaEngine:
+    """Simulated multi-worker TEA (HPAT sampling inside KnightKing's BSP).
+
+    Parameters
+    ----------
+    num_workers:
+        Simulated cluster size.
+    partitioner:
+        ``"hash"``, ``"range"``, ``"degree"``, or a callable
+        ``(graph, num_workers) -> owners`` array.
+    step_cost / message_cost:
+        Model-unit charges for a sampling step and a walker migration;
+        the modeled makespan uses them (see module docstring).
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        spec: WalkSpec,
+        num_workers: int = 4,
+        partitioner="hash",
+        step_cost: float = DEFAULT_STEP_COST,
+        message_cost: float = DEFAULT_MESSAGE_COST,
+    ):
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self.graph = spec.restrict(graph)
+        self.spec = spec
+        self.num_workers = int(num_workers)
+        if callable(partitioner):
+            self._partition_fn = partitioner
+            self.partitioner_name = getattr(partitioner, "__name__", "custom")
+        else:
+            try:
+                self._partition_fn = PARTITIONERS[partitioner]
+            except KeyError:
+                raise ValueError(
+                    f"unknown partitioner {partitioner!r}; "
+                    f"choose from {sorted(PARTITIONERS)} or pass a callable"
+                ) from None
+            self.partitioner_name = partitioner
+        self.step_cost = float(step_cost)
+        self.message_cost = float(message_cost)
+        self.owners: Optional[np.ndarray] = None
+        self.index = None
+        self.candidate_sizes: Optional[np.ndarray] = None
+        self._prepared = False
+
+    # -- preprocessing -------------------------------------------------------
+
+    def prepare(self) -> None:
+        """Partition vertices and build the (sharded) HPAT.
+
+        The HPAT is a per-vertex structure, so one global build is
+        byte-identical to concatenating per-worker shard builds; workers
+        simply index into their own vertices' slices. (Tested against
+        per-shard construction in the test suite.)
+        """
+        if self._prepared:
+            return
+        self.owners = self._partition_fn(self.graph, self.num_workers)
+        pre = builder.preprocess(self.graph, self.spec.weight_model)
+        self.index = pre.index
+        self.candidate_sizes = pre.candidate_sizes
+        self._prepared = True
+
+    # -- execution -------------------------------------------------------------
+
+    def run(self, workload: Workload, seed: RngLike = 0,
+            record_paths: bool = True):
+        """Run the workload in BSP supersteps; returns (paths, stats)."""
+        timer = PhaseTimer()
+        with timer.phase("prepare"):
+            self.prepare()
+        rng = make_rng(seed)
+        worker_rngs = spawn(rng, self.num_workers)
+        workers = [_Worker(w) for w in range(self.num_workers)]
+        beta = self.spec.dynamic_parameter
+        beta_max = beta.beta_max if beta is not None else 1.0
+        g = self.graph
+
+        starts = workload.resolve_starts(g.num_vertices, rng)
+        walkers = [
+            _WalkerState(hops=[(int(u), None)], remaining=workload.max_length)
+            for u in starts
+        ]
+        for wid, state in enumerate(walkers):
+            workers[self.owners[state.vertex]].queue.append(wid)
+
+        stats = DistributedStats(
+            num_workers=self.num_workers,
+            steps_per_worker=np.zeros(self.num_workers, dtype=np.int64),
+            edge_cut=edge_cut(g, self.owners),
+            load=partition_load(g, self.owners, self.num_workers),
+        )
+
+        with timer.phase("walk"):
+            while any(worker.queue for worker in workers):
+                stats.supersteps += 1
+                superstep_steps = np.zeros(self.num_workers, dtype=np.int64)
+                outgoing: Dict[int, List[int]] = {w: [] for w in range(self.num_workers)}
+                messages_this_step = 0
+                for worker in workers:
+                    wrng = worker_rngs[worker.worker_id]
+                    queue, worker.queue = worker.queue, []
+                    for wid in queue:
+                        state = walkers[wid]
+                        advanced = self._advance(state, wrng, worker.counters, beta, beta_max)
+                        if not advanced:
+                            continue  # walk finished
+                        superstep_steps[worker.worker_id] += 1
+                        dest = int(self.owners[state.vertex])
+                        if dest == worker.worker_id:
+                            outgoing[dest].append(wid)
+                        else:
+                            messages_this_step += 1
+                            worker.counters.record_io(64)  # walker state ships
+                            outgoing[dest].append(wid)
+                for w, arrivals in outgoing.items():
+                    workers[w].queue.extend(arrivals)
+                stats.steps_per_worker += superstep_steps
+                stats.messages += messages_this_step
+                stats.modeled_makespan += (
+                    float(superstep_steps.max()) * self.step_cost
+                    + messages_this_step * self.message_cost / self.num_workers
+                )
+
+        counters = CostCounters()
+        for worker in workers:
+            counters.merge(worker.counters)
+        paths = [WalkPath(hops=list(s.hops)) for s in walkers] if record_paths else []
+        return paths, stats, counters, timer
+
+    def _advance(self, state: _WalkerState, rng, counters: CostCounters,
+                 beta, beta_max: float) -> bool:
+        """One walk step on the owning worker; False when the walk ends."""
+        if state.remaining <= 0:
+            return False
+        g = self.graph
+        v = state.vertex
+        t = state.time
+        s = g.out_degree(v) if t is None else g.candidate_count(v, t)
+        if s <= 0:
+            return False
+        counters.record_step()
+        for _ in range(1_000_000):
+            idx = self.index.sample(v, s, rng, counters)
+            pos = int(g.indptr[v]) + idx
+            v2 = int(g.nbr[pos])
+            t2 = float(g.etime[pos])
+            if beta is None:
+                break
+            b = beta(g, state.prev_vertex, v2)
+            ok = rng.random() * beta_max <= b
+            counters.record_trial(ok)
+            if ok:
+                break
+        state.hops.append((v2, t2))
+        state.remaining -= 1
+        return True
+
+    # -- reporting -------------------------------------------------------------
+
+    def memory_report_per_worker(self) -> List[MemoryReport]:
+        """Shard sizes: each worker holds its vertices' slice of the index."""
+        self.prepare()
+        g = self.graph
+        reports = []
+        degrees = g.degrees()
+        total_index = self.index.nbytes()
+        for w in range(self.num_workers):
+            mine = self.owners == w
+            share = degrees[mine].sum() / max(1, g.num_edges)
+            report = MemoryReport()
+            report.add("index_shard", int(total_index * share))
+            report.add("graph_shard", int(g.nbytes() * share))
+            reports.append(report)
+        return reports

@@ -1,0 +1,32 @@
+"""Downstream graph learning on TEA walk corpora.
+
+The paper's motivation (Section 1): "various graph learning projects
+identify that integrating temporal information into random walks can
+dramatically improve graph learning accuracy". TEA itself stops at the
+walk corpus; this package supplies the standard downstream stack so the
+claim can be *measured* end to end inside the reproduction:
+
+* :mod:`~repro.embeddings.sgns` — skip-gram with negative sampling
+  (DeepWalk/node2vec/CTDNE's training objective) in pure numpy, with
+  negatives drawn from an alias table over the unigram^0.75 distribution
+  (dogfooding the sampling layer);
+* :mod:`~repro.embeddings.link_prediction` — time-ordered train/test
+  split, embedding-based edge scoring, and AUC evaluation.
+"""
+
+from repro.embeddings.sgns import SGNSEmbedding, train_sgns
+from repro.embeddings.link_prediction import (
+    LinkPredictionResult,
+    auc_score,
+    temporal_link_prediction,
+    time_split,
+)
+
+__all__ = [
+    "SGNSEmbedding",
+    "train_sgns",
+    "LinkPredictionResult",
+    "auc_score",
+    "temporal_link_prediction",
+    "time_split",
+]

@@ -1,0 +1,159 @@
+"""Temporal link prediction: the standard downstream evaluation.
+
+Protocol (CTDNE's evaluation, simplified): split the edge stream by
+time — train on the earliest fraction, hold out the rest — embed the
+training graph from a walk corpus, then score held-out (positive)
+edges against an equal number of sampled non-edges (negatives) by
+embedding dot product. AUC = probability a random positive outranks a
+random negative; 0.5 is chance.
+
+The point inside this reproduction: walk corpora produced by *temporal*
+specs (exponential, node2vec) should beat time-oblivious corpora on
+future-edge prediction — the paper's opening claim, measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.embeddings.sgns import SGNSEmbedding, train_sgns
+from repro.engines.base import Workload
+from repro.engines.tea import TeaEngine
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.temporal_graph import TemporalGraph
+from repro.rng import RngLike, make_rng
+from repro.walks.spec import WalkSpec
+
+
+def time_split(stream: EdgeStream, train_fraction: float = 0.8) -> Tuple[EdgeStream, EdgeStream]:
+    """Split a time-sorted stream into (train, test) by position in time."""
+    if not (0.0 < train_fraction < 1.0):
+        raise ValueError("train_fraction must be in (0, 1)")
+    cut = int(len(stream) * train_fraction)
+    if cut == 0 or cut == len(stream):
+        raise ValueError("split leaves an empty side; adjust train_fraction")
+    return stream[:cut], stream[cut:]
+
+
+def auc_score(positive_scores: np.ndarray, negative_scores: np.ndarray) -> float:
+    """Rank-based AUC (Mann–Whitney U / (n_pos · n_neg)); ties count half."""
+    pos = np.asarray(positive_scores, dtype=np.float64)
+    neg = np.asarray(negative_scores, dtype=np.float64)
+    if pos.size == 0 or neg.size == 0:
+        raise ValueError("need at least one positive and one negative score")
+    all_scores = np.concatenate([pos, neg])
+    order = np.argsort(all_scores, kind="stable")
+    ranks = np.empty(all_scores.size, dtype=np.float64)
+    ranks[order] = np.arange(1, all_scores.size + 1)
+    # Average ranks over ties.
+    sorted_scores = all_scores[order]
+    i = 0
+    while i < sorted_scores.size:
+        j = i
+        while j + 1 < sorted_scores.size and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        if j > i:
+            ranks[order[i : j + 1]] = (i + 1 + j + 1) / 2.0
+        i = j + 1
+    u = ranks[: pos.size].sum() - pos.size * (pos.size + 1) / 2.0
+    return float(u / (pos.size * neg.size))
+
+
+@dataclass
+class LinkPredictionResult:
+    """Outcome of one link-prediction evaluation."""
+
+    auc: float
+    num_test_edges: int
+    num_train_edges: int
+    embedding: SGNSEmbedding
+    spec_name: str
+
+    def __repr__(self) -> str:
+        return (
+            f"LinkPredictionResult(spec={self.spec_name}, auc={self.auc:.3f}, "
+            f"train={self.num_train_edges}, test={self.num_test_edges})"
+        )
+
+
+def _sample_negatives(
+    num_vertices: int,
+    positives: set,
+    count: int,
+    rng: np.random.Generator,
+    max_attempts: int = 100,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform non-edge pairs (u, v), u != v, not in ``positives``."""
+    us, vs = [], []
+    for _ in range(max_attempts):
+        need = count - len(us)
+        if need <= 0:
+            break
+        cu = rng.integers(0, num_vertices, size=2 * need)
+        cv = rng.integers(0, num_vertices, size=2 * need)
+        for a, b in zip(cu, cv):
+            if a != b and (int(a), int(b)) not in positives:
+                us.append(int(a))
+                vs.append(int(b))
+                if len(us) == count:
+                    break
+    if len(us) < count:
+        raise RuntimeError("could not sample enough negative pairs")
+    return np.asarray(us), np.asarray(vs)
+
+
+def temporal_link_prediction(
+    stream: EdgeStream,
+    spec: WalkSpec,
+    train_fraction: float = 0.8,
+    dim: int = 32,
+    walks_per_vertex: int = 4,
+    walk_length: int = 10,
+    window: int = 3,
+    epochs: int = 3,
+    max_test_edges: int = 500,
+    seed: RngLike = 0,
+) -> LinkPredictionResult:
+    """End-to-end evaluation of one walk spec on future-edge prediction.
+
+    Train a TEA walk corpus + SGNS on edges before the time cut; report
+    AUC on held-out future edges vs sampled non-edges. Held-out edges
+    between vertices unseen in training are skipped (no embedding).
+    """
+    rng = make_rng(seed)
+    train, test = time_split(stream, train_fraction)
+    n = stream.num_vertices()
+    graph = TemporalGraph.from_stream(train, num_vertices=n)
+
+    engine = TeaEngine(graph, spec)
+    workload = Workload(walks_per_vertex=walks_per_vertex, max_length=walk_length)
+    corpus = engine.run(workload, seed=rng.integers(0, 2**31)).paths
+    embedding = train_sgns(
+        corpus, num_vertices=n, dim=dim, window=window, epochs=epochs,
+        seed=rng.integers(0, 2**31),
+    )
+
+    # Positives: future edges between vertices the training corpus saw.
+    seen = np.zeros(n, dtype=bool)
+    for path in corpus:
+        seen[path.vertices] = True
+    mask = seen[test.src] & seen[test.dst] & (test.src != test.dst)
+    pos_u = test.src[mask][:max_test_edges]
+    pos_v = test.dst[mask][:max_test_edges]
+    if pos_u.size == 0:
+        raise RuntimeError("no scorable held-out edges; enlarge the corpus")
+
+    known = set(zip(stream.src.tolist(), stream.dst.tolist()))
+    neg_u, neg_v = _sample_negatives(n, known, pos_u.size, rng)
+
+    auc = auc_score(embedding.score(pos_u, pos_v), embedding.score(neg_u, neg_v))
+    return LinkPredictionResult(
+        auc=auc,
+        num_test_edges=int(pos_u.size),
+        num_train_edges=len(train),
+        embedding=embedding,
+        spec_name=spec.name,
+    )

@@ -1,0 +1,43 @@
+"""Random-walk engines: TEA and the paper's baselines.
+
+* :class:`~repro.engines.tea.TeaEngine` — the paper's system, with the
+  sampling structure selectable (HPAT / PAT / pure ITS / full alias) so
+  the Figure 11/12 ablations are configurations, not forks;
+* :class:`~repro.engines.graphwalker.GraphWalkerEngine` — full-scan
+  rebuild on dynamic weights, ITS on static ones (in-memory or
+  out-of-core);
+* :class:`~repro.engines.knightking.KnightKingEngine` — rejection
+  sampling with a max-weight envelope (1-node, or the modeled 8-node
+  cluster of the paper's setup);
+* :class:`~repro.engines.ctdne.CtdneEngine` — the reference
+  implementation style: per-step dynamic weight evaluation in
+  interpreter-speed code;
+* :class:`~repro.engines.tea_outofcore.TeaOutOfCoreEngine` — PAT with
+  disk-resident trunks.
+
+All engines share :class:`~repro.engines.base.Engine`'s walk loop
+(Algorithm 2), differing only in how one edge is sampled from a candidate
+set and in what they precompute.
+"""
+
+from repro.engines.base import Engine, EngineResult, Workload
+from repro.engines.tea import TeaEngine
+from repro.engines.batch import BatchTeaEngine
+from repro.engines.graphwalker import GraphWalkerEngine
+from repro.engines.knightking import KnightKingEngine
+from repro.engines.ctdne import CtdneEngine
+from repro.engines.tea_outofcore import TeaOutOfCoreEngine
+from repro.engines.mutable import MutableTeaEngine
+
+__all__ = [
+    "Engine",
+    "EngineResult",
+    "Workload",
+    "TeaEngine",
+    "BatchTeaEngine",
+    "GraphWalkerEngine",
+    "KnightKingEngine",
+    "CtdneEngine",
+    "TeaOutOfCoreEngine",
+    "MutableTeaEngine",
+]

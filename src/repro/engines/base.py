@@ -1,0 +1,334 @@
+"""Engine interface and the shared temporal walk loop (Algorithm 2).
+
+Every engine implements two primitives:
+
+* :meth:`Engine.prepare` — preprocessing (structure construction);
+* :meth:`Engine.sample_edge` — one draw from a candidate prefix.
+
+The walk loop itself — candidate tracking, the Dynamic_parameter
+rejection (Algorithm 2 lines 18–22), path recording, termination — is
+shared, so engine comparisons isolate exactly the sampling strategy, as
+the paper's experiments do. Two loop behaviours differ by engine flag:
+
+* ``has_candidate_index``: TEA precomputes |Γt(v)| per edge during
+  preprocessing (Section 4.2), so candidate-set lookup during the walk is
+  O(1); baselines binary-search the adjacency per step (Section 5.1:
+  "both GraphWalker and KnightKing use binary search to search candidate
+  edge sets on sampling, while TEA does not").
+* ``time_divisor``: the modeled parallelism of the paper's 8-node
+  KnightKing cluster (walks are embarrassingly parallel; reported wall
+  time divides by node count — documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+from repro.metrics.memory import MemoryReport
+from repro.metrics.timing import PhaseTimer
+from repro.rng import RngLike, make_rng
+from repro.sampling.counters import CostCounters
+from repro.walks.spec import WalkSpec
+from repro.walks.walker import Walker, WalkPath
+
+# After this many Dynamic_parameter rejections within one step, switch
+# from rejection to one exact β-adjusted scan (an adaptive strategy: the
+# mixture of "accepted within budget" and "exact fallback" samples the
+# target distribution exactly, while bounding worst-case work for
+# pathological β skews).
+BETA_REJECTION_BUDGET = 16
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Walk workload: the paper's R (walks per vertex) and L (max length).
+
+    ``start_vertices`` restricts the walk sources (Table 4 uses every
+    vertex; our scaled benches subsample via ``max_walks`` to keep
+    pure-Python wall times sane — the per-walk cost model is unaffected).
+    ``stop_probability`` adds a geometric per-step termination chance on
+    top of the length cap — the lazy/restarting walk shape PageRank-style
+    applications use.
+    """
+
+    walks_per_vertex: int = 1
+    max_length: int = 80
+    start_vertices: Optional[Sequence[int]] = None
+    max_walks: Optional[int] = None
+    stop_probability: float = 0.0
+
+    def __post_init__(self):
+        if not (0.0 <= self.stop_probability < 1.0):
+            raise ValueError("stop_probability must be in [0, 1)")
+
+    def resolve_starts(self, num_vertices: int, rng: np.random.Generator) -> np.ndarray:
+        if self.start_vertices is not None:
+            starts = np.asarray(self.start_vertices, dtype=np.int64)
+        else:
+            starts = np.arange(num_vertices, dtype=np.int64)
+        starts = np.tile(starts, self.walks_per_vertex)
+        if self.max_walks is not None and starts.size > self.max_walks:
+            starts = rng.choice(starts, size=self.max_walks, replace=False)
+        return starts
+
+    def describe(self) -> str:
+        cap = f", max_walks={self.max_walks}" if self.max_walks else ""
+        return f"R={self.walks_per_vertex}, L={self.max_length}{cap}"
+
+
+@dataclass
+class EngineResult:
+    """Everything one engine run produced."""
+
+    engine: str
+    spec: str
+    workload: str
+    paths: List[WalkPath]
+    counters: CostCounters
+    timer: PhaseTimer
+    memory: MemoryReport
+    time_divisor: float = 1.0
+
+    @property
+    def num_walks(self) -> int:
+        return len(self.paths)
+
+    @property
+    def total_steps(self) -> int:
+        return self.counters.steps
+
+    @property
+    def prepare_seconds(self) -> float:
+        return self.timer.seconds.get("prepare", 0.0)
+
+    @property
+    def walk_seconds(self) -> float:
+        return self.timer.seconds.get("walk", 0.0) / self.time_divisor
+
+    @property
+    def total_seconds(self) -> float:
+        """Preprocessing + walking (the paper includes preprocessing in
+        TEA's reported totals — Section 5.2)."""
+        return self.prepare_seconds + self.walk_seconds
+
+    def summary(self) -> dict:
+        return {
+            "engine": self.engine,
+            "spec": self.spec,
+            "workload": self.workload,
+            "walks": self.num_walks,
+            "steps": self.total_steps,
+            "prepare_s": round(self.prepare_seconds, 4),
+            "walk_s": round(self.walk_seconds, 4),
+            "total_s": round(self.total_seconds, 4),
+            "edges_per_step": round(self.counters.edges_per_step, 2),
+            "io_blocks": self.counters.io_blocks,
+            "memory_bytes": self.memory.total,
+        }
+
+
+class Engine(abc.ABC):
+    """Shared walk loop; subclasses supply preprocessing and sampling."""
+
+    name: str = "engine"
+    has_candidate_index = False
+    time_divisor: float = 1.0
+
+    def __init__(self, graph: TemporalGraph, spec: WalkSpec):
+        # Edges_interval: the application may restrict the walk to a
+        # temporal subgraph before any preprocessing (Algorithm 2, Main).
+        self.graph = spec.restrict(graph)
+        self.spec = spec
+        self._prepared = False
+        self.candidate_sizes: Optional[np.ndarray] = None
+
+    # -- subclass interface -------------------------------------------------
+
+    @abc.abstractmethod
+    def _prepare(self) -> None:
+        """Build sampling structures. Called once, timed as 'prepare'."""
+
+    @abc.abstractmethod
+    def sample_edge(
+        self, v: int, candidate_size: int, walker_time: Optional[float],
+        rng: np.random.Generator, counters: CostCounters,
+    ) -> int:
+        """Draw an edge index in ``[0, candidate_size)`` of vertex v.
+
+        ``walker_time`` is the arrival time at v — engines whose weights
+        are dynamic (full-scan, CTDNE) need it; static-weight engines
+        ignore it.
+        """
+
+    def memory_report(self) -> MemoryReport:
+        """Bytes of every structure this engine holds (Figure 9/12b)."""
+        report = MemoryReport()
+        report.add("graph_csr", self.graph.nbytes())
+        if self.candidate_sizes is not None:
+            report.add("candidate_index", self.candidate_sizes.nbytes)
+        return report
+
+    # -- shared machinery ------------------------------------------------------
+
+    def prepare(self) -> None:
+        if not self._prepared:
+            self._prepare()
+            self._prepared = True
+
+    def _initial_candidates(self, v: int) -> int:
+        return self.graph.out_degree(v)
+
+    def _next_candidates(
+        self, edge_pos: int, v: int, t: float, counters: CostCounters
+    ) -> int:
+        if self.has_candidate_index and self.candidate_sizes is not None:
+            return int(self.candidate_sizes[edge_pos])
+        # Binary search over v's time-sorted adjacency, probe-accounted.
+        d = self.graph.out_degree(v)
+        if d:
+            counters.record_probe(max(1, d.bit_length()))
+        return self.graph.candidate_count(v, t)
+
+    def _candidate_weights(self, v: int, s: int) -> np.ndarray:
+        """Exact static weights of v's candidate prefix (any engine).
+
+        Used by the β-fallback scan; matches the distribution every
+        sampler draws from (per-vertex constant factors cancel).
+        """
+        g = self.graph
+        lo = int(g.indptr[v])
+        kind = self.spec.weight_model.kind
+        if kind == "uniform":
+            out = np.ones(s)
+        elif kind == "linear_rank":
+            d = g.out_degree(v)
+            out = (d - np.arange(s)).astype(np.float64)
+        else:
+            times = g.etime[lo : lo + s]
+            if kind == "linear_time":
+                seg_min = float(g.etime[g.indptr[v + 1] - 1])
+                out = times - seg_min + 1.0
+            else:
+                out = np.exp(
+                    (times - float(g.etime[lo])) / self.spec.weight_model.scale
+                )
+        if g.eweight is not None:
+            out = out * g.eweight[lo : lo + s]
+        return out
+
+    def _beta_exact_draw(
+        self, v: int, s: int, prev: Optional[int], beta,
+        rng: np.random.Generator, counters: CostCounters,
+    ) -> int:
+        """One exact draw ∝ weight·β over the candidate prefix (O(s))."""
+        from repro.sampling.prefix_sum import build_prefix_sums, draw_in_range, its_search
+
+        g = self.graph
+        lo = int(g.indptr[v])
+        w = self._candidate_weights(v, s)
+        betas = np.fromiter(
+            (beta(g, prev, int(g.nbr[lo + j])) for j in range(s)),
+            dtype=np.float64, count=s,
+        )
+        counters.record_scan(s)
+        prefix = build_prefix_sums(w * betas)
+        r = draw_in_range(rng, 0.0, prefix[s])
+        return its_search(prefix, r, 0, s)
+
+    def _walk_one(
+        self,
+        start: int,
+        max_length: int,
+        rng: np.random.Generator,
+        counters: CostCounters,
+        stop_probability: float = 0.0,
+    ) -> Walker:
+        walker = Walker(start)
+        spec = self.spec
+        beta = spec.dynamic_parameter
+        beta_max = beta.beta_max if beta is not None else 1.0
+        v = start
+        s = self._initial_candidates(v)
+        while walker.num_edges < max_length and s > 0:
+            if stop_probability and rng.random() < stop_probability:
+                break
+            counters.record_step()
+            t = walker.current_time
+            # Algorithm 2 lines 18–22: sample, then accept against the
+            # dynamic parameter; applications without one always accept.
+            accepted: Optional[Tuple[int, int, float]] = None
+            for _ in range(BETA_REJECTION_BUDGET):
+                idx = self.sample_edge(v, s, t, rng, counters)
+                pos = int(self.graph.indptr[v]) + idx
+                v2 = int(self.graph.nbr[pos])
+                t2 = float(self.graph.etime[pos])
+                if beta is None:
+                    accepted = (pos, v2, t2)
+                    break
+                b = beta(self.graph, walker.previous_vertex, v2)
+                ok = rng.random() * beta_max <= b
+                counters.record_trial(ok)
+                if ok:
+                    accepted = (pos, v2, t2)
+                    break
+            if accepted is None:
+                # Rejection budget exhausted: one exact β-adjusted scan.
+                idx = self._beta_exact_draw(
+                    v, s, walker.previous_vertex, beta, rng, counters
+                )
+                pos = int(self.graph.indptr[v]) + idx
+                accepted = (pos, int(self.graph.nbr[pos]), float(self.graph.etime[pos]))
+            pos, v2, t2 = accepted
+            walker.advance(v2, t2)
+            s = self._next_candidates(pos, v2, t2, counters)
+            v = v2
+        return walker
+
+    def run(
+        self,
+        workload: Workload,
+        seed: RngLike = 0,
+        record_paths: bool = True,
+        sink=None,
+    ) -> EngineResult:
+        """Run the workload; returns paths plus cost/time/memory accounts.
+
+        ``sink`` is an optional open :class:`repro.walks.sink.WalkSink`;
+        completed walks stream to it (flushed in batches of 1,024, the
+        paper's §4.1 policy) so huge corpora never accumulate in memory —
+        pass ``record_paths=False`` alongside for constant-memory runs.
+        """
+        timer = PhaseTimer()
+        with timer.phase("prepare"):
+            self.prepare()
+        rng = make_rng(seed)
+        counters = CostCounters()
+        paths: List[WalkPath] = []
+        starts = workload.resolve_starts(self.graph.num_vertices, rng)
+        with timer.phase("walk"):
+            for u in starts:
+                walker = self._walk_one(
+                    int(u), workload.max_length, rng, counters,
+                    stop_probability=workload.stop_probability,
+                )
+                if record_paths or sink is not None:
+                    finished = walker.finish()
+                    if record_paths:
+                        paths.append(finished)
+                    if sink is not None:
+                        sink.append(finished)
+        return EngineResult(
+            engine=self.name,
+            spec=self.spec.describe(),
+            workload=workload.describe(),
+            paths=paths,
+            counters=counters,
+            timer=timer,
+            memory=self.memory_report(),
+            time_divisor=self.time_divisor,
+        )

@@ -1,0 +1,128 @@
+"""GraphWalker-strategy baseline (paper Sections 1, 4.3, 5).
+
+GraphWalker is a static-graph out-of-core walk engine. Applied to
+temporal walks (the paper's comparison):
+
+* **static weights** (linear, uniform): it precomputes per-vertex prefix
+  sums and samples by ITS — O(log D) per step;
+* **dynamic weights** (exponential, node2vec): the weight depends on the
+  walker's arrival time, so it *rebuilds the distribution per step* by
+  scanning every candidate edge (full-scan sampling) — O(D) per step,
+  the 19,046 edges/step of Figure 2.
+
+Candidate sets are binary-searched per step (it has no candidate index).
+
+``out_of_core=True`` models GraphWalker's disk mode (Figure 14): the
+adjacency (destinations, times) resides in a disk-backed store and every
+step loads the vertex's *entire* neighbor list — O(D) bytes of I/O —
+before sampling, mirroring its load-then-sample design.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.core.builder import build_prefix_array
+from repro.engines.base import Engine
+from repro.graph.temporal_graph import TemporalGraph
+from repro.metrics.memory import MemoryReport
+from repro.sampling.counters import CostCounters
+from repro.sampling.fullscan import full_scan_sample
+from repro.sampling.prefix_sum import build_prefix_sums, draw_in_range, its_search
+from repro.walks.spec import WalkSpec
+
+_STATIC_KINDS = ("uniform", "linear_rank", "linear_time")
+
+
+class GraphWalkerEngine(Engine):
+    """Full-scan / ITS baseline, optionally out-of-core."""
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        spec: WalkSpec,
+        out_of_core: bool = False,
+        storage_dir: Optional[str] = None,
+    ):
+        super().__init__(graph, spec)
+        self.out_of_core = bool(out_of_core)
+        self._storage_dir = storage_dir
+        self._tmpdir = None
+        self.weights: Optional[np.ndarray] = None
+        self.c: Optional[np.ndarray] = None
+        self._disk_nbr = None
+        self._disk_time = None
+        self._disk_w = None
+        self.name = "graphwalker-ooc" if out_of_core else "graphwalker"
+
+    @property
+    def _static(self) -> bool:
+        return self.spec.weight_model.kind in _STATIC_KINDS
+
+    def _prepare(self) -> None:
+        self.weights = self.spec.weight_model.compute(self.graph)
+        if self._static and not self.out_of_core:
+            self.c = build_prefix_array(self.graph, self.weights)
+        if self.out_of_core:
+            directory = self._storage_dir
+            if directory is None:
+                self._tmpdir = tempfile.TemporaryDirectory(prefix="graphwalker-")
+                directory = self._tmpdir.name
+            directory = Path(directory)
+            directory.mkdir(parents=True, exist_ok=True)
+            self.graph.nbr.tofile(directory / "nbr.bin")
+            self.graph.etime.tofile(directory / "time.bin")
+            self.weights.tofile(directory / "w.bin")
+            self._disk_nbr = np.memmap(directory / "nbr.bin", dtype=np.int64, mode="r")
+            self._disk_time = np.memmap(directory / "time.bin", dtype=np.float64, mode="r")
+            self._disk_w = np.memmap(directory / "w.bin", dtype=np.float64, mode="r")
+
+    def sample_edge(self, v, candidate_size, walker_time, rng, counters):
+        s = int(candidate_size)
+        lo = int(self.graph.indptr[v])
+        if self.out_of_core:
+            # Load the whole neighbor list — GraphWalker's I/O unit.
+            d = self.graph.out_degree(v)
+            counters.record_io(d * 24)  # dst + time + weight per edge
+            w = np.asarray(self._disk_w[lo : lo + s])
+            counters.record_scan(s)
+            prefix = build_prefix_sums(w)
+            r = draw_in_range(rng, 0.0, prefix[s])
+            return its_search(prefix, r, 0, s, None)
+        if self._static:
+            base = lo + v
+            total = self.c[base + s]
+            r = draw_in_range(rng, 0.0, total)
+            return its_search(self.c, r, base, base + s, counters) - base
+        # Dynamic weights: rebuild the distribution by scanning candidates
+        # (user edge weights, when present, multiply the temporal part).
+        t_ref = walker_time if walker_time is not None else float(
+            self.graph.etime[lo] if s else 0.0
+        )
+        d = self.graph.out_degree(v)
+        ew = None if self.graph.eweight is None else self.graph.eweight[lo : lo + d]
+
+        def weight_fn(times):
+            w = self.spec.weight_model.weight_of_time(times, t_ref)
+            return w if ew is None else w * ew[: times.size]
+
+        return full_scan_sample(
+            self.weights, s, rng, counters,
+            weight_fn=weight_fn,
+            times_time_desc=self.graph.etime[lo : lo + d],
+        )
+
+    def memory_report(self) -> MemoryReport:
+        report = super().memory_report()
+        if self.out_of_core:
+            # Disk-resident adjacency is not memory; only CSR offsets stay.
+            return report
+        if self.weights is not None:
+            report.add("weights", self.weights.nbytes)
+        if self.c is not None:
+            report.add("prefix_sums", self.c.nbytes)
+        return report

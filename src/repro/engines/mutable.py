@@ -1,0 +1,80 @@
+"""TEA engine with edge/vertex deletion support (paper §4.4 future work).
+
+Wraps :class:`~repro.core.deletions.TombstoneHPAT` in the standard
+engine interface so walks and deletions interleave: deleted edges are
+never traversed, candidate sets that are fully tombstoned become dead
+ends, and everything else behaves exactly like :class:`TeaEngine`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core import builder
+from repro.core.deletions import TombstoneHPAT
+from repro.engines.base import Engine
+from repro.graph.temporal_graph import TemporalGraph
+from repro.metrics.memory import MemoryReport
+from repro.walks.spec import WalkSpec
+
+
+class MutableTeaEngine(Engine):
+    """TEA with tombstone deletions and lazy per-vertex rebuilds."""
+
+    has_candidate_index = True
+    name = "tea-mutable"
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        spec: WalkSpec,
+        rebuild_threshold: float = 0.25,
+    ):
+        super().__init__(graph, spec)
+        self.rebuild_threshold = float(rebuild_threshold)
+        self.index: Optional[TombstoneHPAT] = None
+
+    def _prepare(self) -> None:
+        self.candidate_sizes = builder.search_candidate_sets(self.graph)
+        weights = self.spec.weight_model.compute(self.graph)
+        self.index = TombstoneHPAT(
+            self.graph, weights, rebuild_threshold=self.rebuild_threshold
+        )
+
+    # -- mutation ------------------------------------------------------------
+
+    def delete_edge(self, u: int, v: int, t: float) -> bool:
+        """Delete the edge (u, v, t); walks can no longer traverse it."""
+        self.prepare()
+        return self.index.delete_edge(u, v, t)
+
+    def delete_vertex(self, v: int) -> int:
+        """Delete all of v's out-edges (walks arriving at v dead-end)."""
+        self.prepare()
+        return self.index.delete_vertex_out_edges(v)
+
+    @property
+    def deletion_stats(self):
+        self.prepare()
+        return self.index.stats
+
+    # -- engine interface --------------------------------------------------------
+
+    def _initial_candidates(self, v: int) -> int:
+        s = super()._initial_candidates(v)
+        return s if self.index.alive_count(v, s) > 0 else 0
+
+    def _next_candidates(self, edge_pos, v, t, counters) -> int:
+        s = super()._next_candidates(edge_pos, v, t, counters)
+        return s if self.index.alive_count(v, s) > 0 else 0
+
+    def sample_edge(self, v, candidate_size, walker_time, rng, counters):
+        return self.index.sample(v, candidate_size, rng, counters)
+
+    def memory_report(self) -> MemoryReport:
+        report = super().memory_report()
+        if self.index is not None:
+            report.add("tombstone_index", self.index.nbytes())
+        return report

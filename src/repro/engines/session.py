@@ -1,0 +1,129 @@
+"""Query sessions: Algorithm 2's Main loop as a service.
+
+The paper's Main (Algorithm 2) serves *queries*: each query extracts a
+temporal subgraph with ``Edges_interval``, preprocesses it, then walks.
+In a serving setting many queries share windows and weight definitions,
+so rebuilding per query wastes the dominant preprocessing cost.
+:class:`TeaSession` keeps an LRU of prepared engines keyed by
+``(time window, weight model, structure)`` — repeat queries skip
+preprocessing entirely, and the cache budget bounds resident index
+memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.engines.base import EngineResult, Workload
+from repro.engines.batch import BatchTeaEngine
+from repro.engines.tea import TeaEngine
+from repro.graph.temporal_graph import TemporalGraph
+from repro.rng import RngLike
+from repro.walks.spec import WalkSpec
+
+
+@dataclass
+class SessionStats:
+    queries: int = 0
+    engine_hits: int = 0
+    engine_builds: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.engine_hits / self.queries if self.queries else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "queries": self.queries,
+            "engine_hits": self.engine_hits,
+            "engine_builds": self.engine_builds,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 3),
+        }
+
+
+def _spec_key(spec: WalkSpec) -> Tuple:
+    """Engines are reusable across specs that share window + weights +
+    β parameters (the index depends only on window and weights, but the
+    engine object carries the spec, so β parameters join the key)."""
+    beta = spec.dynamic_parameter
+    beta_key = None
+    if beta is not None:
+        beta_key = (type(beta).__name__, getattr(beta, "p", None),
+                    getattr(beta, "q", None), beta.beta_max)
+    return (
+        spec.time_window,
+        spec.weight_model.kind,
+        spec.weight_model.scale,
+        beta_key,
+    )
+
+
+class TeaSession:
+    """A multi-query TEA service over one temporal graph.
+
+    Parameters
+    ----------
+    max_engines:
+        LRU capacity: distinct prepared (window, weights, β) engines kept
+        alive simultaneously.
+    vectorised:
+        Use :class:`BatchTeaEngine` (default) or the scalar engine.
+    """
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        max_engines: int = 8,
+        vectorised: bool = True,
+    ):
+        if max_engines < 1:
+            raise ValueError("max_engines must be >= 1")
+        self.graph = graph
+        self.max_engines = int(max_engines)
+        self.vectorised = bool(vectorised)
+        self._engines: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.stats = SessionStats()
+
+    def _engine_for(self, spec: WalkSpec):
+        key = _spec_key(spec)
+        engine = self._engines.get(key)
+        if engine is not None:
+            self._engines.move_to_end(key)
+            self.stats.engine_hits += 1
+            return engine
+        cls = BatchTeaEngine if self.vectorised else TeaEngine
+        engine = cls(self.graph, spec)
+        engine.prepare()
+        self.stats.engine_builds += 1
+        self._engines[key] = engine
+        while len(self._engines) > self.max_engines:
+            self._engines.popitem(last=False)
+            self.stats.evictions += 1
+        return engine
+
+    def query(
+        self,
+        spec: WalkSpec,
+        workload: Workload,
+        seed: RngLike = 0,
+        record_paths: bool = True,
+    ) -> EngineResult:
+        """Run one walk query; preprocessing is cached across queries."""
+        self.stats.queries += 1
+        engine = self._engine_for(spec)
+        return engine.run(workload, seed=seed, record_paths=record_paths)
+
+    def resident_index_bytes(self) -> int:
+        """Total bytes held by all cached engines' indices."""
+        total = 0
+        for engine in self._engines.values():
+            if getattr(engine, "index", None) is not None:
+                total += engine.index.nbytes()
+        return total
+
+    def __len__(self) -> int:
+        return len(self._engines)

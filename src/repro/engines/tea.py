@@ -1,0 +1,141 @@
+"""The TEA engine (paper Sections 3–4).
+
+Preprocessing (Section 4.2): candidate-edge-set search for every edge,
+static weight computation (the Equation 3 rewrite), PAT/HPAT
+construction, auxiliary index generation. Runtime (Algorithm 2): O(1)
+candidate lookup via the per-edge candidate index, hybrid ITS+alias
+sampling on the chosen structure, rejection only for the Dynamic
+parameter (node2vec's β).
+
+The ``structure`` knob selects the sampling index, making the paper's
+ablations engine configurations:
+
+=============  =============================  =======================
+structure      per-step complexity            space
+=============  =============================  =======================
+``hpat``       O(log log D)  (+O(1) w/ aux)   O(D log D) per vertex
+``pat``        O(log(D / trunkSize))          O(D)
+``its``        O(log D)                       O(D)
+``alias``      O(1)                           O(D²) → SimulatedOOM
+=============  =============================  =======================
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core import builder
+from repro.core.alias_index import DEFAULT_BUDGET_BYTES, FullAliasIndex
+from repro.core.weights import WeightModel
+from repro.engines.base import Engine
+from repro.graph.temporal_graph import TemporalGraph
+from repro.metrics.memory import MemoryReport
+from repro.sampling.counters import CostCounters
+from repro.walks.spec import WalkSpec
+
+STRUCTURES = ("hpat", "pat", "its", "alias")
+
+
+class TeaEngine(Engine):
+    """TEA with a selectable sampling structure (default HPAT + index)."""
+
+    has_candidate_index = True
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        spec: WalkSpec,
+        structure: str = "hpat",
+        use_aux_index: bool = True,
+        workers: int = 1,
+        trunk_size: Optional[int] = None,
+        alias_budget_bytes: int = DEFAULT_BUDGET_BYTES,
+        index_cache_path: Optional[str] = None,
+    ):
+        super().__init__(graph, spec)
+        if structure not in STRUCTURES:
+            raise ValueError(f"structure must be one of {STRUCTURES}, got {structure!r}")
+        self.structure = structure
+        self.use_aux_index = bool(use_aux_index)
+        self.workers = int(workers)
+        self.trunk_size = trunk_size
+        self.alias_budget_bytes = int(alias_budget_bytes)
+        # Optional warm start: a .npz written by repro.core.persist. If
+        # the file exists and matches the graph it replaces the build;
+        # otherwise the freshly built index is saved there (hpat only).
+        self.index_cache_path = index_cache_path
+        self.index = None
+        self.weights: Optional[np.ndarray] = None
+        self.construction_report = None
+        suffix = structure if structure != "hpat" else (
+            "hpat" if use_aux_index else "hpat-noindex"
+        )
+        self.name = f"tea-{suffix}"
+
+    def _prepare(self) -> None:
+        if self.structure == "alias":
+            self.candidate_sizes = builder.search_candidate_sets(self.graph, self.workers)
+            self.weights = self.spec.weight_model.compute(self.graph)
+            self.index = FullAliasIndex.build(
+                self.graph, self.weights, budget_bytes=self.alias_budget_bytes
+            )
+            return
+        if self.structure == "hpat" and self.index_cache_path is not None:
+            import os
+
+            from repro.core import persist
+            from repro.exceptions import GraphFormatError
+
+            if os.path.exists(self.index_cache_path):
+                try:
+                    self.index, self.candidate_sizes = persist.load_hpat(
+                        self.index_cache_path,
+                        self.graph,
+                        weight_desc=self.spec.weight_model.describe(),
+                    )
+                    self.weights = self.spec.weight_model.compute(self.graph)
+                    return
+                except GraphFormatError:
+                    pass  # stale cache: rebuild and overwrite below
+        pre = builder.preprocess(
+            self.graph,
+            self.spec.weight_model,
+            structure=self.structure,
+            with_aux_index=self.use_aux_index,
+            workers=self.workers,
+            trunk_size=self.trunk_size,
+        )
+        self.index = pre.index
+        self.weights = pre.weights
+        self.candidate_sizes = pre.candidate_sizes
+        self.construction_report = pre.report
+        if self.structure == "hpat" and self.index_cache_path is not None:
+            from repro.core import persist
+
+            persist.save_hpat(
+                self.index_cache_path,
+                self.index,
+                self.graph,
+                self.candidate_sizes,
+                weight_desc=self.spec.weight_model.describe(),
+            )
+
+    def sample_edge(self, v, candidate_size, walker_time, rng, counters):
+        if self.structure == "hpat":
+            return self.index.sample(
+                v, candidate_size, rng, counters, use_index=self.use_aux_index
+            )
+        return self.index.sample(v, candidate_size, rng, counters)
+
+    def memory_report(self) -> MemoryReport:
+        report = super().memory_report()
+        if self.index is None:
+            return report
+        if hasattr(self.index, "memory_breakdown"):
+            for name, nbytes in self.index.memory_breakdown().items():
+                report.add(f"index_{name}", nbytes)
+        else:
+            report.add("index", self.index.nbytes())
+        return report

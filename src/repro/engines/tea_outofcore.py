@@ -1,0 +1,79 @@
+"""TEA's out-of-core mode: PAT with disk-resident trunks (Section 4.1).
+
+When HPAT exceeds memory TEA falls back to PAT, keeps only the
+trunk-boundary prefix sums resident, and loads exactly one trunk's
+payload per sampling step — O(trunkSize) bytes of I/O versus
+GraphWalker's O(D). The workflow mirrors GraphWalker's out-of-core loop
+otherwise (the paper reuses its walk-update strategy), so the Figure 14
+comparison isolates the per-step I/O volume.
+
+``trunk_size`` defaults to the paper's memory-limited rule: small and
+fixed (10 for twitter under 16 GB) so the resident prefix array is
+|E| / trunkSize entries.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Optional
+
+from repro.core.builder import build_pat, search_candidate_sets
+from repro.core.outofcore import OutOfCorePAT, TrunkStore
+from repro.engines.base import Engine
+from repro.graph.temporal_graph import TemporalGraph
+from repro.metrics.memory import MemoryReport
+from repro.walks.spec import WalkSpec
+
+DEFAULT_OOC_TRUNK_SIZE = 10
+
+
+class TeaOutOfCoreEngine(Engine):
+    """PAT sampling against a :class:`TrunkStore` on disk."""
+
+    has_candidate_index = True
+    name = "tea-ooc"
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        spec: WalkSpec,
+        trunk_size: int = DEFAULT_OOC_TRUNK_SIZE,
+        storage_dir: Optional[str] = None,
+        cache_bytes: int = 0,
+    ):
+        super().__init__(graph, spec)
+        self.trunk_size = int(trunk_size)
+        self._storage_dir = storage_dir
+        self._tmpdir = None
+        self.cache_bytes = int(cache_bytes)
+        self.index: Optional[OutOfCorePAT] = None
+
+    def _prepare(self) -> None:
+        self.candidate_sizes = search_candidate_sets(self.graph)
+        weights = self.spec.weight_model.compute(self.graph)
+        pat = build_pat(self.graph, weights, trunk_size=self.trunk_size)
+        directory = self._storage_dir
+        if directory is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="tea-ooc-")
+            directory = self._tmpdir.name
+        store = TrunkStore.persist(pat, directory, cache_bytes=self.cache_bytes).open()
+        self.index = OutOfCorePAT(pat, store)
+        # The full PAT arrays are now disk-resident; drop the in-memory copy.
+        del pat
+
+    @property
+    def cache_stats(self):
+        """Re-entry cache hit/miss statistics (paper §4.1's optimisation)."""
+        self.prepare()
+        return self.index.store.cache.stats
+
+    def sample_edge(self, v, candidate_size, walker_time, rng, counters):
+        return self.index.sample(v, candidate_size, rng, counters)
+
+    def memory_report(self) -> MemoryReport:
+        report = super().memory_report()
+        if self.index is not None:
+            report.add("resident_trunk_prefix", self.index.resident_nbytes())
+            if self.index.store.cache.enabled:
+                report.add("reentry_cache", self.index.store.cache.nbytes)
+        return report

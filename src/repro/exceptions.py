@@ -1,0 +1,68 @@
+"""Exception hierarchy for the TEA reproduction.
+
+All library errors derive from :class:`TeaError` so callers can catch one
+type. :class:`SimulatedOOM` deserves a note: the paper's Figure 12 reports
+"OOM" for the full alias-method baseline on every dataset but the smallest,
+because materialising one alias table per (vertex, candidate-set) pair costs
+O(sum_v d_v^2) space. We reproduce that behaviour by *accounting* for the
+bytes a structure would need before building it and raising
+:class:`SimulatedOOM` when the configured budget is exceeded, instead of
+actually exhausting the machine.
+"""
+
+from __future__ import annotations
+
+
+class TeaError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphFormatError(TeaError):
+    """An edge stream or edge-list file is structurally invalid."""
+
+
+class EmptyCandidateSetError(TeaError):
+    """A sampler was asked to sample from an empty candidate edge set.
+
+    Engines never raise this during a walk (they terminate the walk
+    instead); it guards direct misuse of the sampler APIs.
+    """
+
+
+class SimulatedOOM(TeaError):
+    """A data structure would exceed the configured memory budget.
+
+    Attributes
+    ----------
+    required_bytes:
+        Bytes the structure would need.
+    budget_bytes:
+        The configured budget it exceeded.
+    """
+
+    def __init__(self, required_bytes: int, budget_bytes: int, what: str = "structure"):
+        self.required_bytes = int(required_bytes)
+        self.budget_bytes = int(budget_bytes)
+        self.what = what
+        super().__init__(
+            f"{what} needs {required_bytes:,} bytes but the memory budget "
+            f"is {budget_bytes:,} bytes (simulated OOM)"
+        )
+
+
+class NotSupportedError(TeaError):
+    """Operation outside the supported scope (mirrors paper section 4.4).
+
+    The paper's engine supports edge/vertex *additions* only; deletions and
+    in-place edge mutation raise this error.
+    """
+
+
+class SamplingBudgetExceeded(TeaError):
+    """A rejection sampler exceeded its trial cap.
+
+    Rejection sampling on exponential temporal weights can need an enormous
+    number of trials (the phenomenon motivating the paper). Baseline engines
+    cap trials to keep experiments bounded; by default they fall back to a
+    full scan, but the strict mode raises this instead.
+    """

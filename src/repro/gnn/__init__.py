@@ -1,0 +1,19 @@
+"""Temporal GNN mini-batch sampling atop TEA (paper §4.4).
+
+"The training of temporal graph neural networks on large graphs ...
+could benefit from TEA. Particularly, sampling is one of the most
+expensive steps for training a GNN. Since TEA could accelerate sampling
+by orders of magnitude, the impacts on GNN training for temporal graphs
+would be enormous."
+
+This package realises that: TGN/TGAT-style temporal neighborhood
+sampling — for a batch of (node, time) queries, draw k temporal
+neighbors per hop, biased by the application's temporal weights, over L
+hops — served by the same HPAT structures and the vectorised frontier
+kernel the walk engine uses. The output is padded block arrays in the
+layout GNN frameworks consume.
+"""
+
+from repro.gnn.sampler import NeighborBlock, TemporalNeighborSampler
+
+__all__ = ["NeighborBlock", "TemporalNeighborSampler"]

@@ -1,0 +1,34 @@
+"""Temporal graph substrate.
+
+The paper's input format is an *edge stream*: a sequence of ``(u, v, t)``
+triples ordered by creation time (Section 2.1). :class:`EdgeStream` models
+that format; :class:`TemporalGraph` is the in-memory CSR structure every
+engine samples from, with each vertex's out-edges sorted by *decreasing*
+time so that the candidate edge set Γt(u) is always a prefix of the
+adjacency list (the key structural fact PAT/HPAT exploit).
+"""
+
+from repro.graph.edge_stream import EdgeStream, TemporalEdge
+from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.generators import (
+    temporal_erdos_renyi,
+    temporal_powerlaw,
+    temporal_star,
+    toy_commute_graph,
+)
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.graph import io
+
+__all__ = [
+    "EdgeStream",
+    "TemporalEdge",
+    "TemporalGraph",
+    "temporal_erdos_renyi",
+    "temporal_powerlaw",
+    "temporal_star",
+    "toy_commute_graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "io",
+]

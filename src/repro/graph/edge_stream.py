@@ -1,0 +1,202 @@
+"""Edge streams: the canonical temporal-graph input format.
+
+A temporal graph ``G = (V, E, R)`` attaches a timestamp to every edge
+(paper Section 2.1). Real systems receive it as an *edge stream* — the
+sequence of edges in the order they were created. :class:`EdgeStream` is a
+thin, validated wrapper over three parallel numpy arrays ``(src, dst,
+time)``; it is the type every loader, generator, and
+:class:`~repro.graph.temporal_graph.TemporalGraph` constructor speaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+
+
+@dataclass(frozen=True)
+class TemporalEdge:
+    """One temporal edge ``(u, v, t)``: u→v created at time t."""
+
+    src: int
+    dst: int
+    time: float
+
+    def as_tuple(self) -> Tuple[int, int, float]:
+        return (self.src, self.dst, self.time)
+
+
+class EdgeStream:
+    """An immutable sequence of temporal edges.
+
+    Parameters
+    ----------
+    src, dst:
+        Integer vertex ids (non-negative).
+    time:
+        Edge timestamps. Any real values are allowed; engines only compare
+        them, never interpret units.
+    weight:
+        Optional per-edge user weights (positive). KONECT-style weighted
+        interaction data; the effective sampling weight becomes
+        ``w_e · f(t_e)`` (user weight × temporal bias) throughout the
+        engines. ``None`` means unweighted (all 1).
+    sort:
+        If true (default), edges are stored sorted by ascending time — the
+        stream order real systems see. Ties keep input order (stable sort).
+    """
+
+    __slots__ = ("src", "dst", "time", "weight")
+
+    def __init__(self, src, dst, time, weight=None, sort: bool = True):
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        time = np.asarray(time, dtype=np.float64)
+        if not (src.shape == dst.shape == time.shape) or src.ndim != 1:
+            raise GraphFormatError(
+                f"src/dst/time must be equal-length 1-D arrays, got shapes "
+                f"{src.shape}, {dst.shape}, {time.shape}"
+            )
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise GraphFormatError("vertex ids must be non-negative")
+        if time.size and not np.all(np.isfinite(time)):
+            raise GraphFormatError("edge timestamps must be finite")
+        if weight is not None:
+            weight = np.asarray(weight, dtype=np.float64)
+            if weight.shape != src.shape:
+                raise GraphFormatError("weight must match src/dst/time length")
+            if weight.size and (not np.all(np.isfinite(weight)) or weight.min() <= 0):
+                raise GraphFormatError("edge weights must be positive and finite")
+        if sort and src.size and not _is_sorted(time):
+            order = np.argsort(time, kind="stable")
+            src, dst, time = src[order], dst[order], time[order]
+            if weight is not None:
+                weight = weight[order]
+        self.src = src
+        self.dst = dst
+        self.time = time
+        self.weight = weight
+        for a in (self.src, self.dst, self.time):
+            a.setflags(write=False)
+        if self.weight is not None:
+            self.weight.setflags(write=False)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[Tuple[int, int, float]], sort: bool = True) -> "EdgeStream":
+        """Build a stream from ``(u, v, t)`` triples or ``(u, v, t, w)`` quads."""
+        rows = list(edges)
+        if not rows:
+            return cls([], [], [], sort=False)
+        if len(rows[0]) == 4:
+            src, dst, time, weight = zip(*rows)
+            return cls(src, dst, time, weight=weight, sort=sort)
+        src, dst, time = zip(*rows)
+        return cls(src, dst, time, sort=sort)
+
+    @classmethod
+    def empty(cls) -> "EdgeStream":
+        return cls([], [], [], sort=False)
+
+    # -- container protocol ------------------------------------------------
+
+    def __len__(self) -> int:
+        return int(self.src.size)
+
+    def __iter__(self) -> Iterator[TemporalEdge]:
+        for u, v, t in zip(self.src, self.dst, self.time):
+            yield TemporalEdge(int(u), int(v), float(t))
+
+    def __getitem__(self, i) -> TemporalEdge:
+        if isinstance(i, slice):
+            return EdgeStream(
+                self.src[i], self.dst[i], self.time[i],
+                weight=None if self.weight is None else self.weight[i],
+                sort=False,
+            )
+        return TemporalEdge(int(self.src[i]), int(self.dst[i]), float(self.time[i]))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EdgeStream):
+            return NotImplemented
+        weights_equal = (
+            (self.weight is None and other.weight is None)
+            or (
+                self.weight is not None
+                and other.weight is not None
+                and np.array_equal(self.weight, other.weight)
+            )
+        )
+        return (
+            weights_equal
+            and np.array_equal(self.src, other.src)
+            and np.array_equal(self.dst, other.dst)
+            and np.array_equal(self.time, other.time)
+        )
+
+    def __repr__(self) -> str:
+        return f"EdgeStream(|E|={len(self)}, vertices≤{self.num_vertices()})"
+
+    # -- queries -----------------------------------------------------------
+
+    def num_vertices(self) -> int:
+        """Smallest n such that all vertex ids are < n."""
+        if not len(self):
+            return 0
+        return int(max(self.src.max(), self.dst.max())) + 1
+
+    def is_time_sorted(self) -> bool:
+        return _is_sorted(self.time)
+
+    def time_range(self) -> Tuple[float, float]:
+        if not len(self):
+            raise GraphFormatError("empty stream has no time range")
+        return float(self.time[0]), float(self.time[-1])
+
+    def interval(self, start_time: float, end_time: float) -> "EdgeStream":
+        """Return the sub-stream with ``start_time <= t <= end_time``.
+
+        This is the paper's ``Edges_interval`` API (Table 2, Algorithm 1):
+        it extracts the temporal subgraph a query wants to walk on. The
+        stream must be (and is, by construction) time-sorted, so this is a
+        binary-search slice.
+        """
+        lo = int(np.searchsorted(self.time, start_time, side="left"))
+        hi = int(np.searchsorted(self.time, end_time, side="right"))
+        return self[lo:hi]
+
+    def effective_weights(self) -> np.ndarray:
+        """Per-edge user weights, defaulting to ones when unweighted."""
+        if self.weight is not None:
+            return self.weight
+        return np.ones(len(self), dtype=np.float64)
+
+    def concat(self, other: "EdgeStream") -> "EdgeStream":
+        """Concatenate two streams (re-sorting by time if needed)."""
+        weight = None
+        if self.weight is not None or other.weight is not None:
+            weight = np.concatenate(
+                [self.effective_weights(), other.effective_weights()]
+            )
+        return EdgeStream(
+            np.concatenate([self.src, other.src]),
+            np.concatenate([self.dst, other.dst]),
+            np.concatenate([self.time, other.time]),
+            weight=weight,
+        )
+
+    def batches(self, batch_size: int) -> Iterator["EdgeStream"]:
+        """Yield consecutive time-ordered batches (streaming-update unit)."""
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        for lo in range(0, len(self), batch_size):
+            yield self[lo : lo + batch_size]
+
+
+def _is_sorted(a: np.ndarray) -> bool:
+    return bool(a.size < 2 or np.all(a[:-1] <= a[1:]))

@@ -1,0 +1,105 @@
+"""Edge-list I/O.
+
+Supports the two formats the systems community actually passes around:
+
+* **Text**: whitespace-separated ``u v t`` lines, ``#``/``%`` comments
+  (the KONECT export format the paper's datasets use).
+* **Binary**: a little ``.tegb`` container — magic, count, then the three
+  arrays back to back — for fast reload of generated analogues.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.graph.edge_stream import EdgeStream
+
+_MAGIC = b"TEGB\x01"
+
+PathLike = Union[str, os.PathLike]
+
+
+def load_edge_list(path: PathLike) -> EdgeStream:
+    """Load a whitespace-separated ``u v t [w]`` text file into a stream.
+
+    Lines starting with ``#`` or ``%`` are comments. A missing third
+    column is rejected — temporal graphs require timestamps. An optional
+    fourth column carries KONECT-style positive edge weights; either all
+    data lines have it or none do.
+    """
+    src, dst, time, weight = [], [], [], []
+    with open(path, "r") as f:
+        for lineno, line in enumerate(f, 1):
+            line = line.strip()
+            if not line or line[0] in "#%":
+                continue
+            parts = line.split()
+            if len(parts) < 3:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected 'u v t [w]', got {line!r}"
+                )
+            try:
+                src.append(int(parts[0]))
+                dst.append(int(parts[1]))
+                time.append(float(parts[2]))
+                if len(parts) >= 4:
+                    weight.append(float(parts[3]))
+            except ValueError as exc:
+                raise GraphFormatError(f"{path}:{lineno}: {exc}") from exc
+    if weight and len(weight) != len(src):
+        raise GraphFormatError(
+            f"{path}: weight column present on some lines but not all"
+        )
+    return EdgeStream(src, dst, time, weight=weight or None)
+
+
+def save_edge_list(stream: EdgeStream, path: PathLike) -> None:
+    """Write a stream as ``u v t [w]`` text (time-ascending order)."""
+    with open(path, "w") as f:
+        if stream.weight is not None:
+            f.write("# temporal edge list: src dst time weight\n")
+            for u, v, t, w in zip(stream.src, stream.dst, stream.time,
+                                  stream.weight):
+                f.write(f"{u} {v} {float(t)!r} {float(w)!r}\n")
+        else:
+            f.write("# temporal edge list: src dst time\n")
+            for u, v, t in zip(stream.src, stream.dst, stream.time):
+                f.write(f"{u} {v} {t:g}\n")
+
+
+def save_binary(stream: EdgeStream, path: PathLike) -> None:
+    """Write the compact binary container (``.tegb``)."""
+    with open(path, "wb") as f:
+        f.write(_MAGIC)
+        np.asarray([len(stream)], dtype=np.int64).tofile(f)
+        stream.src.tofile(f)
+        stream.dst.tofile(f)
+        stream.time.tofile(f)
+
+
+def load_binary(path: PathLike) -> EdgeStream:
+    """Read a ``.tegb`` container written by :func:`save_binary`."""
+    with open(path, "rb") as f:
+        magic = f.read(len(_MAGIC))
+        if magic != _MAGIC:
+            raise GraphFormatError(f"{path}: not a .tegb file")
+        (m,) = np.fromfile(f, dtype=np.int64, count=1)
+        m = int(m)
+        src = np.fromfile(f, dtype=np.int64, count=m)
+        dst = np.fromfile(f, dtype=np.int64, count=m)
+        time = np.fromfile(f, dtype=np.float64, count=m)
+        if src.size != m or dst.size != m or time.size != m:
+            raise GraphFormatError(f"{path}: truncated .tegb file")
+    return EdgeStream(src, dst, time, sort=False)
+
+
+def load_auto(path: PathLike) -> EdgeStream:
+    """Dispatch on extension: ``.tegb`` binary, anything else text."""
+    if Path(path).suffix == ".tegb":
+        return load_binary(path)
+    return load_edge_list(path)

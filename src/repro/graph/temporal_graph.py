@@ -1,0 +1,286 @@
+"""In-memory temporal graph in time-descending CSR form.
+
+Every sampler in this library relies on one structural fact (paper
+Sections 3.2–3.4): if each vertex's out-edges are sorted by *decreasing*
+timestamp, then the candidate edge set
+
+    Γt(u) = { (u, v_i, t_i) ∈ N(u) : t_i > t }
+
+is a **prefix** of u's adjacency list, identified by a single integer (its
+length). :class:`TemporalGraph` materialises exactly that layout from an
+:class:`~repro.graph.edge_stream.EdgeStream`:
+
+* ``indptr[v] : indptr[v+1]`` delimits v's out-edges in the flat arrays;
+* ``nbr`` holds destination vertices, ``etime`` the timestamps, both in
+  time-descending order within each vertex segment (ties keep stream
+  order, newest stream position first, so prefix semantics stay stable
+  under streaming appends).
+
+The static undirected adjacency needed by temporal node2vec's β parameter
+(distance d(w, v) ∈ {0, 1, 2}) is built lazily and cached.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphFormatError
+from repro.graph.edge_stream import EdgeStream
+
+
+class TemporalGraph:
+    """A temporal graph frozen into time-descending CSR arrays.
+
+    Construct via :meth:`from_stream`. All arrays are read-only; streaming
+    updates produce a *new* graph (see :mod:`repro.streaming.batch`) or use
+    the incremental index (:mod:`repro.core.incremental`) which avoids
+    rebuilding.
+    """
+
+    __slots__ = (
+        "num_vertices",
+        "num_edges",
+        "indptr",
+        "nbr",
+        "etime",
+        "_neg_etime",
+        "_static_indptr",
+        "_static_nbr",
+        "_stream",
+        "_keys_cache",
+        "eweight",
+    )
+
+    def __init__(self, indptr: np.ndarray, nbr: np.ndarray, etime: np.ndarray,
+                 stream: Optional[EdgeStream] = None,
+                 eweight: Optional[np.ndarray] = None):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.nbr = np.asarray(nbr, dtype=np.int64)
+        self.etime = np.asarray(etime, dtype=np.float64)
+        if self.indptr.ndim != 1 or self.indptr.size == 0:
+            raise GraphFormatError("indptr must be a non-empty 1-D array")
+        if self.indptr[0] != 0 or self.indptr[-1] != self.nbr.size:
+            raise GraphFormatError("indptr must start at 0 and end at |E|")
+        if self.nbr.shape != self.etime.shape:
+            raise GraphFormatError("nbr and etime must have equal shapes")
+        self.num_vertices = int(self.indptr.size - 1)
+        self.num_edges = int(self.nbr.size)
+        # Negated times are ascending within each vertex segment, which lets
+        # candidate_count() be a single searchsorted call.
+        self._neg_etime = -self.etime
+        self._static_indptr: Optional[np.ndarray] = None
+        self._static_nbr: Optional[np.ndarray] = None
+        self._stream = stream
+        self._keys_cache = None
+        # Optional per-edge user weights (same CSR order as etime); the
+        # effective sampling weight is eweight * WeightModel(f(t)).
+        if eweight is not None:
+            eweight = np.asarray(eweight, dtype=np.float64)
+            if eweight.shape != self.etime.shape:
+                raise GraphFormatError("eweight must align with the edge arrays")
+        self.eweight = eweight
+        for a in (self.indptr, self.nbr, self.etime, self._neg_etime):
+            a.setflags(write=False)
+        if self.eweight is not None:
+            self.eweight.setflags(write=False)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_stream(cls, stream: EdgeStream, num_vertices: Optional[int] = None) -> "TemporalGraph":
+        """Build the time-descending CSR from an edge stream.
+
+        ``num_vertices`` may exceed the largest id in the stream to reserve
+        isolated vertices (useful when streaming will add edges later).
+        """
+        n = stream.num_vertices() if num_vertices is None else int(num_vertices)
+        if num_vertices is not None and stream.num_vertices() > n:
+            raise GraphFormatError(
+                f"stream references vertex >= num_vertices={n}"
+            )
+        m = len(stream)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        if m:
+            counts = np.bincount(stream.src, minlength=n)
+            np.cumsum(counts, out=indptr[1:])
+        nbr = np.empty(m, dtype=np.int64)
+        etime = np.empty(m, dtype=np.float64)
+        eweight = None
+        if m:
+            # Stable sort by (src asc, time desc). The stream is time-
+            # ascending, so reversing it makes time descending; a stable
+            # sort on src then preserves that within each vertex.
+            order = np.argsort(stream.src[::-1], kind="stable")
+            nbr[:] = stream.dst[::-1][order]
+            etime[:] = stream.time[::-1][order]
+            if stream.weight is not None:
+                eweight = stream.weight[::-1][order]
+        return cls(indptr, nbr, etime, stream=stream, eweight=eweight)
+
+    @classmethod
+    def from_edges(cls, edges, num_vertices: Optional[int] = None) -> "TemporalGraph":
+        """Convenience: build from an iterable of ``(u, v, t)`` triples."""
+        return cls.from_stream(EdgeStream.from_edges(edges), num_vertices)
+
+    # -- basic queries -----------------------------------------------------
+
+    def out_degree(self, v: int) -> int:
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex."""
+        return np.diff(self.indptr)
+
+    def max_degree(self) -> int:
+        d = self.degrees()
+        return int(d.max()) if d.size else 0
+
+    def mean_degree(self) -> float:
+        return self.num_edges / self.num_vertices if self.num_vertices else 0.0
+
+    def neighbors(self, v: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(destinations, times)`` of v's out-edges, newest first."""
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        return self.nbr[lo:hi], self.etime[lo:hi]
+
+    def edge_at(self, v: int, j: int) -> Tuple[int, float]:
+        """The j-th newest out-edge of v as ``(destination, time)``."""
+        pos = self.indptr[v] + j
+        if not (self.indptr[v] <= pos < self.indptr[v + 1]):
+            raise IndexError(f"vertex {v} has no out-edge index {j}")
+        return int(self.nbr[pos]), float(self.etime[pos])
+
+    # -- candidate edge sets -------------------------------------------------
+
+    def candidate_count(self, v: int, t: Optional[float]) -> int:
+        """Size of Γt(v): out-edges of v with time strictly greater than t.
+
+        ``t=None`` means "no temporal constraint" (the first step of a walk
+        starting at v) and returns the full out-degree. Because edges are
+        time-descending, Γt(v) is exactly the first ``candidate_count(v, t)``
+        entries of :meth:`neighbors`.
+        """
+        lo, hi = self.indptr[v], self.indptr[v + 1]
+        if t is None:
+            return int(hi - lo)
+        # etime[lo:hi] descends, so -etime ascends; edges with time > t are
+        # those with -time < -t.
+        return int(np.searchsorted(self._neg_etime[lo:hi], -t, side="left"))
+
+    def _offset_keys(self):
+        """Cached offset-key view for batched candidate searches.
+
+        Each vertex's negated times are shifted into a disjoint numeric
+        range, so one global ``searchsorted`` answers per-vertex queries
+        for arbitrarily many (vertex, time) pairs at once.
+        """
+        cached = getattr(self, "_keys_cache", None)
+        if cached is not None:
+            return cached
+        neg = self._neg_etime
+        finite_span = float(max(1.0, np.ptp(neg) if neg.size else 1.0))
+        span = 4.0 * finite_span
+        seg_of_edge = np.repeat(np.arange(self.num_vertices), np.diff(self.indptr))
+        base = float(neg.min()) if neg.size else 0.0
+        keys = (neg - base) + seg_of_edge * span
+        self._keys_cache = (keys, base, span, finite_span)
+        return self._keys_cache
+
+    def candidate_counts_batch(self, vertices, times) -> np.ndarray:
+        """|Γt(v)| for parallel arrays of (vertex, time) queries.
+
+        Vectorised: one global ``searchsorted`` over the cached offset-key
+        view. Query times outside the graph's range saturate correctly
+        (later than everything → 0 candidates; earlier → full degree).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        times = np.asarray(times, dtype=np.float64)
+        if self.num_edges == 0:
+            return np.zeros(vertices.shape, dtype=np.int64)
+        keys, base, span, finite_span = self._offset_keys()
+        # Clamp the per-segment offset into a window that stays inside
+        # the segment's exclusive numeric range while preserving the
+        # saturating semantics at both ends.
+        offset = np.clip(-times - base, -finite_span, 2.0 * finite_span)
+        qval = offset + vertices * span
+        pos = np.searchsorted(keys, qval, side="left")
+        return pos - self.indptr[vertices]
+
+    def candidate_counts_per_edge(self) -> np.ndarray:
+        """For every edge (u, v, t) (in CSR order), |Γt(v)| at its head.
+
+        This is the "searching candidate edge sets" preprocessing phase of
+        paper Section 4.2: when a walker traverses edge (u, v, t) it will
+        next sample from Γt(v), so the engine precomputes the candidate-set
+        size for every edge.
+        """
+        if self.num_edges == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self.candidate_counts_batch(self.nbr, self.etime)
+
+    # -- static adjacency (node2vec support) ---------------------------------
+
+    def _build_static_adjacency(self) -> None:
+        """Sorted undirected neighbor CSR for O(log d) membership tests."""
+        n, m = self.num_vertices, self.num_edges
+        if m == 0:
+            self._static_indptr = np.zeros(n + 1, dtype=np.int64)
+            self._static_nbr = np.zeros(0, dtype=np.int64)
+            return
+        src = np.repeat(np.arange(n), np.diff(self.indptr))
+        a = np.concatenate([src, self.nbr])
+        b = np.concatenate([self.nbr, src])
+        # Deduplicate (a, b) pairs.
+        key = a * np.int64(self.num_vertices) + b
+        key = np.unique(key)
+        a = key // self.num_vertices
+        b = key % self.num_vertices
+        counts = np.bincount(a, minlength=n)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        self._static_indptr = indptr
+        self._static_nbr = b  # sorted within each segment by construction
+        self._static_indptr.setflags(write=False)
+        self._static_nbr.setflags(write=False)
+
+    def has_static_edge(self, u: int, v: int) -> bool:
+        """True if u and v are adjacent ignoring time and direction.
+
+        Temporal node2vec's β(u,v) (Equation 4) needs the *static* distance
+        between the previous vertex and a candidate; this is its d==1 test.
+        """
+        if self._static_indptr is None:
+            self._build_static_adjacency()
+        lo, hi = self._static_indptr[u], self._static_indptr[u + 1]
+        seg = self._static_nbr[lo:hi]
+        k = np.searchsorted(seg, v)
+        return bool(k < seg.size and seg[k] == v)
+
+    def static_degree(self, v: int) -> int:
+        if self._static_indptr is None:
+            self._build_static_adjacency()
+        return int(self._static_indptr[v + 1] - self._static_indptr[v])
+
+    # -- misc ----------------------------------------------------------------
+
+    def to_stream(self) -> EdgeStream:
+        """Recover a time-ascending edge stream (rebuilt if not retained)."""
+        if self._stream is not None:
+            return self._stream
+        src = np.repeat(np.arange(self.num_vertices), np.diff(self.indptr))
+        return EdgeStream(src, self.nbr, self.etime, weight=self.eweight)
+
+    def nbytes(self) -> int:
+        """Bytes held by the CSR arrays (excludes lazy static adjacency)."""
+        n = int(self.indptr.nbytes + self.nbr.nbytes + self.etime.nbytes)
+        if self.eweight is not None:
+            n += int(self.eweight.nbytes)
+        return n
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalGraph(|V|={self.num_vertices}, |E|={self.num_edges}, "
+            f"mean_deg={self.mean_degree():.2f}, max_deg={self.max_degree()})"
+        )

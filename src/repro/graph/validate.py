@@ -1,0 +1,64 @@
+"""Structural validation helpers.
+
+Used by tests and by :mod:`repro.cli` to sanity-check loaded graphs, and
+by property-based tests as the oracle for the CSR layout invariants every
+sampler assumes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def check_graph(graph: TemporalGraph) -> List[str]:
+    """Return a list of invariant violations (empty == valid).
+
+    Checks the three invariants the sampling layer depends on:
+
+    1. ``indptr`` is monotone and spans exactly ``num_edges``;
+    2. every vertex segment's times are non-increasing (time-descending
+       adjacency — candidate sets must be prefixes);
+    3. all neighbor ids are in range.
+    """
+    problems: List[str] = []
+    if graph.indptr[0] != 0:
+        problems.append("indptr[0] != 0")
+    if graph.indptr[-1] != graph.num_edges:
+        problems.append("indptr[-1] != num_edges")
+    if np.any(np.diff(graph.indptr) < 0):
+        problems.append("indptr not monotone")
+    if graph.num_edges:
+        if graph.nbr.min() < 0 or graph.nbr.max() >= graph.num_vertices:
+            problems.append("neighbor id out of range")
+        for v in range(graph.num_vertices):
+            lo, hi = graph.indptr[v], graph.indptr[v + 1]
+            seg = graph.etime[lo:hi]
+            if seg.size > 1 and np.any(seg[:-1] < seg[1:]):
+                problems.append(f"vertex {v}: adjacency not time-descending")
+                break
+    return problems
+
+
+def is_temporal_path(graph: TemporalGraph, path) -> bool:
+    """True iff ``path`` is a valid temporal path in ``graph``.
+
+    ``path`` is a sequence of ``(vertex, time)`` pairs as produced by the
+    walk engines, where the first entry has time ``None`` (the start vertex
+    has no arrival time). Checks the paper's time constraint t_{i-1} < t_i
+    and that every consecutive hop is an actual edge at that timestamp.
+    """
+    prev_t = None
+    for i in range(1, len(path)):
+        u, _ = path[i - 1]
+        v, t = path[i]
+        if prev_t is not None and not (t > prev_t):
+            return False
+        prev_t = t
+        nbrs, times = graph.neighbors(u)
+        if not np.any((nbrs == v) & (times == t)):
+            return False
+    return True

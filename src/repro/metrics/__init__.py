@@ -1,0 +1,6 @@
+"""Measurement utilities: byte accounting and phase timers."""
+
+from repro.metrics.memory import MemoryReport, format_bytes
+from repro.metrics.timing import PhaseTimer
+
+__all__ = ["MemoryReport", "format_bytes", "PhaseTimer"]

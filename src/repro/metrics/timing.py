@@ -1,0 +1,41 @@
+"""Tiny phase timer used by engines and benchmarks."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class PhaseTimer:
+    """Accumulates wall-clock seconds per named phase.
+
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("preprocess"):
+    ...     pass
+    >>> "preprocess" in timer.seconds
+    True
+    """
+
+    seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def snapshot(self) -> Dict[str, float]:
+        out = dict(self.seconds)
+        out["total"] = self.total
+        return out

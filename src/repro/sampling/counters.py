@@ -1,0 +1,101 @@
+"""Cost accounting shared by every sampler and engine.
+
+The paper's headline efficiency metric (Figure 2) is the *average sampling
+cost*: edges evaluated per sampling step. Wall-clock comparisons between a
+C++ engine and pure Python are meaningless, so every sampler in this
+library increments a :class:`CostCounters` as it works, and benchmarks
+report both wall time and this model. Conventions:
+
+* full-scan: +|Γ| edge evaluations per step (it touches every candidate);
+* rejection: +1 per trial (each trial evaluates one edge's weight);
+* ITS binary search: +1 per probe (each probe compares one prefix entry);
+* PAT/HPAT: +1 per trunk-boundary probe, +1 for the in-trunk alias draw.
+
+I/O counters serve the out-of-core experiments (Figure 14): a *block* is
+one disk read of :data:`BLOCK_BYTES` bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+BLOCK_BYTES = 4096
+
+
+@dataclass
+class CostCounters:
+    """Mutable tally of sampling work. Cheap to pass around; not thread-safe."""
+
+    steps: int = 0
+    edges_evaluated: int = 0
+    rejection_trials: int = 0
+    rejected: int = 0
+    binary_search_probes: int = 0
+    alias_draws: int = 0
+    io_blocks: int = 0
+    io_bytes: int = 0
+
+    def record_step(self) -> None:
+        self.steps += 1
+
+    def record_scan(self, num_edges: int) -> None:
+        self.edges_evaluated += int(num_edges)
+
+    def record_trial(self, accepted: bool) -> None:
+        self.rejection_trials += 1
+        self.edges_evaluated += 1
+        if not accepted:
+            self.rejected += 1
+
+    def record_probe(self, n: int = 1) -> None:
+        self.binary_search_probes += int(n)
+        self.edges_evaluated += int(n)
+
+    def record_alias_draw(self) -> None:
+        self.alias_draws += 1
+        self.edges_evaluated += 1
+
+    def record_io(self, nbytes: int) -> None:
+        nbytes = int(nbytes)
+        self.io_bytes += nbytes
+        self.io_blocks += -(-nbytes // BLOCK_BYTES)
+
+    # -- derived metrics ---------------------------------------------------
+
+    @property
+    def edges_per_step(self) -> float:
+        """Figure 2's metric: average edges evaluated per sampling step."""
+        return self.edges_evaluated / self.steps if self.steps else 0.0
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """The paper's ε for rejection sampling (accepted / trials)."""
+        if not self.rejection_trials:
+            return 1.0
+        return 1.0 - self.rejected / self.rejection_trials
+
+    def merge(self, other: "CostCounters") -> "CostCounters":
+        """Accumulate ``other`` into self (for multi-walker aggregation)."""
+        self.steps += other.steps
+        self.edges_evaluated += other.edges_evaluated
+        self.rejection_trials += other.rejection_trials
+        self.rejected += other.rejected
+        self.binary_search_probes += other.binary_search_probes
+        self.alias_draws += other.alias_draws
+        self.io_blocks += other.io_blocks
+        self.io_bytes += other.io_bytes
+        return self
+
+    def snapshot(self) -> dict:
+        """Plain-dict view for reports."""
+        return {
+            "steps": self.steps,
+            "edges_evaluated": self.edges_evaluated,
+            "edges_per_step": self.edges_per_step,
+            "rejection_trials": self.rejection_trials,
+            "acceptance_ratio": self.acceptance_ratio,
+            "binary_search_probes": self.binary_search_probes,
+            "alias_draws": self.alias_draws,
+            "io_blocks": self.io_blocks,
+            "io_bytes": self.io_bytes,
+        }

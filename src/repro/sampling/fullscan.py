@@ -1,0 +1,53 @@
+"""Full-scan sampling: GraphWalker's strategy on dynamic weights.
+
+When edge weights change per step (exponential temporal weights depend on
+the walker's arrival time before TEA's static-weight rewrite), GraphWalker
+rebuilds the transition distribution by scanning every candidate edge,
+then samples from the freshly built prefix sums (paper Sections 1, 4.3 —
+O(D) per step; "19,046 edges per step" in Figure 2). This module is that
+strategy, cost-accounted.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import EmptyCandidateSetError
+from repro.sampling.counters import CostCounters
+from repro.sampling.prefix_sum import build_prefix_sums, draw_in_range, its_search
+
+
+def full_scan_sample(
+    weights_time_desc: np.ndarray,
+    candidate_size: int,
+    rng: np.random.Generator,
+    counters: Optional[CostCounters] = None,
+    weight_fn: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+    times_time_desc: Optional[np.ndarray] = None,
+) -> int:
+    """One draw that touches every candidate edge.
+
+    With ``weight_fn`` and ``times_time_desc`` given, the weights are
+    *recomputed from timestamps* for the scan — modelling engines that
+    evaluate the dynamic weight per step instead of using TEA's static
+    rewrite. Otherwise precomputed static weights are scanned.
+    """
+    s = int(candidate_size)
+    if s <= 0:
+        raise EmptyCandidateSetError("full scan over empty candidate set")
+    if weight_fn is not None:
+        if times_time_desc is None:
+            raise ValueError("weight_fn requires times_time_desc")
+        w = weight_fn(np.asarray(times_time_desc[:s], dtype=np.float64))
+    else:
+        w = weights_time_desc[:s]
+    if counters is not None:
+        counters.record_scan(s)
+    prefix = build_prefix_sums(w)
+    total = prefix[s]
+    if not (total > 0):
+        raise EmptyCandidateSetError("candidate set has zero total weight")
+    r = draw_in_range(rng, 0.0, total)
+    return its_search(prefix, r, 0, s, None)

@@ -1,0 +1,52 @@
+"""Inverse transform sampling over a candidate-set prefix.
+
+The pure-ITS strategy of the paper's Figure 12 ablation: per vertex we
+keep one prefix-sum array ``C`` over the static temporal weights (time-
+descending edge order), and a step over candidate set of size ``s`` draws
+``r ∈ (0, C[s]]`` followed by an O(log s) binary search. No trunk
+structure, minimal memory — the space/time trade-off PAT improves on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import EmptyCandidateSetError
+from repro.sampling.counters import CostCounters
+from repro.sampling.prefix_sum import build_prefix_sums, draw_in_range, its_search
+
+
+class ITSSampler:
+    """ITS over one vertex's weight prefix (flat-array friendly).
+
+    Engines keep the per-vertex ``C`` arrays concatenated edge-aligned;
+    this class wraps the slice arithmetic for a single vertex so the code
+    reads like the paper's description.
+    """
+
+    __slots__ = ("prefix",)
+
+    def __init__(self, weights_time_desc: np.ndarray):
+        self.prefix = build_prefix_sums(weights_time_desc)
+
+    def sample(
+        self,
+        candidate_size: int,
+        rng: np.random.Generator,
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Sample an edge index in ``[0, candidate_size)`` ∝ its weight."""
+        s = int(candidate_size)
+        if s <= 0:
+            raise EmptyCandidateSetError("ITS over empty candidate set")
+        total = self.prefix[s]
+        r = draw_in_range(rng, 0.0, total)
+        return its_search(self.prefix, r, 0, s, counters)
+
+    def candidate_weight(self, candidate_size: int) -> float:
+        return float(self.prefix[candidate_size])
+
+    def nbytes(self) -> int:
+        return int(self.prefix.nbytes)

@@ -1,0 +1,74 @@
+"""Prefix-sum (CDF) arrays and instrumented binary search.
+
+Inverse transform sampling stores the cumulative distribution
+``C[i] = sum_{j<=i} w_j`` and answers a draw ``r ∈ (0, C[k]]`` with the
+smallest index whose prefix exceeds r (paper Section 2.2). The search here
+is hand-rolled rather than ``np.searchsorted`` so each probe can be
+counted — probe counts are the paper's sampling-cost model for ITS
+(O(log D) per step).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.sampling.counters import CostCounters
+
+
+def build_prefix_sums(weights: np.ndarray) -> np.ndarray:
+    """Return ``C`` with ``C[0] = 0`` and ``C[i] = w_0 + ... + w_{i-1}``.
+
+    Length ``len(weights) + 1`` so that the total weight of any contiguous
+    block ``[a, b)`` is ``C[b] - C[a]`` — the identity PAT and HPAT use to
+    turn trunk selection into pure lookups.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    out = np.empty(weights.size + 1, dtype=np.float64)
+    out[0] = 0.0
+    np.cumsum(weights, out=out[1:])
+    return out
+
+
+def its_search(
+    prefix: np.ndarray,
+    r: float,
+    lo: int = 0,
+    hi: Optional[int] = None,
+    counters: Optional[CostCounters] = None,
+) -> int:
+    """Smallest ``k`` in ``[lo, hi)`` with ``prefix[k] < r <= prefix[k+1]``.
+
+    ``prefix`` is a prefix-sum array as built by :func:`build_prefix_sums`
+    (or any non-decreasing array with one more entry than there are items).
+    ``r`` must lie in ``(prefix[lo], prefix[hi]]`` — i.e. be a valid ITS
+    draw over items ``lo..hi-1``. Each halving probe is recorded on
+    ``counters`` when given.
+    """
+    if hi is None:
+        hi = prefix.size - 1
+    a, b = int(lo), int(hi)
+    if a >= b:
+        raise ValueError("its_search over empty range")
+    while b - a > 1:
+        mid = (a + b) // 2
+        if counters is not None:
+            counters.record_probe()
+        if prefix[mid] < r:
+            a = mid
+        else:
+            b = mid
+    if counters is not None:
+        counters.record_probe()
+    return a
+
+
+def draw_in_range(rng: np.random.Generator, lo: float, hi: float) -> float:
+    """A draw in the half-open interval ``(lo, hi]`` (ITS convention).
+
+    Uses ``hi - U * (hi - lo)`` with ``U ∈ [0, 1)`` so the upper endpoint
+    is reachable and the lower excluded, matching the strict inequality in
+    the paper's ITS definition (``C[k-1] < r <= C[k]``).
+    """
+    return hi - rng.random() * (hi - lo)

@@ -1,0 +1,5 @@
+"""Streaming graph support (paper Section 3.5)."""
+
+from repro.streaming.batch import StreamingTeaEngine
+
+__all__ = ["StreamingTeaEngine"]

@@ -1,0 +1,102 @@
+"""Batched streaming execution: walk while the graph grows.
+
+The paper's streaming setting (Section 3.5): updates arrive as
+time-ordered batches of *new* edges; PAT/HPAT are extended incrementally
+(carry-merge of trunk hierarchies, Figure 7) instead of rebuilt.
+:class:`StreamingTeaEngine` owns an
+:class:`~repro.core.incremental.IncrementalHPAT` and interleaves
+``apply_batch`` calls with temporal walks over everything ingested so
+far. Walks here run directly on the block forest, so no global rebuild
+ever happens between batches.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.incremental import IncrementalHPAT
+from repro.exceptions import NotSupportedError
+from repro.graph.edge_stream import EdgeStream
+from repro.rng import RngLike, make_rng
+from repro.sampling.counters import CostCounters
+from repro.walks.spec import WalkSpec
+from repro.walks.walker import Walker, WalkPath
+
+
+class StreamingTeaEngine:
+    """Incremental-HPAT walk engine for edge streams.
+
+    Applications with a Dynamic parameter (node2vec's β) are not
+    supported in streaming mode — β needs the static adjacency oracle,
+    which would itself need incremental maintenance; the paper's
+    streaming evaluation (Figure 13d) uses the weight-only applications.
+    """
+
+    def __init__(self, spec: WalkSpec):
+        if spec.has_dynamic_parameter:
+            raise NotSupportedError(
+                "streaming mode supports weight-only applications "
+                "(no Dynamic_parameter)"
+            )
+        self.spec = spec
+        self.index = IncrementalHPAT(spec.weight_model)
+        self.counters = CostCounters()
+
+    # -- ingestion ---------------------------------------------------------
+
+    def apply_batch(self, batch: EdgeStream) -> None:
+        """Ingest one time-ordered batch of new edges."""
+        self.index.apply_batch(batch)
+
+    def ingest(self, stream: EdgeStream, batch_size: int) -> int:
+        """Ingest a whole stream in fixed-size batches; returns batch count."""
+        count = 0
+        for batch in stream.batches(batch_size):
+            self.apply_batch(batch)
+            count += 1
+        return count
+
+    @property
+    def num_edges(self) -> int:
+        return self.index.num_edges
+
+    def active_vertices(self) -> List[int]:
+        """Vertices that currently have out-edges."""
+        return sorted(self.index.vertices)
+
+    # -- walking -----------------------------------------------------------
+
+    def walk(
+        self,
+        start: int,
+        max_length: int,
+        seed: RngLike = None,
+    ) -> WalkPath:
+        """One temporal walk over everything ingested so far."""
+        rng = make_rng(seed)
+        walker = Walker(int(start))
+        v = walker.start_vertex
+        while walker.num_edges < max_length:
+            s = self.index.candidate_count(v, walker.current_time)
+            if s <= 0:
+                break
+            self.counters.record_step()
+            v2, t2 = self.index.sample(v, s, rng, self.counters)
+            walker.advance(v2, t2)
+            v = v2
+        return walker.finish()
+
+    def run_walks(
+        self,
+        starts,
+        max_length: int = 80,
+        seed: RngLike = 0,
+    ) -> List[WalkPath]:
+        """Walks from each start vertex, sharing one RNG stream."""
+        rng = make_rng(seed)
+        return [self.walk(int(u), max_length, rng) for u in np.asarray(starts)]
+
+    def nbytes(self) -> int:
+        return self.index.nbytes()

@@ -1,0 +1,33 @@
+"""Temporal random-walk applications and the temporal-centric API.
+
+:mod:`~repro.walks.spec` is the user-facing programming model of the
+paper (Table 2, Algorithms 1–2): a walk application is a
+``Dynamic_weight`` (static-izable temporal bias), an optional
+``Dynamic_parameter`` (walker-state-dependent bias handled by rejection),
+and an ``Edges_interval`` subgraph selection. :mod:`~repro.walks.apps`
+instantiates the three applications the paper evaluates plus the
+extensions its Section 5.2 sketches.
+"""
+
+from repro.walks.spec import CustomParameter, Node2VecParameter, WalkSpec
+from repro.walks.apps import (
+    linear_walk,
+    exponential_walk,
+    temporal_node2vec,
+    unbiased_walk,
+    APPLICATIONS,
+)
+from repro.walks.walker import Walker, WalkPath
+
+__all__ = [
+    "WalkSpec",
+    "Node2VecParameter",
+    "CustomParameter",
+    "linear_walk",
+    "exponential_walk",
+    "temporal_node2vec",
+    "unbiased_walk",
+    "APPLICATIONS",
+    "Walker",
+    "WalkPath",
+]

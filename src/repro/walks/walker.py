@@ -1,0 +1,72 @@
+"""Walker state and recorded paths.
+
+A temporal walk is a sequence of (vertex, arrival-time) hops; the start
+vertex has no arrival time (``None``), matching the paper's definition of
+a temporal path P = e1·e2·…·e_{n−1} with strictly increasing times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+Hop = Tuple[int, Optional[float]]
+
+
+@dataclass
+class WalkPath:
+    """One finished temporal walk."""
+
+    hops: List[Hop]
+
+    @property
+    def vertices(self) -> List[int]:
+        return [v for v, _ in self.hops]
+
+    @property
+    def times(self) -> List[Optional[float]]:
+        return [t for _, t in self.hops]
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    @property
+    def num_edges(self) -> int:
+        return max(0, len(self.hops) - 1)
+
+
+@dataclass
+class Walker:
+    """Mutable walk state: current and previous (vertex, time)."""
+
+    start_vertex: int
+    hops: List[Hop] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not self.hops:
+            self.hops.append((self.start_vertex, None))
+
+    @property
+    def current_vertex(self) -> int:
+        return self.hops[-1][0]
+
+    @property
+    def current_time(self) -> Optional[float]:
+        return self.hops[-1][1]
+
+    @property
+    def previous_vertex(self) -> Optional[int]:
+        """The vertex before the current one (node2vec's w), if any."""
+        if len(self.hops) < 2:
+            return None
+        return self.hops[-2][0]
+
+    def advance(self, vertex: int, time: float) -> None:
+        self.hops.append((vertex, time))
+
+    def finish(self) -> WalkPath:
+        return WalkPath(hops=list(self.hops))
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.hops) - 1

@@ -1,0 +1,59 @@
+"""Auxiliary index: O(1) trunk lookup vs on-the-fly decomposition."""
+
+import numpy as np
+import pytest
+
+from repro.core.aux_index import AuxiliaryIndex, _popcount
+from repro.core.trunks import binary_decompose
+
+
+class TestPopcount:
+    def test_matches_python(self):
+        values = np.array([0, 1, 2, 3, 7, 8, 255, 256, 2**40 + 5], dtype=np.int64)
+        expected = np.array([bin(int(v)).count("1") for v in values])
+        assert np.array_equal(_popcount(values), expected)
+
+
+class TestLookup:
+    @pytest.mark.parametrize("size", list(range(1, 130)) + [255, 256, 1000])
+    def test_matches_decomposition(self, size):
+        index = AuxiliaryIndex(max_size=1024)
+        levels, cuts = index.lookup(size)
+        blocks = binary_decompose(size)
+        assert list(levels) == [k for k, _ in blocks]
+        assert list(cuts) == [off + (1 << k) for k, off in blocks]
+
+    def test_paper_example(self):
+        """Section 3.4: size 7 → trunks of sizes 4, 2, 1; positions 0, 4, 6."""
+        index = AuxiliaryIndex(max_size=16)
+        levels, cuts = index.lookup(7)
+        assert list(levels) == [2, 1, 0]
+        assert list(cuts) == [4, 6, 7]
+
+    def test_fallback_beyond_cap(self):
+        index = AuxiliaryIndex(max_size=1 << 22, precompute_cap=64)
+        assert index.max_size == 64
+        levels, cuts = index.lookup(1000)
+        blocks = binary_decompose(1000)
+        assert list(levels) == [k for k, _ in blocks]
+        assert index.fallback_lookups == 1
+
+    def test_entry_count_is_total_popcount(self):
+        index = AuxiliaryIndex(max_size=100)
+        expected = sum(bin(s).count("1") for s in range(1, 101))
+        assert index.levels.size == expected
+
+    def test_empty_index(self):
+        index = AuxiliaryIndex(max_size=0)
+        assert index.levels.size == 0
+        levels, cuts = index.lookup(5)  # falls back
+        assert list(cuts)[-1] == 5
+
+    def test_nbytes_positive(self):
+        assert AuxiliaryIndex(max_size=64).nbytes() > 0
+
+    def test_views_are_readonly(self):
+        index = AuxiliaryIndex(max_size=8)
+        levels, _ = index.lookup(3)
+        with pytest.raises(ValueError):
+            levels[0] = 9

@@ -1,0 +1,101 @@
+"""Bench harness: runner rows, speedups, report formatting."""
+
+import math
+
+import pytest
+
+from repro.bench.report import format_rows, format_series
+from repro.bench.runner import ExperimentRow, run_engines, speedups
+from repro.bench.workloads import paper_workload, quick_workload
+from repro.engines import GraphWalkerEngine, TeaEngine
+from repro.walks.apps import unbiased_walk
+
+
+class TestWorkloads:
+    def test_paper_defaults(self):
+        wl = paper_workload()
+        assert wl.walks_per_vertex == 1
+        assert wl.max_length == 80
+
+    def test_quick_is_capped(self):
+        wl = quick_workload()
+        assert wl.max_walks is not None
+
+
+class TestRunEngines:
+    def test_rows_produced(self, small_graph):
+        rows = run_engines(
+            small_graph,
+            unbiased_walk(),
+            {
+                "tea": lambda g, s: TeaEngine(g, s),
+                "graphwalker": lambda g, s: GraphWalkerEngine(g, s),
+            },
+            quick_workload(max_walks=10, length=5),
+            dataset="small",
+        )
+        assert [r.engine for r in rows] == ["tea", "graphwalker"]
+        assert all(r.dataset == "small" for r in rows)
+        assert all(r.steps > 0 for r in rows)
+
+    def test_oom_row(self, medium_graph):
+        rows = run_engines(
+            medium_graph,
+            unbiased_walk(),
+            {
+                "alias": lambda g, s: TeaEngine(
+                    g, s, structure="alias", alias_budget_bytes=1
+                )
+            },
+            quick_workload(max_walks=2, length=2),
+            dataset="m",
+        )
+        assert rows[0].oom
+        assert math.isnan(rows[0].total_seconds)
+
+
+class TestSpeedups:
+    def make_rows(self):
+        return [
+            ExperimentRow("d", "tea", "a", total_seconds=1.0),
+            ExperimentRow("d", "slow", "a", total_seconds=10.0),
+            ExperimentRow("d", "oomed", "a", oom=True),
+        ]
+
+    def test_speedup_convention(self):
+        result = speedups(self.make_rows(), baseline="tea")
+        assert result["slow"] == pytest.approx(10.0)
+        assert result["tea"] == pytest.approx(1.0)
+        assert math.isnan(result["oomed"])
+
+    def test_missing_baseline(self):
+        with pytest.raises(KeyError):
+            speedups(self.make_rows(), baseline="nope")
+
+
+class TestReport:
+    def test_format_rows_renders_oom(self):
+        rows = [
+            ExperimentRow("d", "tea", "a", total_seconds=1.234, edges_per_step=5.5,
+                          memory_bytes=2048),
+            ExperimentRow("d", "alias", "a", oom=True),
+        ]
+        text = format_rows(rows, title="demo")
+        assert "demo" in text
+        assert "OOM" in text
+        assert "2.00 KiB" in text
+
+    def test_format_series(self):
+        text = format_series(
+            {"tea": {1: 0.5, 16: 0.1}, "baseline": {1: 5.0, 16: 4.0}},
+            x_label="threads",
+            title="scaling",
+        )
+        assert "threads" in text
+        assert "tea" in text and "baseline" in text
+        lines = text.splitlines()
+        assert len(lines) == 2 + 1 + 2  # title + header + rule + 2 rows
+
+    def test_format_series_missing_points(self):
+        text = format_series({"a": {1: 1.0}, "b": {2: 2.0}}, x_label="x")
+        assert "-" in text

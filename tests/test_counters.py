@@ -1,0 +1,67 @@
+"""CostCounters: the machine-independent cost model."""
+
+import pytest
+
+from repro.sampling.counters import BLOCK_BYTES, CostCounters
+
+
+class TestRecording:
+    def test_edges_per_step(self):
+        c = CostCounters()
+        c.record_step()
+        c.record_scan(10)
+        c.record_step()
+        c.record_scan(4)
+        assert c.edges_per_step == 7.0
+
+    def test_edges_per_step_no_steps(self):
+        assert CostCounters().edges_per_step == 0.0
+
+    def test_trial_accounting(self):
+        c = CostCounters()
+        c.record_trial(False)
+        c.record_trial(False)
+        c.record_trial(True)
+        assert c.rejection_trials == 3
+        assert c.rejected == 2
+        assert c.acceptance_ratio == pytest.approx(1 / 3)
+        assert c.edges_evaluated == 3
+
+    def test_acceptance_ratio_default(self):
+        assert CostCounters().acceptance_ratio == 1.0
+
+    def test_probe_accounting(self):
+        c = CostCounters()
+        c.record_probe(5)
+        assert c.binary_search_probes == 5
+        assert c.edges_evaluated == 5
+
+    def test_io_block_rounding(self):
+        c = CostCounters()
+        c.record_io(1)
+        assert c.io_blocks == 1
+        c.record_io(BLOCK_BYTES)
+        assert c.io_blocks == 2
+        c.record_io(BLOCK_BYTES + 1)
+        assert c.io_blocks == 4
+        assert c.io_bytes == 1 + BLOCK_BYTES + BLOCK_BYTES + 1
+
+
+class TestMerge:
+    def test_merge_sums_fields(self):
+        a, b = CostCounters(), CostCounters()
+        a.record_step()
+        a.record_scan(3)
+        b.record_step()
+        b.record_trial(True)
+        b.record_io(100)
+        a.merge(b)
+        assert a.steps == 2
+        assert a.edges_evaluated == 4
+        assert a.rejection_trials == 1
+        assert a.io_blocks == 1
+
+    def test_snapshot_keys(self):
+        snap = CostCounters().snapshot()
+        for key in ("steps", "edges_per_step", "acceptance_ratio", "io_blocks"):
+            assert key in snap

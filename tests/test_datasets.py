@@ -1,0 +1,46 @@
+"""Dataset registry: Table 3 analogues."""
+
+import pytest
+
+from repro.graph.datasets import DATASETS, EVALUATION_DATASETS, load_dataset
+
+
+class TestRegistry:
+    def test_all_evaluation_datasets_registered(self):
+        for name in ("growth", "edit", "delicious", "twitter"):
+            assert name in DATASETS
+
+    def test_paper_metadata_recorded(self):
+        spec = DATASETS["twitter"]
+        assert spec.paper_edges == 1_468_365_000
+        assert spec.paper_mean_degree == pytest.approx(74.678)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = DATASETS["tiny"].generate(seed=0)
+        b = DATASETS["tiny"].generate(seed=0)
+        assert a == b
+
+    def test_scale_knob(self):
+        small = DATASETS["tiny"].generate(seed=0, scale=0.5)
+        full = DATASETS["tiny"].generate(seed=0, scale=1.0)
+        assert len(small) < len(full)
+
+    @pytest.mark.parametrize("name", list(EVALUATION_DATASETS))
+    def test_mean_degree_mirrors_paper(self, name):
+        """Analogue mean degree within 25% of the paper's (Table 3)."""
+        graph = load_dataset(name, seed=0, scale=0.25)
+        paper = DATASETS[name].paper_mean_degree
+        assert graph.mean_degree() == pytest.approx(paper, rel=0.30)
+
+    def test_relative_sizes_preserved(self):
+        """twitter > delicious > edit > growth by edge count, like Table 3."""
+        sizes = {
+            name: DATASETS[name].num_edges for name in EVALUATION_DATASETS
+        }
+        assert sizes["twitter"] > sizes["delicious"] > sizes["edit"] > sizes["growth"]

@@ -1,0 +1,75 @@
+"""Documentation stays executable and accurate."""
+
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def python_blocks(markdown: str):
+    return re.findall(r"```python\n(.*?)```", markdown, flags=re.DOTALL)
+
+
+class TestReadme:
+    def test_quickstart_block_runs(self, tmp_path):
+        """The README's quickstart must execute as written."""
+        readme = (ROOT / "README.md").read_text()
+        blocks = python_blocks(readme)
+        assert blocks, "README lost its quickstart code block"
+        script = tmp_path / "quickstart_doc.py"
+        script.write_text(blocks[0])
+        proc = subprocess.run(
+            [sys.executable, str(script)], capture_output=True, text=True,
+            timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "engine" in proc.stdout  # result.summary() printed
+
+    def test_documented_files_exist(self):
+        readme = (ROOT / "README.md").read_text()
+        for rel in re.findall(r"python (examples/\w+\.py)", readme):
+            assert (ROOT / rel).exists(), rel
+        for doc in ("DESIGN.md", "EXPERIMENTS.md", "docs/architecture.md",
+                    "docs/api.md"):
+            assert doc.split("`")[0]  # trivial guard
+            assert (ROOT / doc).exists(), doc
+
+    def test_module_table_entries_importable(self):
+        """Every `repro.*` module the README's table cites must import."""
+        import importlib
+
+        readme = (ROOT / "README.md").read_text()
+        modules = set(re.findall(r"`(repro(?:\.\w+)+)`", readme))
+        assert modules
+        for name in sorted(modules):
+            importlib.import_module(name)
+
+
+class TestDesignDoc:
+    def test_bench_targets_listed_in_design_exist(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        for rel in re.findall(r"`(benchmarks/test_\w+\.py)`", design):
+            assert (ROOT / rel).exists(), rel
+
+    def test_paper_confirmation_present(self):
+        design = (ROOT / "DESIGN.md").read_text()
+        assert "correct paper" in design
+        assert "3552326.3567491" in design
+
+
+class TestExperimentsDoc:
+    def test_artifacts_referenced_are_generated(self):
+        """Every bench_results artifact EXPERIMENTS.md cites has a
+        generator among the benchmark files."""
+        experiments = (ROOT / "EXPERIMENTS.md").read_text()
+        bench_sources = "\n".join(
+            p.read_text() for p in (ROOT / "benchmarks").glob("test_*.py")
+        )
+        for name in re.findall(r"`(\w+)\.txt`", experiments):
+            if name in ("test_output", "bench_output"):  # repo-level outputs
+                continue
+            assert f'"{name}"' in bench_sources, f"no bench writes {name}.txt"

@@ -1,0 +1,123 @@
+"""EdgeStream: construction, ordering, intervals, batching."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.edge_stream import EdgeStream, TemporalEdge
+
+
+class TestConstruction:
+    def test_from_edges_roundtrip(self):
+        stream = EdgeStream.from_edges([(0, 1, 5.0), (1, 2, 3.0), (2, 0, 4.0)])
+        assert len(stream) == 3
+        assert stream.is_time_sorted()
+        assert [e.as_tuple() for e in stream] == [(1, 2, 3.0), (2, 0, 4.0), (0, 1, 5.0)]
+
+    def test_empty(self):
+        stream = EdgeStream.empty()
+        assert len(stream) == 0
+        assert stream.num_vertices() == 0
+
+    def test_sorts_by_time_stable(self):
+        # Equal times keep input order (stable).
+        stream = EdgeStream([3, 1, 2], [0, 0, 0], [1.0, 1.0, 1.0])
+        assert list(stream.src) == [3, 1, 2]
+
+    def test_unsorted_input_is_sorted(self):
+        stream = EdgeStream([0, 1], [1, 0], [9.0, 2.0])
+        assert list(stream.time) == [2.0, 9.0]
+
+    def test_sort_false_preserves_order(self):
+        stream = EdgeStream([0, 1], [1, 0], [9.0, 2.0], sort=False)
+        assert list(stream.time) == [9.0, 2.0]
+        assert not stream.is_time_sorted()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeStream([0, 1], [1], [1.0, 2.0])
+
+    def test_negative_vertex_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeStream([-1], [0], [1.0])
+
+    def test_nonfinite_time_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeStream([0], [1], [float("nan")])
+        with pytest.raises(GraphFormatError):
+            EdgeStream([0], [1], [float("inf")])
+
+    def test_arrays_are_readonly(self):
+        stream = EdgeStream([0], [1], [1.0])
+        with pytest.raises(ValueError):
+            stream.src[0] = 5
+
+
+class TestQueries:
+    def test_num_vertices_max_id(self):
+        stream = EdgeStream([0, 7], [3, 2], [1.0, 2.0])
+        assert stream.num_vertices() == 8
+
+    def test_time_range(self):
+        stream = EdgeStream([0, 0], [1, 1], [2.0, 10.0])
+        assert stream.time_range() == (2.0, 10.0)
+
+    def test_time_range_empty_raises(self):
+        with pytest.raises(GraphFormatError):
+            EdgeStream.empty().time_range()
+
+    def test_getitem_scalar_and_slice(self):
+        stream = EdgeStream.from_edges([(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)])
+        assert stream[1] == TemporalEdge(1, 2, 2.0)
+        sub = stream[1:]
+        assert isinstance(sub, EdgeStream)
+        assert len(sub) == 2
+
+    def test_equality(self):
+        a = EdgeStream([0], [1], [1.0])
+        b = EdgeStream([0], [1], [1.0])
+        c = EdgeStream([0], [1], [2.0])
+        assert a == b
+        assert a != c
+
+
+class TestInterval:
+    """Edges_interval: the paper's temporal subgraph extraction API."""
+
+    def test_interval_inclusive(self):
+        stream = EdgeStream.from_edges([(0, 1, t) for t in range(10)])
+        sub = stream.interval(3, 6)
+        assert list(sub.time) == [3.0, 4.0, 5.0, 6.0]
+
+    def test_interval_empty_window(self):
+        stream = EdgeStream.from_edges([(0, 1, t) for t in range(10)])
+        assert len(stream.interval(100, 200)) == 0
+
+    def test_interval_full_window(self):
+        stream = EdgeStream.from_edges([(0, 1, t) for t in range(10)])
+        assert stream.interval(-1, 100) == stream
+
+    def test_concat_resorts(self):
+        a = EdgeStream.from_edges([(0, 1, 5.0)])
+        b = EdgeStream.from_edges([(1, 2, 1.0)])
+        merged = a.concat(b)
+        assert list(merged.time) == [1.0, 5.0]
+
+
+class TestBatches:
+    def test_batches_cover_stream(self):
+        stream = EdgeStream.from_edges([(0, 1, t) for t in range(10)])
+        batches = list(stream.batches(3))
+        assert [len(b) for b in batches] == [3, 3, 3, 1]
+        assert np.concatenate([b.time for b in batches]).tolist() == list(map(float, range(10)))
+
+    def test_batches_are_time_ordered(self):
+        stream = EdgeStream.from_edges([(0, 1, t) for t in range(10)])
+        last = -1.0
+        for batch in stream.batches(4):
+            assert batch.time[0] >= last
+            last = batch.time[-1]
+
+    def test_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            list(EdgeStream.empty().batches(0))

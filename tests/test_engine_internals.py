@@ -1,0 +1,139 @@
+"""Engine internals: candidate-weight oracle, strict modes, storage reuse."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import WeightModel
+from repro.engines import (
+    GraphWalkerEngine,
+    KnightKingEngine,
+    TeaEngine,
+    Workload,
+)
+from repro.exceptions import SamplingBudgetExceeded
+from repro.walks.apps import (
+    exponential_walk,
+    linear_walk,
+    unbiased_walk,
+)
+from repro.walks.spec import WalkSpec
+
+
+class TestCandidateWeightsOracle:
+    """Engine._candidate_weights must be proportional to the static
+    weights on every kind — it backs the exact β fallback."""
+
+    @pytest.mark.parametrize(
+        "kind,scale",
+        [("uniform", 1.0), ("linear_rank", 1.0), ("linear_time", 1.0),
+         ("exponential", 15.0)],
+    )
+    def test_proportional_to_static_weights(self, small_graph, kind, scale):
+        spec = WalkSpec("t", WeightModel(kind, scale))
+        engine = TeaEngine(small_graph, spec)
+        engine.prepare()
+        static = WeightModel(kind, scale).compute(small_graph)
+        for v in np.argsort(small_graph.degrees())[-3:]:
+            v = int(v)
+            d = small_graph.out_degree(v)
+            for s in {1, d // 2, d}:
+                if s < 1:
+                    continue
+                oracle = engine._candidate_weights(v, s)
+                lo = small_graph.indptr[v]
+                expected = static[lo : lo + s]
+                ratio = oracle / expected
+                assert np.allclose(ratio, ratio[0], rtol=1e-9), (kind, v, s)
+
+
+class TestKnightKingStrict:
+    def test_strict_raises_on_budget(self):
+        from repro.graph.temporal_graph import TemporalGraph
+
+        # Extreme skew: one huge weight, many tiny ones.
+        edges = [(0, i + 1, float(i)) for i in range(50)] + [(0, 99, 1000.0)]
+        graph = TemporalGraph.from_edges(edges)
+        engine = KnightKingEngine(
+            graph, exponential_walk(scale=1.0), max_trials=1, strict=True
+        )
+        engine.prepare()
+        rng = np.random.default_rng(0)
+        from repro.sampling.counters import CostCounters
+
+        with pytest.raises(SamplingBudgetExceeded):
+            for _ in range(500):
+                engine.sample_edge(0, 51, None, rng, CostCounters())
+
+    def test_nonstrict_falls_back(self):
+        from repro.graph.temporal_graph import TemporalGraph
+
+        edges = [(0, i + 1, float(i)) for i in range(50)] + [(0, 99, 1000.0)]
+        graph = TemporalGraph.from_edges(edges)
+        engine = KnightKingEngine(
+            graph, exponential_walk(scale=1.0), max_trials=1, strict=False
+        )
+        engine.prepare()
+        rng = np.random.default_rng(0)
+        from repro.sampling.counters import CostCounters
+
+        counters = CostCounters()
+        for _ in range(200):
+            idx = engine.sample_edge(0, 51, None, rng, counters)
+            assert 0 <= idx < 51
+        assert counters.edges_evaluated > 0
+
+
+class TestGraphWalkerStorage:
+    def test_explicit_storage_dir(self, small_graph, tmp_path):
+        engine = GraphWalkerEngine(
+            small_graph, exponential_walk(scale=20.0), out_of_core=True,
+            storage_dir=str(tmp_path / "gw"),
+        )
+        result = engine.run(Workload(max_length=5, max_walks=10), seed=0)
+        assert (tmp_path / "gw" / "nbr.bin").exists()
+        assert result.counters.io_bytes > 0
+
+    def test_linear_uses_its_not_scan(self, small_graph):
+        """Static weights: GraphWalker's per-step cost is logarithmic,
+        not a full scan (paper §4.3's complexity table)."""
+        its_engine = GraphWalkerEngine(small_graph, linear_walk())
+        scan_engine = GraphWalkerEngine(small_graph, exponential_walk(scale=20.0))
+        wl = Workload(max_length=10, max_walks=40)
+        its_cost = its_engine.run(wl, seed=1).counters.edges_per_step
+        scan_cost = scan_engine.run(wl, seed=1).counters.edges_per_step
+        assert its_cost < scan_cost
+
+
+class TestEmptyAndDegenerateGraphs:
+    def test_engine_on_empty_graph(self):
+        from repro.graph.edge_stream import EdgeStream
+        from repro.graph.temporal_graph import TemporalGraph
+
+        graph = TemporalGraph.from_stream(EdgeStream.empty(), num_vertices=4)
+        engine = TeaEngine(graph, unbiased_walk())
+        result = engine.run(Workload(max_length=5), seed=0)
+        assert result.num_walks == 4
+        assert result.total_steps == 0
+
+    def test_engine_on_single_edge(self):
+        from repro.graph.temporal_graph import TemporalGraph
+
+        graph = TemporalGraph.from_edges([(0, 1, 1.0)])
+        engine = TeaEngine(graph, exponential_walk())
+        result = engine.run(Workload(max_length=5), seed=0)
+        paths = {tuple(p.vertices) for p in result.paths}
+        assert paths == {(0, 1), (1,)}
+
+    def test_self_loop_graph(self):
+        """Self loops at increasing times are legal temporal edges."""
+        from repro.graph.temporal_graph import TemporalGraph
+
+        graph = TemporalGraph.from_edges(
+            [(0, 0, float(t)) for t in range(5)]
+        )
+        engine = TeaEngine(graph, unbiased_walk())
+        result = engine.run(Workload(max_length=10), seed=0)
+        path = result.paths[0]
+        times = [t for _, t in path.hops if t is not None]
+        assert times == sorted(times)
+        assert all(v == 0 for v in path.vertices)

@@ -1,0 +1,33 @@
+"""Every shipped example must run cleanly end to end."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script, monkeypatch, capsys):
+    # Examples tuned for humans can be slow; shrink their knobs where the
+    # module exposes them, otherwise just run as-is.
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    namespace = runpy.run_path(str(script), run_name="not_main")
+    assert "main" in namespace
+    if script.stem == "streaming_updates":
+        # The rebuild-vs-incremental demo at full size takes seconds; the
+        # streaming session alone covers the example's code path.
+        namespace["streaming_session"]()
+        namespace["incremental_vs_rebuild"](degree=5_000, batch=200)
+    else:
+        namespace["main"]()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.stem} produced no output"
+
+
+def test_examples_exist():
+    names = {p.stem for p in EXAMPLES}
+    assert {"quickstart", "commute_network", "ecommerce_recommendation",
+            "streaming_updates", "out_of_core"} <= names

@@ -1,0 +1,34 @@
+"""Exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    EmptyCandidateSetError,
+    GraphFormatError,
+    NotSupportedError,
+    SamplingBudgetExceeded,
+    SimulatedOOM,
+    TeaError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            GraphFormatError,
+            EmptyCandidateSetError,
+            NotSupportedError,
+            SamplingBudgetExceeded,
+        ],
+    )
+    def test_all_derive_from_tea_error(self, exc):
+        assert issubclass(exc, TeaError)
+
+    def test_simulated_oom_fields(self):
+        err = SimulatedOOM(10_000, 1_000, what="test structure")
+        assert isinstance(err, TeaError)
+        assert err.required_bytes == 10_000
+        assert err.budget_bytes == 1_000
+        assert "test structure" in str(err)
+        assert "10,000" in str(err)

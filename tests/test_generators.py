@@ -1,0 +1,150 @@
+"""Synthetic generators: determinism, shape, and degree structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    temporal_bipartite,
+    temporal_erdos_renyi,
+    temporal_powerlaw,
+    temporal_star,
+    toy_commute_graph,
+)
+from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.validate import check_graph
+
+
+class TestToyCommute:
+    def test_matches_paper_figure1(self):
+        graph = TemporalGraph.from_stream(toy_commute_graph())
+        # Vertex 7 has exactly the out-edges used in every worked example.
+        nbrs, times = graph.neighbors(7)
+        assert dict(zip(nbrs.tolist(), times.tolist())) == {
+            i: float(i + 1) for i in range(7)
+        }
+
+    def test_valid_structure(self):
+        graph = TemporalGraph.from_stream(toy_commute_graph())
+        assert check_graph(graph) == []
+
+
+class TestErdosRenyi:
+    def test_deterministic(self):
+        a = temporal_erdos_renyi(20, 100, seed=5)
+        b = temporal_erdos_renyi(20, 100, seed=5)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        a = temporal_erdos_renyi(20, 100, seed=5)
+        b = temporal_erdos_renyi(20, 100, seed=6)
+        assert a != b
+
+    def test_shape(self):
+        stream = temporal_erdos_renyi(20, 100, time_horizon=50.0, seed=0)
+        assert len(stream) == 100
+        assert stream.num_vertices() <= 20
+        assert stream.time.max() <= 50.0
+        assert stream.time.min() >= 0.0
+
+
+class TestPowerlaw:
+    def test_degree_skew_grows_with_alpha(self):
+        flat = temporal_powerlaw(200, 5000, alpha=0.2, seed=1)
+        skewed = temporal_powerlaw(200, 5000, alpha=1.4, seed=1)
+        d_flat = TemporalGraph.from_stream(flat).max_degree()
+        d_skew = TemporalGraph.from_stream(skewed).max_degree()
+        assert d_skew > d_flat
+
+    def test_integer_times(self):
+        stream = temporal_powerlaw(20, 200, time_horizon=100, seed=2, integer_times=True)
+        assert np.all(stream.time == np.floor(stream.time))
+
+    def test_mean_degree(self):
+        graph = TemporalGraph.from_stream(temporal_powerlaw(100, 3000, seed=3))
+        assert graph.mean_degree() == pytest.approx(30.0)
+
+    def test_deterministic(self):
+        assert temporal_powerlaw(50, 500, seed=9) == temporal_powerlaw(50, 500, seed=9)
+
+
+class TestStar:
+    def test_single_hub(self):
+        stream = temporal_star(degree=64, seed=0)
+        graph = TemporalGraph.from_stream(stream)
+        assert graph.out_degree(0) == 64
+        assert graph.max_degree() == 64
+
+    def test_times_sorted_distinct_targets(self):
+        stream = temporal_star(degree=16, seed=1)
+        assert stream.is_time_sorted()
+        assert len(set(stream.dst.tolist())) == 16
+
+    def test_hub_offset(self):
+        stream = temporal_star(degree=8, seed=1, hub=100)
+        assert set(stream.src.tolist()) == {100}
+
+
+class TestBipartite:
+    def test_partition_respected(self):
+        stream = temporal_bipartite(10, 5, 200, seed=4)
+        graph = TemporalGraph.from_stream(stream)
+        # Edges alternate sides: user->item and item->user only.
+        src = np.repeat(np.arange(graph.num_vertices), np.diff(graph.indptr))
+        left = src < 10
+        assert np.all(graph.nbr[left] >= 10)
+        assert np.all(graph.nbr[~left] < 10)
+
+    def test_symmetric_counts(self):
+        stream = temporal_bipartite(10, 5, 200, seed=4)
+        assert len(stream) == 400  # both directions materialised
+
+
+class TestBursty:
+    def test_times_cluster(self):
+        from repro.graph.generators import temporal_bursty
+
+        stream = temporal_bursty(50, 3000, num_bursts=5, burst_width=1.0,
+                                 time_horizon=1000.0, seed=7)
+        assert len(stream) == 3000
+        # With 5 tight bursts, most inter-edge gaps are tiny and a few are
+        # huge: the gap distribution is far more skewed than uniform.
+        gaps = np.diff(np.sort(stream.time))
+        assert np.median(gaps) < 0.1
+        assert gaps.max() > 20.0
+
+    def test_deterministic(self):
+        from repro.graph.generators import temporal_bursty
+
+        a = temporal_bursty(20, 200, seed=3)
+        b = temporal_bursty(20, 200, seed=3)
+        assert a == b
+
+    def test_times_within_horizon(self):
+        from repro.graph.generators import temporal_bursty
+
+        stream = temporal_bursty(20, 500, time_horizon=100.0, seed=1)
+        assert stream.time.min() >= 0.0
+        assert stream.time.max() <= 100.0
+
+    def test_time_structure_moves_rejection_not_tea(self):
+        """Bursty timestamps flatten within-candidate exponential skew
+        (whole bursts share near-max weight), collapsing rejection's
+        expected trials, while TEA's hybrid cost is insensitive to time
+        structure — measured via the analytic cost model."""
+        from repro.core.weights import WeightModel
+        from repro.graph.generators import temporal_bursty
+        from repro.graph.stats import predict_sampling_costs
+        from repro.graph.temporal_graph import TemporalGraph
+
+        bursty = TemporalGraph.from_stream(
+            temporal_bursty(100, 8000, num_bursts=8, burst_width=0.5, seed=2)
+        )
+        uniform = TemporalGraph.from_stream(
+            temporal_powerlaw(100, 8000, alpha=1.0, seed=2)
+        )
+        model = WeightModel("exponential", scale=6.0)
+        pb = predict_sampling_costs(bursty, model)
+        pu = predict_sampling_costs(uniform, model)
+        assert pb.rejection < pu.rejection / 2  # bursts flatten the skew
+        # TEA's cost is time-structure-insensitive.
+        assert abs(pb.tea_hybrid - pu.tea_hybrid) < 1.0

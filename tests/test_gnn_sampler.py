@@ -1,0 +1,128 @@
+"""Temporal GNN neighborhood sampling (paper §4.4's TGNN use case)."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import TemporalNeighborSampler
+from repro.graph.generators import temporal_powerlaw
+from repro.graph.temporal_graph import TemporalGraph
+from repro.rng import make_rng
+from tests.conftest import chisquare_ok
+
+
+@pytest.fixture(scope="module")
+def interaction_graph():
+    return TemporalGraph.from_stream(
+        temporal_powerlaw(60, 2500, alpha=0.8, time_horizon=100.0, seed=6)
+    )
+
+
+def chain_graph(n=16):
+    """Vertex 0 interacts with i+1 at time i."""
+    return TemporalGraph.from_edges([(0, i + 1, float(i)) for i in range(n)])
+
+
+class TestNoFuturePeeking:
+    def test_all_samples_strictly_before_query(self, interaction_graph):
+        sampler = TemporalNeighborSampler(interaction_graph, seed=0)
+        nodes = np.arange(interaction_graph.num_vertices)
+        times = np.full(nodes.size, 50.0)
+        block = sampler.sample_neighbors(nodes, times, k=5)
+        assert np.all(block.times[block.mask] < 50.0)
+
+    def test_multihop_times_decrease(self, interaction_graph):
+        sampler = TemporalNeighborSampler(interaction_graph, seed=1)
+        seeds = np.arange(10)
+        blocks = sampler.sample_blocks(seeds, np.full(10, 90.0), fanouts=[4, 3])
+        assert 1 <= len(blocks) <= 2
+        if len(blocks) == 2:
+            # Every hop-2 sample precedes its hop-1 seed time.
+            assert np.all(
+                blocks[1].times[blocks[1].mask] < blocks[1].seed_times[blocks[1].mask.any(axis=1)].max()
+            )
+            for row in range(blocks[1].seeds.size):
+                row_mask = blocks[1].mask[row]
+                if row_mask.any():
+                    assert np.all(
+                        blocks[1].times[row][row_mask] < blocks[1].seed_times[row]
+                    )
+
+    def test_query_before_first_interaction_is_empty(self):
+        graph = chain_graph()
+        sampler = TemporalNeighborSampler(graph, seed=0)
+        block = sampler.sample_neighbors([0], [0.0], k=4)  # t=0: nothing earlier
+        assert not block.mask.any()
+
+    def test_num_earlier_interactions(self):
+        graph = chain_graph(8)
+        sampler = TemporalNeighborSampler(graph, seed=0)
+        assert sampler.num_earlier_interactions(0, 0.0) == 0
+        assert sampler.num_earlier_interactions(0, 3.5) == 4
+        assert sampler.num_earlier_interactions(0, 100.0) == 8
+
+
+class TestDistributions:
+    def test_uniform_over_past(self):
+        graph = chain_graph(8)
+        sampler = TemporalNeighborSampler(graph, recency_scale=None, seed=2)
+        block = sampler.sample_neighbors([0] * 6000, [100.0] * 6000, k=1)
+        counts = np.bincount(block.neighbors[:, 0], minlength=9)[1:]
+        assert chisquare_ok(counts.astype(float), np.full(8, 1 / 8))
+
+    def test_recency_bias(self):
+        """exp recency: neighbor i+1 (time i) has weight exp(i/scale)."""
+        graph = chain_graph(8)
+        sampler = TemporalNeighborSampler(graph, recency_scale=2.0, seed=3)
+        block = sampler.sample_neighbors([0] * 30000, [100.0] * 30000, k=1)
+        counts = np.bincount(block.neighbors[:, 0], minlength=9)[1:].astype(float)
+        w = np.exp(np.arange(8) / 2.0)
+        assert chisquare_ok(counts, w / w.sum())
+        # Qualitative: the most recent interaction dominates.
+        assert counts[-1] == counts.max()
+
+    def test_partial_past_window(self):
+        """Query at t=4.5 sees only interactions 0..4 (times 0..4)."""
+        graph = chain_graph(8)
+        sampler = TemporalNeighborSampler(graph, recency_scale=5.0, seed=4)
+        block = sampler.sample_neighbors([0] * 2000, [4.5] * 2000, k=2)
+        seen = set(block.neighbors[block.mask].tolist())
+        assert seen == {1, 2, 3, 4, 5}  # neighbors with times 0..4
+
+
+class TestBlocks:
+    def test_shapes_and_padding(self, interaction_graph):
+        sampler = TemporalNeighborSampler(interaction_graph, seed=5)
+        block = sampler.sample_neighbors([0, 1, 2], [90.0, 90.0, 90.0], k=7)
+        assert block.neighbors.shape == (3, 7)
+        assert block.times.shape == (3, 7)
+        assert block.mask.shape == (3, 7)
+        assert block.fanout == 7
+        # Padding rows/cells are zeroed.
+        assert np.all(block.neighbors[~block.mask] == 0)
+
+    def test_flatten_frontier(self, interaction_graph):
+        sampler = TemporalNeighborSampler(interaction_graph, seed=6)
+        block = sampler.sample_neighbors(np.arange(8), np.full(8, 80.0), k=3)
+        nodes, times = block.flatten_frontier()
+        assert nodes.size == times.size == int(block.mask.sum())
+
+    def test_validation(self, interaction_graph):
+        sampler = TemporalNeighborSampler(interaction_graph, seed=0)
+        with pytest.raises(ValueError):
+            sampler.sample_neighbors([0], [1.0], k=0)
+        with pytest.raises(ValueError):
+            sampler.sample_neighbors([0, 1], [1.0], k=2)
+
+    def test_counters_and_memory(self, interaction_graph):
+        sampler = TemporalNeighborSampler(interaction_graph, seed=7)
+        sampler.sample_neighbors(np.arange(10), np.full(10, 90.0), k=4)
+        assert sampler.counters.steps > 0
+        assert sampler.nbytes() > 0
+
+    def test_deterministic_with_seed(self, interaction_graph):
+        a = TemporalNeighborSampler(interaction_graph, recency_scale=10.0, seed=9)
+        b = TemporalNeighborSampler(interaction_graph, recency_scale=10.0, seed=9)
+        ba = a.sample_neighbors(np.arange(5), np.full(5, 70.0), k=3)
+        bb = b.sample_neighbors(np.arange(5), np.full(5, 70.0), k=3)
+        assert np.array_equal(ba.neighbors, bb.neighbors)
+        assert np.array_equal(ba.times, bb.times)

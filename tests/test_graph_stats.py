@@ -1,0 +1,94 @@
+"""Graph statistics and the analytic sampling-cost predictor."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import WeightModel
+from repro.engines import KnightKingEngine, TeaEngine, Workload
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.generators import temporal_powerlaw
+from repro.graph.stats import graph_stats, predict_sampling_costs
+from repro.graph.temporal_graph import TemporalGraph
+from repro.walks.apps import exponential_walk
+
+
+class TestGraphStats:
+    def test_toy_graph(self, toy_graph):
+        stats = graph_stats(toy_graph)
+        assert stats.num_vertices == 10
+        assert stats.num_edges == 18
+        assert stats.max_degree == 7
+        assert stats.mean_degree == pytest.approx(1.8)
+        assert stats.time_min == 0.0 and stats.time_max == 7.0
+        assert 0.0 <= stats.dead_end_fraction <= 1.0
+
+    def test_empty_graph(self):
+        graph = TemporalGraph.from_stream(EdgeStream.empty(), num_vertices=3)
+        stats = graph_stats(graph)
+        assert stats.num_edges == 0
+        assert stats.mean_candidate_size == 0.0
+
+    def test_snapshot_keys(self, small_graph):
+        snap = graph_stats(small_graph).snapshot()
+        for key in ("mean_degree", "max_degree", "degree_skew",
+                    "mean_candidate_size", "dead_end_fraction"):
+            assert key in snap
+
+    def test_candidate_stats_consistent(self, small_graph):
+        stats = graph_stats(small_graph)
+        sizes = small_graph.candidate_counts_per_edge()
+        assert stats.mean_candidate_size == pytest.approx(sizes.mean())
+        assert stats.max_candidate_size == sizes.max()
+
+
+class TestPredictedCosts:
+    def test_orderings(self, medium_graph):
+        """Analytic Fig. 2: TEA < ITS < rejection <= full scan."""
+        pred = predict_sampling_costs(
+            medium_graph, WeightModel("exponential", scale=6.0)
+        )
+        assert pred.tea_hybrid < pred.its < pred.full_scan
+        assert pred.rejection <= pred.full_scan + 1e-9
+        assert pred.tea_hybrid < pred.rejection
+
+    def test_rejection_grows_with_skew(self, medium_graph):
+        mild = predict_sampling_costs(medium_graph, WeightModel("exponential", scale=50.0))
+        sharp = predict_sampling_costs(medium_graph, WeightModel("exponential", scale=3.0))
+        assert sharp.rejection > mild.rejection
+        assert sharp.tea_hybrid == pytest.approx(mild.tea_hybrid)
+
+    def test_uniform_weights_rejection_is_one(self, medium_graph):
+        pred = predict_sampling_costs(medium_graph, WeightModel("uniform"))
+        assert pred.rejection == pytest.approx(1.0)
+
+    def test_prediction_matches_measurement(self):
+        """The analytic model must agree with the instrumented engines —
+        the self-test that measured Figure 2 comes from the modeled
+        mechanism."""
+        graph = TemporalGraph.from_stream(
+            temporal_powerlaw(300, 12000, alpha=1.0, time_horizon=500.0, seed=4)
+        )
+        spec = exponential_walk(scale=6.0)
+        pred = predict_sampling_costs(graph, spec.weight_model)
+        workload = Workload(walks_per_vertex=2, max_length=80)
+
+        kk = KnightKingEngine(graph, spec).run(workload, seed=0, record_paths=False)
+        # Measured rejection trials per step vs analytic (arrival-weighted
+        # approximation): same order of magnitude and within 2x.
+        measured_trials = kk.counters.rejection_trials / kk.counters.steps
+        assert measured_trials == pytest.approx(pred.rejection, rel=1.0)
+
+        tea = TeaEngine(graph, spec).run(workload, seed=0, record_paths=False)
+        assert tea.counters.edges_per_step == pytest.approx(pred.tea_hybrid, rel=1.0)
+
+    def test_empty_graph(self):
+        graph = TemporalGraph.from_stream(EdgeStream.empty(), num_vertices=2)
+        pred = predict_sampling_costs(graph, WeightModel("uniform"))
+        assert pred.full_scan == 0.0
+
+    def test_subsampling(self, medium_graph):
+        full = predict_sampling_costs(medium_graph, WeightModel("uniform"),
+                                      max_samples=None)
+        sub = predict_sampling_costs(medium_graph, WeightModel("uniform"),
+                                     max_samples=500, seed=1)
+        assert sub.full_scan == pytest.approx(full.full_scan, rel=0.35)

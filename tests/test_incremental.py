@@ -1,0 +1,177 @@
+"""Incremental HPAT: streaming appends, carries, equivalence to rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import IncrementalHPAT, VertexIncrementalHPAT
+from repro.core.weights import WeightModel
+from repro.exceptions import EmptyCandidateSetError, NotSupportedError
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.temporal_graph import TemporalGraph
+from repro.rng import make_rng
+from tests.conftest import chisquare_ok
+
+
+def vertex_with_batches(batches, model=None) -> VertexIncrementalHPAT:
+    vert = VertexIncrementalHPAT(model or WeightModel("linear_rank"))
+    for dst, times in batches:
+        vert.append_batch(np.asarray(dst), np.asarray(times, dtype=float))
+    return vert
+
+
+class TestAppend:
+    def test_basic_append(self):
+        vert = vertex_with_batches([([1, 2, 3], [1.0, 2.0, 3.0])])
+        assert vert.num_edges == 3
+        dst, times, _ = vert.edges_desc()
+        assert list(dst) == [3, 2, 1]
+        assert list(times) == [3.0, 2.0, 1.0]
+
+    def test_empty_batch_noop(self):
+        vert = vertex_with_batches([([], [])])
+        assert vert.num_edges == 0
+
+    def test_out_of_order_batch_rejected(self):
+        vert = vertex_with_batches([([1], [5.0])])
+        with pytest.raises(NotSupportedError):
+            vert.append_batch(np.array([2]), np.array([3.0]))
+
+    def test_unsorted_batch_rejected(self):
+        vert = VertexIncrementalHPAT(WeightModel("uniform"))
+        with pytest.raises(NotSupportedError):
+            vert.append_batch(np.array([1, 2]), np.array([5.0, 3.0]))
+
+    def test_equal_times_allowed(self):
+        vert = vertex_with_batches([([1], [5.0]), ([2], [5.0])])
+        assert vert.num_edges == 2
+        dst, _, _ = vert.edges_desc()
+        assert list(dst) == [2, 1]  # newer stream position first
+
+    def test_carry_merge_bounds_blocks(self):
+        """Equal-size appends carry like a binary counter: O(log) blocks."""
+        vert = VertexIncrementalHPAT(WeightModel("uniform"))
+        for i in range(64):
+            vert.append_batch(np.array([i]), np.array([float(i)]))
+        assert vert.num_blocks() <= 7  # 64 ones → few blocks
+        assert vert.num_edges == 64
+
+    def test_amortised_merge_cost(self):
+        """Total re-indexed edges stay O(n log n) under single appends."""
+        vert = VertexIncrementalHPAT(WeightModel("uniform"))
+        n = 256
+        for i in range(n):
+            vert.append_batch(np.array([i]), np.array([float(i)]))
+        assert vert.merged_edges <= 4 * n * np.log2(n)
+
+    def test_big_batch_after_small_absorbs(self):
+        vert = vertex_with_batches(
+            [([0], [0.0]), ([1], [1.0]), (list(range(2, 50)), list(range(2, 50)))]
+        )
+        assert vert.num_blocks() == 1
+
+
+class TestCandidateCount:
+    def test_matches_static_graph(self):
+        rng = make_rng(0)
+        times = np.sort(rng.uniform(0, 100, 64))
+        vert = vertex_with_batches(
+            [(np.arange(20), times[:20]), (np.arange(20, 64), times[20:])]
+        )
+        stream = EdgeStream(np.zeros(64, dtype=int), np.arange(64), times)
+        graph = TemporalGraph.from_stream(stream)
+        for t in [None, -1.0, 0.0, 50.0, 99.0, 200.0]:
+            assert vert.candidate_count(t) == graph.candidate_count(0, t), t
+
+    def test_strictness(self):
+        vert = vertex_with_batches([([1, 2], [1.0, 2.0])])
+        assert vert.candidate_count(1.0) == 1
+        assert vert.candidate_count(0.99) == 2
+
+
+class TestSamplingEquivalence:
+    """Incremental structure ≡ from-scratch HPAT, for any batch split."""
+
+    @pytest.mark.parametrize("splits", [[64], [1] * 64, [5, 59], [17, 30, 17], [63, 1]])
+    def test_distribution_matches_exact(self, splits):
+        rng = make_rng(42)
+        n = sum(splits)
+        times = np.sort(rng.uniform(0, 50, n))
+        model = WeightModel("exponential", scale=10.0)
+        batches = []
+        pos = 0
+        for size in splits:
+            batches.append((np.arange(pos, pos + size), times[pos : pos + size]))
+            pos += size
+        vert = vertex_with_batches(batches, model)
+        _, t_desc, w_desc = vert.edges_desc()
+        for s in [1, n // 3, n]:
+            if s < 1:
+                continue
+            probs = w_desc[:s] / w_desc[:s].sum()
+            counts = np.zeros(n)
+            for _ in range(12000):
+                dst, _ = vert.sample(s, rng)
+                counts[dst - 0] += 1
+            # Map destinations back to time-desc positions: dst == index
+            # into ascending order, so position = n - 1 - dst.
+            counts_desc = counts[::-1][: s + 0]
+            # All mass must be within the candidate prefix.
+            assert counts[::-1][s:].sum() == 0
+            assert chisquare_ok(counts_desc[:s], probs), (splits, s)
+
+    def test_invalid_candidate_sizes(self):
+        vert = vertex_with_batches([([1], [1.0])])
+        with pytest.raises(EmptyCandidateSetError):
+            vert.sample(0, make_rng(0))
+        with pytest.raises(EmptyCandidateSetError):
+            vert.sample(2, make_rng(0))
+
+
+class TestGraphLevel:
+    def test_apply_batches_matches_static(self, small_graph):
+        model = WeightModel("linear_rank")
+        inc = IncrementalHPAT(model)
+        stream = small_graph.to_stream()
+        for batch in stream.batches(97):
+            inc.apply_batch(batch)
+        assert inc.num_edges == small_graph.num_edges
+        for v in range(small_graph.num_vertices):
+            assert inc.candidate_count(v, None) == small_graph.out_degree(v)
+            assert inc.candidate_count(v, 50.0) == small_graph.candidate_count(v, 50.0)
+
+    def test_init_from_graph(self, small_graph):
+        inc = IncrementalHPAT(WeightModel("uniform"), graph=small_graph)
+        assert inc.num_edges == small_graph.num_edges
+
+    def test_sample_unknown_vertex(self):
+        inc = IncrementalHPAT(WeightModel("uniform"))
+        with pytest.raises(EmptyCandidateSetError):
+            inc.sample(3, 1, make_rng(0))
+
+    def test_nbytes_grows(self, small_graph):
+        inc = IncrementalHPAT(WeightModel("uniform"))
+        stream = small_graph.to_stream()
+        sizes = []
+        for batch in stream.batches(300):
+            inc.apply_batch(batch)
+            sizes.append(inc.nbytes())
+        assert sizes == sorted(sizes)
+        assert sizes[-1] > 0
+
+
+class TestWeightKinds:
+    @pytest.mark.parametrize(
+        "kind,scale", [("uniform", 1.0), ("linear_rank", 1.0),
+                       ("linear_time", 1.0), ("exponential", 10.0)]
+    )
+    def test_weights_positive_and_monotone(self, kind, scale):
+        rng = make_rng(1)
+        times = np.sort(rng.uniform(0, 40, 30))
+        vert = vertex_with_batches(
+            [(np.arange(15), times[:15]), (np.arange(15, 30), times[15:])],
+            WeightModel(kind, scale),
+        )
+        _, _, w = vert.edges_desc()
+        assert np.all(w > 0)
+        if kind != "uniform":
+            assert np.all(w[:-1] >= w[1:] - 1e-12)  # newest-first ⇒ non-increasing

@@ -1,0 +1,74 @@
+"""Edge-list I/O: text and binary formats."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph import io as graph_io
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.generators import temporal_powerlaw
+
+
+@pytest.fixture
+def stream():
+    return temporal_powerlaw(20, 150, seed=0)
+
+
+class TestText:
+    def test_roundtrip(self, stream, tmp_path):
+        path = tmp_path / "edges.txt"
+        graph_io.save_edge_list(stream, path)
+        loaded = graph_io.load_edge_list(path)
+        assert np.array_equal(loaded.src, stream.src)
+        assert np.array_equal(loaded.dst, stream.dst)
+        assert np.allclose(loaded.time, stream.time)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_text("# comment\n% konect-style\n\n0 1 3.5\n1 2 4\n")
+        loaded = graph_io.load_edge_list(path)
+        assert len(loaded) == 2
+
+    def test_missing_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(GraphFormatError, match="expected"):
+            graph_io.load_edge_list(path)
+
+    def test_non_numeric_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("a b c\n")
+        with pytest.raises(GraphFormatError):
+            graph_io.load_edge_list(path)
+
+
+class TestBinary:
+    def test_roundtrip(self, stream, tmp_path):
+        path = tmp_path / "edges.tegb"
+        graph_io.save_binary(stream, path)
+        loaded = graph_io.load_binary(path)
+        assert loaded == stream
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bad.tegb"
+        path.write_bytes(b"NOPE" * 10)
+        with pytest.raises(GraphFormatError, match="not a .tegb"):
+            graph_io.load_binary(path)
+
+    def test_truncated(self, stream, tmp_path):
+        path = tmp_path / "edges.tegb"
+        graph_io.save_binary(stream, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(GraphFormatError, match="truncated"):
+            graph_io.load_binary(path)
+
+
+class TestAuto:
+    def test_dispatch_by_extension(self, stream, tmp_path):
+        bin_path = tmp_path / "e.tegb"
+        txt_path = tmp_path / "e.txt"
+        graph_io.save_binary(stream, bin_path)
+        graph_io.save_edge_list(stream, txt_path)
+        assert graph_io.load_auto(bin_path) == stream
+        assert len(graph_io.load_auto(txt_path)) == len(stream)

@@ -1,0 +1,127 @@
+"""Persistent Alias Table: construction, layout, sampling distribution."""
+
+import numpy as np
+import pytest
+
+from repro.core.builder import build_pat
+from repro.core.weights import WeightModel
+from repro.exceptions import EmptyCandidateSetError
+from repro.rng import make_rng
+from repro.sampling.counters import CostCounters
+from tests.conftest import chisquare_ok
+
+
+@pytest.fixture
+def toy_pat(toy_graph):
+    weights = WeightModel("linear_rank").compute(toy_graph)
+    return build_pat(toy_graph, weights), weights
+
+
+class TestConstruction:
+    def test_trunk_size_sqrt_rule(self, toy_graph, toy_pat):
+        pat, _ = toy_pat
+        # Vertex 7 has degree 7 → trunkSize floor(sqrt(7)) = 2 (Figure 5).
+        assert pat.trunk_sizes[7] == 2
+
+    def test_forced_trunk_size(self, toy_graph):
+        weights = WeightModel("uniform").compute(toy_graph)
+        pat = build_pat(toy_graph, weights, trunk_size=3)
+        assert np.all(pat.trunk_sizes == 3)
+
+    def test_bad_trunk_size(self, toy_graph):
+        weights = WeightModel("uniform").compute(toy_graph)
+        with pytest.raises(ValueError):
+            build_pat(toy_graph, weights, trunk_size=0)
+
+    def test_prefix_sums_figure5(self, toy_graph, toy_pat):
+        """Figure 5: trunk prefix sums of vertex 7 are {0, 13, 22, 27, 28}."""
+        pat, _ = toy_pat
+        base = pat.c_base(7)
+        ts = int(pat.trunk_sizes[7])
+        bounds = [pat.c[base + min(j * ts, 7)] for j in range(5)]
+        assert bounds == [0.0, 13.0, 22.0, 27.0, 28.0]
+
+    def test_candidate_weight(self, toy_pat):
+        pat, _ = toy_pat
+        assert pat.candidate_weight(7, 3) == 18.0  # weights 7+6+5
+
+    def test_memory_linear_in_edges(self, medium_graph):
+        weights = WeightModel("uniform").compute(medium_graph)
+        pat = build_pat(medium_graph, weights)
+        m = medium_graph.num_edges
+        # c: (m + n) floats; alias tables: 2m entries — O(D) per vertex.
+        assert pat.nbytes() <= (m + medium_graph.num_vertices) * 8 + m * 16 + m
+
+    def test_breakdown_keys(self, toy_pat):
+        pat, _ = toy_pat
+        breakdown = pat.memory_breakdown()
+        assert set(breakdown) == {"prefix_sums", "alias_tables", "trunk_sizes"}
+
+
+class TestSampling:
+    @pytest.mark.parametrize("s", [1, 2, 3, 4, 5, 6, 7])
+    def test_distribution_all_candidate_sizes(self, toy_graph, toy_pat, s):
+        pat, weights = toy_pat
+        lo = toy_graph.indptr[7]
+        probs = weights[lo : lo + s] / weights[lo : lo + s].sum()
+        rng = make_rng(s)
+        counts = np.zeros(s)
+        for _ in range(25000):
+            counts[pat.sample(7, s, rng)] += 1
+        assert chisquare_ok(counts, probs), f"s={s}"
+
+    def test_complete_trunk_case(self, toy_graph, toy_pat):
+        """Figure 5 case ①: arrival (0,7,3) → candidates {6,5,4,3} = two
+        complete trunks; samples must stay within the first 4 positions."""
+        pat, _ = toy_pat
+        rng = make_rng(0)
+        for _ in range(200):
+            assert pat.sample(7, 4, rng) < 4
+
+    def test_incomplete_trunk_case(self, toy_graph, toy_pat):
+        """Figure 5 case ②: arrival (9,7,4) → candidates {6,5,4} — whole
+        trunk {6,5} plus half of {4,3}."""
+        pat, weights = toy_pat
+        rng = make_rng(1)
+        counts = np.zeros(3)
+        for _ in range(30000):
+            counts[pat.sample(7, 3, rng)] += 1
+        assert chisquare_ok(counts, np.array([7.0, 6.0, 5.0]) / 18.0)
+
+    def test_empty_candidate_rejected(self, toy_pat):
+        pat, _ = toy_pat
+        with pytest.raises(EmptyCandidateSetError):
+            pat.sample(7, 0, make_rng(0))
+
+    def test_exhaustive_medium_graph(self, medium_graph):
+        """Every (vertex, candidate size) on a few vertices: exact match."""
+        weights = WeightModel("exponential", scale=20.0).compute(medium_graph)
+        pat = build_pat(medium_graph, weights)
+        rng = make_rng(3)
+        degrees = medium_graph.degrees()
+        vs = np.argsort(degrees)[-3:]  # highest-degree vertices
+        for v in vs:
+            d = int(degrees[v])
+            lo = medium_graph.indptr[v]
+            for s in {1, 2, d // 2, d}:
+                if s < 1:
+                    continue
+                probs = weights[lo : lo + s] / weights[lo : lo + s].sum()
+                counts = np.zeros(s)
+                for _ in range(8000):
+                    counts[pat.sample(int(v), s, rng)] += 1
+                assert chisquare_ok(counts, probs), (v, s)
+
+    def test_probe_cost_sublinear(self, medium_graph):
+        """PAT probes per step ≪ candidate size: O(log(D/ts)) + O(1)."""
+        weights = WeightModel("uniform").compute(medium_graph)
+        pat = build_pat(medium_graph, weights)
+        v = int(np.argmax(medium_graph.degrees()))
+        d = medium_graph.out_degree(v)
+        counters = CostCounters()
+        rng = make_rng(0)
+        n = 500
+        for _ in range(n):
+            counters.record_step()
+            pat.sample(v, d, rng, counters)
+        assert counters.edges_per_step < 3 + np.log2(d)

@@ -1,0 +1,119 @@
+"""Index persistence: save/load, fingerprinting, engine warm start."""
+
+import numpy as np
+import pytest
+
+from repro.core import persist
+from repro.core.builder import build_hpat, build_pat, search_candidate_sets
+from repro.core.weights import WeightModel
+from repro.engines import TeaEngine, Workload
+from repro.exceptions import GraphFormatError
+from repro.graph.generators import temporal_powerlaw
+from repro.graph.temporal_graph import TemporalGraph
+from repro.rng import make_rng
+from repro.walks.apps import exponential_walk, linear_walk
+
+
+@pytest.fixture
+def setup(small_graph):
+    model = WeightModel("exponential", scale=20.0)
+    weights = model.compute(small_graph)
+    hpat = build_hpat(small_graph, weights)
+    sizes = search_candidate_sets(small_graph)
+    return small_graph, model, hpat, sizes
+
+
+class TestHpatRoundtrip:
+    def test_identical_arrays(self, setup, tmp_path):
+        graph, model, hpat, sizes = setup
+        path = tmp_path / "index.npz"
+        persist.save_hpat(path, hpat, graph, sizes, weight_desc=model.describe())
+        loaded, loaded_sizes = persist.load_hpat(path, graph,
+                                                 weight_desc=model.describe())
+        assert np.array_equal(loaded.c, hpat.c)
+        assert np.array_equal(loaded.prob, hpat.prob)
+        assert np.array_equal(loaded.alias, hpat.alias)
+        assert np.array_equal(loaded_sizes, sizes)
+        assert loaded.aux.max_size == hpat.aux.max_size
+
+    def test_identical_draws(self, setup, tmp_path):
+        graph, model, hpat, sizes = setup
+        path = tmp_path / "index.npz"
+        persist.save_hpat(path, hpat, graph, sizes, weight_desc=model.describe())
+        loaded, _ = persist.load_hpat(path, graph, weight_desc=model.describe())
+        v = int(np.argmax(graph.degrees()))
+        d = graph.out_degree(v)
+        r1, r2 = make_rng(0), make_rng(0)
+        for s in (1, d // 2, d):
+            assert hpat.sample(v, s, r1) == loaded.sample(v, s, r2)
+
+    def test_wrong_graph_rejected(self, setup, tmp_path):
+        graph, model, hpat, sizes = setup
+        path = tmp_path / "index.npz"
+        persist.save_hpat(path, hpat, graph, sizes, weight_desc=model.describe())
+        other = TemporalGraph.from_stream(
+            temporal_powerlaw(20, 100, seed=99)
+        )
+        with pytest.raises(GraphFormatError, match="different graph"):
+            persist.load_hpat(path, other, weight_desc=model.describe())
+
+    def test_wrong_weights_rejected(self, setup, tmp_path):
+        graph, model, hpat, sizes = setup
+        path = tmp_path / "index.npz"
+        persist.save_hpat(path, hpat, graph, sizes, weight_desc=model.describe())
+        with pytest.raises(GraphFormatError, match="weights"):
+            persist.load_hpat(path, graph, weight_desc="linear_rank")
+
+    def test_pat_container_rejected_as_hpat(self, setup, tmp_path):
+        graph, model, _, _ = setup
+        pat = build_pat(graph, model.compute(graph))
+        path = tmp_path / "pat.npz"
+        persist.save_pat(path, pat, graph)
+        with pytest.raises(GraphFormatError, match="HPAT"):
+            persist.load_hpat(path, graph)
+
+
+class TestPatRoundtrip:
+    def test_identical_draws(self, setup, tmp_path):
+        graph, model, _, _ = setup
+        pat = build_pat(graph, model.compute(graph))
+        path = tmp_path / "pat.npz"
+        persist.save_pat(path, pat, graph)
+        loaded = persist.load_pat(path, graph)
+        v = int(np.argmax(graph.degrees()))
+        r1, r2 = make_rng(3), make_rng(3)
+        assert pat.sample(v, graph.out_degree(v), r1) == loaded.sample(
+            v, graph.out_degree(v), r2
+        )
+
+
+class TestEngineWarmStart:
+    def test_second_engine_loads_cache(self, small_graph, tmp_path):
+        cache = str(tmp_path / "warm.npz")
+        spec = exponential_walk(scale=20.0)
+        wl = Workload(max_length=5, max_walks=10)
+
+        first = TeaEngine(small_graph, spec, index_cache_path=cache)
+        result_a = first.run(wl, seed=7)
+        assert first.construction_report is not None  # built fresh
+
+        second = TeaEngine(small_graph, spec, index_cache_path=cache)
+        result_b = second.run(wl, seed=7)
+        assert second.construction_report is None  # loaded, not built
+        assert [p.hops for p in result_a.paths] == [p.hops for p in result_b.paths]
+
+    def test_stale_cache_rebuilt(self, small_graph, tmp_path):
+        cache = str(tmp_path / "warm.npz")
+        TeaEngine(small_graph, exponential_walk(scale=20.0),
+                  index_cache_path=cache).prepare()
+        # Different weight model: the cache must be rejected and rebuilt.
+        engine = TeaEngine(small_graph, linear_walk(), index_cache_path=cache)
+        engine.prepare()
+        assert engine.construction_report is not None
+
+    def test_fingerprint_stability(self, small_graph):
+        a = persist.graph_fingerprint(small_graph)
+        b = persist.graph_fingerprint(small_graph)
+        assert a == b
+        other = TemporalGraph.from_stream(temporal_powerlaw(20, 100, seed=1))
+        assert persist.graph_fingerprint(other) != a

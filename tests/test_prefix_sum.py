@@ -1,0 +1,77 @@
+"""Prefix sums and the instrumented ITS binary search."""
+
+import numpy as np
+import pytest
+
+from repro.rng import make_rng
+from repro.sampling.counters import CostCounters
+from repro.sampling.prefix_sum import build_prefix_sums, draw_in_range, its_search
+
+
+class TestBuildPrefixSums:
+    def test_basic(self):
+        c = build_prefix_sums([5, 6, 7])
+        assert list(c) == [0.0, 5.0, 11.0, 18.0]
+
+    def test_empty(self):
+        assert list(build_prefix_sums([])) == [0.0]
+
+    def test_block_weight_identity(self):
+        w = np.arange(1, 11, dtype=float)
+        c = build_prefix_sums(w)
+        for a in range(10):
+            for b in range(a, 11):
+                assert c[b] - c[a] == pytest.approx(w[a:b].sum())
+
+
+class TestItsSearch:
+    def test_paper_example(self):
+        """Section 2.2: C = {0, 5, 11, 18}, r = 12 selects the third edge."""
+        c = np.array([0.0, 5.0, 11.0, 18.0])
+        assert its_search(c, 12.0) == 2
+
+    def test_boundaries_are_half_open(self):
+        c = np.array([0.0, 5.0, 11.0, 18.0])
+        # C[k-1] < r <= C[k] convention.
+        assert its_search(c, 5.0) == 0
+        assert its_search(c, 5.0001) == 1
+        assert its_search(c, 18.0) == 2
+        assert its_search(c, 0.0001) == 0
+
+    def test_subrange(self):
+        c = np.array([0.0, 1.0, 3.0, 6.0, 10.0])
+        # Search only items 2..3 (prefix range [2, 4)).
+        assert its_search(c, 4.0, lo=2, hi=4) == 2
+        assert its_search(c, 9.0, lo=2, hi=4) == 3
+
+    def test_probe_counting(self):
+        c = build_prefix_sums(np.ones(128))
+        counters = CostCounters()
+        its_search(c, 64.5, counters=counters)
+        # log2(128) = 7 halvings + 1 confirmation probe.
+        assert counters.binary_search_probes == 8
+
+    def test_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            its_search(np.array([0.0, 1.0]), 0.5, lo=1, hi=1)
+
+    def test_every_item_reachable(self):
+        w = np.array([1.0, 2.0, 3.0, 4.0])
+        c = build_prefix_sums(w)
+        hits = set()
+        for r in np.linspace(0.01, 10.0, 200):
+            hits.add(its_search(c, r))
+        assert hits == {0, 1, 2, 3}
+
+
+class TestDrawInRange:
+    def test_half_open_interval(self):
+        rng = make_rng(0)
+        draws = np.array([draw_in_range(rng, 0.0, 1.0) for _ in range(2000)])
+        assert np.all(draws > 0.0)
+        assert np.all(draws <= 1.0)
+
+    def test_uniformity(self):
+        rng = make_rng(1)
+        draws = np.array([draw_in_range(rng, 0.0, 10.0) for _ in range(5000)])
+        assert abs(draws.mean() - 5.0) < 0.2

@@ -1,0 +1,142 @@
+"""Second property-based suite: streams, sinks, deletions, batch engine."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.block_cache import BlockCache
+from repro.core.deletions import TombstoneHPAT
+from repro.core.weights import WeightModel
+from repro.embeddings.link_prediction import auc_score
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.temporal_graph import TemporalGraph
+from repro.rng import make_rng
+from repro.walks.walker import WalkPath
+
+edge_lists = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=9),
+        st.integers(min_value=0, max_value=9),
+        st.floats(min_value=0.0, max_value=1000.0),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+@given(edge_lists)
+def test_edge_stream_always_time_sorted(edges):
+    stream = EdgeStream.from_edges(edges)
+    assert stream.is_time_sorted()
+    assert len(stream) == len(edges)
+
+
+@given(edge_lists, st.floats(min_value=0, max_value=1000),
+       st.floats(min_value=0, max_value=1000))
+def test_interval_is_exact_filter(edges, a, b):
+    lo, hi = min(a, b), max(a, b)
+    stream = EdgeStream.from_edges(edges)
+    sub = stream.interval(lo, hi)
+    expected = sorted(t for _, _, t in edges if lo <= t <= hi)
+    assert list(sub.time) == expected
+
+
+@given(edge_lists, st.integers(min_value=1, max_value=10))
+def test_batches_partition_stream(edges, batch_size):
+    stream = EdgeStream.from_edges(edges)
+    batches = list(stream.batches(batch_size))
+    assert sum(len(b) for b in batches) == len(stream)
+    rebuilt = np.concatenate([b.time for b in batches]) if batches else np.zeros(0)
+    assert np.array_equal(rebuilt, stream.time)
+
+
+@given(edge_lists)
+def test_graph_roundtrip_preserves_multiset(edges):
+    stream = EdgeStream.from_edges(edges)
+    graph = TemporalGraph.from_stream(stream)
+    back = graph.to_stream()
+    assert sorted(zip(back.src, back.dst, back.time)) == sorted(
+        zip(stream.src, stream.dst, stream.time)
+    )
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.sets(st.integers(min_value=0, max_value=39), max_size=20),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_tombstones_never_sampled(degree, dead_positions, seed):
+    dead_positions = {p for p in dead_positions if p < degree}
+    if len(dead_positions) >= degree:
+        return
+    graph = TemporalGraph.from_edges(
+        [(0, i + 1, float(i)) for i in range(degree)]
+    )
+    weights = WeightModel("linear_rank").compute(graph)
+    index = TombstoneHPAT(graph, weights, rebuild_threshold=0.4)
+    for p in dead_positions:
+        index.delete_position(0, p)
+    rng = make_rng(seed)
+    for _ in range(200):
+        assert index.sample(0, degree, rng) not in dead_positions
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(
+        st.lists(st.integers(min_value=0, max_value=20), min_size=1, max_size=8),
+        min_size=1,
+        max_size=10,
+    )
+)
+def test_walk_sink_roundtrip(vertex_seqs):
+    import tempfile
+    from pathlib import Path
+
+    walks = []
+    for seq in vertex_seqs:
+        hops = [(seq[0], None)]
+        hops.extend((v, float(i + 1)) for i, v in enumerate(seq[1:]))
+        walks.append(WalkPath(hops=hops))
+    from repro.walks.sink import WalkSink, read_walks
+
+    tmp = tempfile.TemporaryDirectory()
+    directory = Path(tmp.name)
+    for name in ("w.txt", "w.twalks"):
+        path = directory / name
+        with WalkSink(path, flush_threshold=3) as sink:
+            for walk in walks:
+                sink.append(walk)
+        loaded = list(read_walks(path))
+        assert [w.hops for w in loaded] == [w.hops for w in walks]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(st.tuples(st.text(min_size=1, max_size=3),
+                       st.integers(min_value=1, max_value=32)),
+             min_size=1, max_size=40),
+    st.integers(min_value=64, max_value=2048),
+)
+def test_block_cache_never_exceeds_budget(operations, capacity):
+    cache = BlockCache(capacity)
+    for key, size in operations:
+        cache.put(key, np.zeros(size))
+        assert cache.nbytes <= capacity
+    # Everything retrievable is what was last stored under that key.
+    for key, _ in operations:
+        value = cache.get(key)
+        assert value is None or isinstance(value, np.ndarray)
+
+
+@given(
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50),
+    st.lists(st.floats(min_value=-100, max_value=100), min_size=1, max_size=50),
+)
+def test_auc_bounds_and_antisymmetry(pos, neg):
+    auc = auc_score(pos, neg)
+    assert 0.0 <= auc <= 1.0
+    flipped = auc_score(neg, pos)
+    assert auc + flipped == np.float64(1.0) or abs(auc + flipped - 1.0) < 1e-9

@@ -1,0 +1,72 @@
+"""Performance-regression baseline harness."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    compare,
+    load_baseline,
+    save_baseline,
+    standard_metrics,
+)
+
+
+class TestRoundtrip:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, {"steps": 100.0}, {"walk_s": 0.5}, note="test")
+        payload = load_baseline(path)
+        assert payload["exact"]["steps"] == 100.0
+        assert payload["timings"]["walk_s"] == 0.5
+        assert payload["note"] == "test"
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(path)
+
+
+class TestCompare:
+    BASE = {"version": 1, "exact": {"steps": 100.0, "eps": 2.5},
+            "timings": {"walk_s": 1.0}}
+
+    def test_clean_run(self):
+        problems = compare(self.BASE, {"steps": 100.0, "eps": 2.5},
+                           {"walk_s": 1.2})
+        assert problems == []
+
+    def test_exact_drift_flagged_both_directions(self):
+        worse = compare(self.BASE, {"steps": 110.0, "eps": 2.5}, {})
+        better = compare(self.BASE, {"steps": 90.0, "eps": 2.5}, {})
+        assert len(worse) == 1 and worse[0].kind == "exact"
+        assert len(better) == 1  # unexplained improvement is also a change
+
+    def test_timing_slack(self):
+        ok = compare(self.BASE, {"steps": 100.0, "eps": 2.5}, {"walk_s": 1.4})
+        slow = compare(self.BASE, {"steps": 100.0, "eps": 2.5}, {"walk_s": 2.0})
+        assert ok == []
+        assert len(slow) == 1 and slow[0].kind == "timing"
+        assert "walk_s" in str(slow[0])
+
+    def test_missing_exact_metric_flagged(self):
+        problems = compare(self.BASE, {"steps": 100.0}, {})
+        assert any(p.kind == "exact-missing" for p in problems)
+
+    def test_zero_baseline(self):
+        base = {"version": 1, "exact": {"io": 0.0}, "timings": {}}
+        assert compare(base, {"io": 0.0}, {}) == []
+        assert len(compare(base, {"io": 5.0}, {})) == 1
+
+
+class TestStandardMetrics:
+    def test_deterministic_and_self_consistent(self, tmp_path):
+        exact_a, timings_a = standard_metrics(seed=3)
+        exact_b, timings_b = standard_metrics(seed=3)
+        assert exact_a == exact_b  # cost model is seed-deterministic
+        path = tmp_path / "b.json"
+        save_baseline(path, exact_a, timings_a)
+        problems = compare(load_baseline(path), exact_b,
+                           {k: v for k, v in timings_b.items()})
+        assert [p for p in problems if p.kind.startswith("exact")] == []

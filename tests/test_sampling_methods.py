@@ -1,0 +1,131 @@
+"""ITS, rejection, and full-scan samplers: distribution and cost."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EmptyCandidateSetError, SamplingBudgetExceeded
+from repro.rng import make_rng
+from repro.sampling.counters import CostCounters
+from repro.sampling.fullscan import full_scan_sample
+from repro.sampling.its import ITSSampler
+from repro.sampling.rejection import RejectionSampler
+from tests.conftest import chisquare_ok
+
+WEIGHTS_DESC = np.array([7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0])  # Figure 5
+
+
+def empirical(sample_fn, size, n=30000, seed=0):
+    rng = make_rng(seed)
+    counts = np.zeros(size)
+    for _ in range(n):
+        counts[sample_fn(rng)] += 1
+    return counts
+
+
+class TestITSSampler:
+    @pytest.mark.parametrize("s", [1, 3, 7])
+    def test_distribution(self, s):
+        sampler = ITSSampler(WEIGHTS_DESC)
+        counts = empirical(lambda rng: sampler.sample(s, rng), s)
+        assert chisquare_ok(counts, WEIGHTS_DESC[:s] / WEIGHTS_DESC[:s].sum())
+
+    def test_candidate_weight(self):
+        sampler = ITSSampler(WEIGHTS_DESC)
+        assert sampler.candidate_weight(3) == 18.0
+
+    def test_empty_rejected(self):
+        sampler = ITSSampler(WEIGHTS_DESC)
+        with pytest.raises(EmptyCandidateSetError):
+            sampler.sample(0, make_rng(0))
+
+    def test_probe_cost_logarithmic(self):
+        sampler = ITSSampler(np.ones(1024))
+        counters = CostCounters()
+        rng = make_rng(1)
+        for _ in range(100):
+            sampler.sample(1024, rng, counters)
+        assert counters.binary_search_probes / 100 <= 11.0  # log2(1024)+1
+
+
+class TestRejectionSampler:
+    @pytest.mark.parametrize("s", [1, 4, 7])
+    def test_distribution(self, s):
+        sampler = RejectionSampler(WEIGHTS_DESC)
+        counts = empirical(lambda rng: sampler.sample(s, rng), s)
+        assert chisquare_ok(counts, WEIGHTS_DESC[:s] / WEIGHTS_DESC[:s].sum())
+
+    def test_expected_trials_formula(self):
+        """Section 3.1: skewed exponential weights blow up trial counts."""
+        t = np.arange(1, 8)[::-1].astype(float)
+        w = np.exp(t)  # weights e^7 .. e^1, time-descending
+        sampler = RejectionSampler(w)
+        expected = 7 * np.exp(7) / np.exp(np.arange(1, 8)).sum()
+        assert sampler.expected_trials(7) == pytest.approx(expected)
+        assert sampler.expected_trials(7) > 4  # "drastically squeezed accept area"
+
+    def test_trial_counting_matches_expectation(self):
+        w = np.exp(np.arange(6, 0, -1).astype(float))
+        sampler = RejectionSampler(w)
+        counters = CostCounters()
+        rng = make_rng(5)
+        n = 4000
+        for _ in range(n):
+            sampler.sample(6, rng, counters)
+        measured = counters.rejection_trials / n
+        assert measured == pytest.approx(sampler.expected_trials(6), rel=0.15)
+
+    def test_strict_budget(self):
+        w = np.array([1e9, 1.0])[::-1]  # max weight is huge vs the other
+        sampler = RejectionSampler(w[::-1], max_trials=1, strict=True)
+        # With max_trials=1 and extreme skew, acceptance is overwhelmingly
+        # unlikely for the small item; eventually a budget error surfaces.
+        rng = make_rng(2)
+        with pytest.raises(SamplingBudgetExceeded):
+            for _ in range(1000):
+                sampler.sample(2, rng)
+
+    def test_fallback_is_exact(self):
+        w = np.array([1e9, 1.0])
+        sampler = RejectionSampler(w, max_trials=1, strict=False)
+        counts = empirical(lambda rng: sampler.sample(2, rng), 2, n=20000)
+        assert chisquare_ok(counts, w / w.sum())
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyCandidateSetError):
+            RejectionSampler(WEIGHTS_DESC).sample(0, make_rng(0))
+
+
+class TestFullScan:
+    @pytest.mark.parametrize("s", [1, 4, 7])
+    def test_distribution_static(self, s):
+        counts = empirical(
+            lambda rng: full_scan_sample(WEIGHTS_DESC, s, rng), s
+        )
+        assert chisquare_ok(counts, WEIGHTS_DESC[:s] / WEIGHTS_DESC[:s].sum())
+
+    def test_dynamic_weight_fn(self):
+        times = np.array([7.0, 6.0, 5.0])
+        counts = empirical(
+            lambda rng: full_scan_sample(
+                None, 3, rng,
+                weight_fn=lambda t: np.exp(t - 4.0),
+                times_time_desc=times,
+            ),
+            3,
+        )
+        w = np.exp(times - 4.0)
+        assert chisquare_ok(counts, w / w.sum())
+
+    def test_scan_cost_is_candidate_size(self):
+        counters = CostCounters()
+        rng = make_rng(0)
+        full_scan_sample(WEIGHTS_DESC, 7, rng, counters)
+        assert counters.edges_evaluated == 7
+
+    def test_weight_fn_requires_times(self):
+        with pytest.raises(ValueError):
+            full_scan_sample(WEIGHTS_DESC, 3, make_rng(0), weight_fn=lambda t: t)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EmptyCandidateSetError):
+            full_scan_sample(WEIGHTS_DESC, 0, make_rng(0))

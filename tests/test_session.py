@@ -1,0 +1,85 @@
+"""TeaSession: query serving with engine reuse."""
+
+import pytest
+
+from repro.engines import Workload
+from repro.engines.session import TeaSession
+from repro.walks.apps import exponential_walk, temporal_node2vec, unbiased_walk
+
+
+@pytest.fixture
+def session(small_graph):
+    return TeaSession(small_graph, max_engines=2)
+
+
+class TestCaching:
+    def test_repeat_query_hits(self, session):
+        wl = Workload(max_length=5, max_walks=10)
+        spec = exponential_walk(scale=20.0)
+        session.query(spec, wl, seed=0)
+        session.query(spec, wl, seed=1)
+        assert session.stats.engine_builds == 1
+        assert session.stats.engine_hits == 1
+        assert session.stats.hit_rate == 0.5
+
+    def test_equivalent_specs_share_engine(self, session):
+        wl = Workload(max_length=5, max_walks=5)
+        session.query(exponential_walk(scale=20.0), wl)
+        session.query(exponential_walk(scale=20.0), wl)  # fresh object, same key
+        assert session.stats.engine_builds == 1
+
+    def test_different_windows_build_separately(self, session):
+        wl = Workload(max_length=5, max_walks=5)
+        session.query(unbiased_walk(), wl)
+        session.query(unbiased_walk(time_window=(0.0, 100.0)), wl)
+        assert session.stats.engine_builds == 2
+
+    def test_beta_parameters_distinguish(self, session):
+        wl = Workload(max_length=5, max_walks=5)
+        session.query(temporal_node2vec(p=0.5, q=2.0, scale=20.0), wl)
+        session.query(temporal_node2vec(p=0.25, q=2.0, scale=20.0), wl)
+        assert session.stats.engine_builds == 2
+
+    def test_lru_eviction(self, session):
+        wl = Workload(max_length=3, max_walks=5)
+        session.query(exponential_walk(scale=10.0), wl)
+        session.query(exponential_walk(scale=20.0), wl)
+        session.query(exponential_walk(scale=30.0), wl)  # evicts scale=10
+        assert len(session) == 2
+        assert session.stats.evictions == 1
+        session.query(exponential_walk(scale=10.0), wl)  # rebuilt
+        assert session.stats.engine_builds == 4
+
+    def test_bad_capacity(self, small_graph):
+        with pytest.raises(ValueError):
+            TeaSession(small_graph, max_engines=0)
+
+
+class TestResults:
+    def test_results_match_direct_engine(self, small_graph):
+        from repro.engines.batch import BatchTeaEngine
+
+        wl = Workload(max_length=8, max_walks=20)
+        spec = unbiased_walk()
+        direct = BatchTeaEngine(small_graph, spec).run(wl, seed=5)
+        via_session = TeaSession(small_graph).query(spec, wl, seed=5)
+        assert [p.hops for p in direct.paths] == [p.hops for p in via_session.paths]
+
+    def test_scalar_mode(self, small_graph):
+        session = TeaSession(small_graph, vectorised=False)
+        result = session.query(unbiased_walk(), Workload(max_length=4, max_walks=5))
+        assert result.num_walks == 5
+
+    def test_resident_bytes_tracks_cache(self, session):
+        wl = Workload(max_length=3, max_walks=3)
+        assert session.resident_index_bytes() == 0
+        session.query(unbiased_walk(), wl)
+        one = session.resident_index_bytes()
+        assert one > 0
+        session.query(exponential_walk(scale=15.0), wl)
+        assert session.resident_index_bytes() > one
+
+    def test_snapshot_keys(self, session):
+        session.query(unbiased_walk(), Workload(max_length=2, max_walks=2))
+        snap = session.stats.snapshot()
+        assert {"queries", "engine_hits", "engine_builds", "hit_rate"} <= set(snap)

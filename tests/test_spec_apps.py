@@ -1,0 +1,174 @@
+"""WalkSpec, applications, and the temporal-centric API surface."""
+
+import numpy as np
+import pytest
+
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.temporal_graph import TemporalGraph
+from repro.walks.apps import (
+    APPLICATIONS,
+    exponential_walk,
+    linear_walk,
+    temporal_node2vec,
+    unbiased_walk,
+)
+from repro.walks.spec import Node2VecParameter, WalkSpec
+from repro.walks.walker import Walker, WalkPath
+
+
+class TestApplications:
+    def test_registry_complete(self):
+        assert set(APPLICATIONS) == {"linear", "exponential", "node2vec", "unbiased"}
+
+    def test_linear_uses_rank(self):
+        assert linear_walk().weight_model.kind == "linear_rank"
+
+    def test_exponential_scale(self):
+        assert exponential_walk(scale=7.0).weight_model.scale == 7.0
+
+    def test_node2vec_has_beta(self):
+        spec = temporal_node2vec(p=0.25, q=4.0)
+        assert spec.has_dynamic_parameter
+        assert spec.dynamic_parameter.p == 0.25
+        assert spec.dynamic_parameter.beta_max == 4.0
+
+    def test_unbiased_uniform(self):
+        assert unbiased_walk().weight_model.kind == "uniform"
+
+    def test_describe(self):
+        text = temporal_node2vec().describe()
+        assert "node2vec" in text and "beta" in text
+
+
+class TestNode2VecParameter:
+    @pytest.fixture
+    def graph(self):
+        return TemporalGraph.from_edges(
+            [(0, 1, 1.0), (1, 2, 2.0), (0, 2, 1.5), (2, 3, 3.0)]
+        )
+
+    def test_return_distance_zero(self, graph):
+        beta = Node2VecParameter(p=0.5, q=2.0)
+        assert beta(graph, prev_vertex=0, candidate_vertex=0) == 2.0  # 1/p
+
+    def test_common_neighbor_distance_one(self, graph):
+        beta = Node2VecParameter(p=0.5, q=2.0)
+        # prev=0, candidate=2: 0-2 edge exists → d=1 → β=1.
+        assert beta(graph, prev_vertex=0, candidate_vertex=2) == 1.0
+
+    def test_distance_two(self, graph):
+        beta = Node2VecParameter(p=0.5, q=2.0)
+        # prev=0, candidate=3: not adjacent → β = 1/q.
+        assert beta(graph, prev_vertex=0, candidate_vertex=3) == 0.5
+
+    def test_first_hop_accepts(self, graph):
+        beta = Node2VecParameter(p=0.5, q=2.0)
+        assert beta(graph, prev_vertex=None, candidate_vertex=3) == beta.beta_max
+
+    def test_beta_max(self):
+        assert Node2VecParameter(p=0.1, q=2.0).beta_max == 10.0
+        assert Node2VecParameter(p=2.0, q=0.25).beta_max == 4.0
+        assert Node2VecParameter(p=2.0, q=2.0).beta_max == 1.0
+
+
+class TestEdgesInterval:
+    def test_spec_interval(self):
+        stream = EdgeStream.from_edges([(0, 1, float(t)) for t in range(10)])
+        spec = WalkSpec("w", unbiased_walk().weight_model, time_window=(2.0, 5.0))
+        sub = spec.edges_interval(stream)
+        assert len(sub) == 4
+
+    def test_no_window_identity(self):
+        stream = EdgeStream.from_edges([(0, 1, 1.0)])
+        spec = unbiased_walk()
+        assert spec.edges_interval(stream) is stream
+
+    def test_restrict_preserves_vertex_space(self):
+        stream = EdgeStream.from_edges([(0, 9, 1.0), (9, 0, 5.0)])
+        graph = TemporalGraph.from_stream(stream)
+        spec = unbiased_walk(time_window=(0.0, 2.0))
+        restricted = spec.restrict(graph)
+        assert restricted.num_vertices == graph.num_vertices
+        assert restricted.num_edges == 1
+
+
+class TestWalker:
+    def test_initial_state(self):
+        walker = Walker(5)
+        assert walker.current_vertex == 5
+        assert walker.current_time is None
+        assert walker.previous_vertex is None
+        assert walker.num_edges == 0
+
+    def test_advance(self):
+        walker = Walker(5)
+        walker.advance(3, 1.5)
+        walker.advance(8, 2.5)
+        assert walker.current_vertex == 8
+        assert walker.current_time == 2.5
+        assert walker.previous_vertex == 3
+        assert walker.num_edges == 2
+
+    def test_finish_snapshot(self):
+        walker = Walker(1)
+        walker.advance(2, 1.0)
+        path = walker.finish()
+        walker.advance(3, 2.0)
+        assert len(path) == 2  # snapshot unaffected by later advances
+        assert path.vertices == [1, 2]
+        assert path.times == [None, 1.0]
+        assert path.num_edges == 1
+
+    def test_walkpath_len(self):
+        path = WalkPath(hops=[(0, None)])
+        assert len(path) == 1
+        assert path.num_edges == 0
+
+
+class TestCustomParameter:
+    """Table 2's Dynamic_parameter as a user extension point."""
+
+    def test_validation(self):
+        from repro.walks.spec import CustomParameter
+
+        with pytest.raises(TypeError):
+            CustomParameter(fn="not callable")
+        with pytest.raises(ValueError):
+            CustomParameter(fn=lambda g, p, c: 1.0, beta_max=0.0)
+
+    def test_first_hop_accepts(self):
+        from repro.walks.spec import CustomParameter
+
+        beta = CustomParameter(fn=lambda g, p, c: 0.1, beta_max=2.0)
+        assert beta(None, None, 3) == 2.0
+        assert beta(None, 0, 3) == 0.1
+
+    def test_custom_bias_changes_walk_statistics(self):
+        """A custom β that forbids returning to the previous vertex."""
+        from repro.engines import TeaEngine, Workload
+        from repro.walks.spec import CustomParameter, WalkSpec
+        from repro.core.weights import WeightModel
+
+        graph = TemporalGraph.from_edges(
+            [(0, 1, 1.0), (1, 0, 2.0), (1, 2, 2.0), (0, 3, 3.0), (2, 4, 5.0)]
+        )
+        no_return = CustomParameter(
+            fn=lambda g, prev, cand: 1e-9 if cand == prev else 1.0,
+            beta_max=1.0,
+            name="no-return",
+        )
+        spec = WalkSpec("no-return-walk", WeightModel("uniform"),
+                        dynamic_parameter=no_return)
+        engine = TeaEngine(graph, spec)
+        result = engine.run(
+            Workload(walks_per_vertex=300, max_length=3, start_vertices=[0]),
+            seed=0,
+        )
+        # 0 -> 1 then the only non-return candidate is 2: returns to 0
+        # are (nearly) never accepted.
+        returns = sum(
+            1 for p in result.paths
+            if p.num_edges >= 2 and p.vertices[1] == 1 and p.vertices[2] == 0
+        )
+        assert returns == 0
+        assert "no-return" in spec.describe()

@@ -1,0 +1,111 @@
+"""StreamingTeaEngine: interleaved ingestion and walking."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import NotSupportedError
+from repro.graph.generators import temporal_powerlaw
+from repro.streaming.batch import StreamingTeaEngine
+from repro.walks.apps import exponential_walk, temporal_node2vec, unbiased_walk
+
+
+@pytest.fixture
+def stream():
+    return temporal_powerlaw(num_vertices=40, num_edges=600, seed=2, time_horizon=100.0)
+
+
+class TestIngestion:
+    def test_batched_ingest(self, stream):
+        engine = StreamingTeaEngine(unbiased_walk())
+        batches = engine.ingest(stream, batch_size=100)
+        assert batches == 6
+        assert engine.num_edges == 600
+
+    def test_node2vec_rejected(self):
+        with pytest.raises(NotSupportedError):
+            StreamingTeaEngine(temporal_node2vec())
+
+    def test_active_vertices(self, stream):
+        engine = StreamingTeaEngine(unbiased_walk())
+        engine.ingest(stream, 200)
+        active = engine.active_vertices()
+        assert active == sorted(set(stream.src.tolist()))
+
+    def test_nbytes_positive(self, stream):
+        engine = StreamingTeaEngine(unbiased_walk())
+        engine.ingest(stream, 300)
+        assert engine.nbytes() > 0
+
+
+class TestWalking:
+    def test_paths_are_temporal(self, stream):
+        engine = StreamingTeaEngine(exponential_walk(scale=20.0))
+        engine.ingest(stream, 150)
+        paths = engine.run_walks(engine.active_vertices()[:20], max_length=10, seed=0)
+        assert len(paths) == 20
+        for path in paths:
+            times = [t for _, t in path.hops if t is not None]
+            assert times == sorted(times)
+            assert len(set(times)) == len(times)  # strictly increasing
+
+    def test_walks_see_new_edges(self):
+        """After a batch arrives, walks can traverse its edges."""
+        engine = StreamingTeaEngine(unbiased_walk())
+        from repro.graph.edge_stream import EdgeStream
+
+        engine.apply_batch(EdgeStream.from_edges([(0, 1, 1.0)]))
+        path1 = engine.walk(0, max_length=5, seed=0)
+        assert path1.vertices == [0, 1]
+        engine.apply_batch(EdgeStream.from_edges([(1, 2, 2.0)]))
+        path2 = engine.walk(0, max_length=5, seed=0)
+        assert path2.vertices == [0, 1, 2]
+
+    def test_walk_from_inactive_vertex(self, stream):
+        engine = StreamingTeaEngine(unbiased_walk())
+        engine.ingest(stream, 200)
+        isolated = max(engine.active_vertices()) + 1
+        path = engine.walk(isolated, max_length=5, seed=0)
+        assert path.num_edges == 0
+
+    def test_counters_accumulate(self, stream):
+        engine = StreamingTeaEngine(unbiased_walk())
+        engine.ingest(stream, 300)
+        engine.run_walks(engine.active_vertices()[:10], max_length=5, seed=1)
+        assert engine.counters.steps > 0
+
+
+class TestEquivalenceWithStatic:
+    def test_distribution_matches_static_engine(self, stream):
+        """Streaming-ingested index samples like the static TEA engine."""
+        from repro.engines import TeaEngine
+        from repro.graph.temporal_graph import TemporalGraph
+        from repro.rng import make_rng
+        from tests.conftest import chisquare_ok
+
+        spec = exponential_walk(scale=25.0)
+        streaming = StreamingTeaEngine(spec)
+        streaming.ingest(stream, 97)
+        graph = TemporalGraph.from_stream(stream)
+        static = TeaEngine(graph, spec)
+        static.prepare()
+
+        v = int(np.argmax(graph.degrees()))
+        d = graph.out_degree(v)
+        nbrs, _ = graph.neighbors(v)
+        weights = spec.weight_model.compute(graph)
+        lo = graph.indptr[v]
+        # Exact distribution over destination vertices (may repeat).
+        probs = {}
+        for j in range(d):
+            probs[int(nbrs[j])] = probs.get(int(nbrs[j]), 0.0) + weights[lo + j]
+        keys = sorted(probs)
+        exact = np.array([probs[k] for k in keys])
+        exact /= exact.sum()
+
+        rng = make_rng(0)
+        counts = np.zeros(len(keys))
+        key_pos = {k: i for i, k in enumerate(keys)}
+        for _ in range(15000):
+            dst, _ = streaming.index.sample(v, d, rng)
+            counts[key_pos[dst]] += 1
+        assert chisquare_ok(counts, exact)

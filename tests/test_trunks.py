@@ -1,0 +1,84 @@
+"""Trunk arithmetic: binary decomposition, trunkSize rule, level widths."""
+
+import math
+
+import pytest
+
+from repro.core.trunks import (
+    binary_decompose,
+    decompose_cuts,
+    level_width,
+    num_levels,
+    pat_trunk_size,
+)
+
+
+class TestBinaryDecompose:
+    def test_paper_example_size7(self):
+        """Section 3.3: 7 = 4 + 2 + 1 → trunks at offsets 0, 4, 6."""
+        assert binary_decompose(7) == [(2, 0), (1, 4), (0, 6)]
+
+    def test_paper_example_size3(self):
+        """Γt=4(7) = {6,5,4}: trunks {6,5} (level 1) and {4} (level 0)."""
+        assert binary_decompose(3) == [(1, 0), (0, 2)]
+
+    def test_power_of_two_single_block(self):
+        assert binary_decompose(8) == [(3, 0)]
+
+    def test_zero(self):
+        assert binary_decompose(0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            binary_decompose(-1)
+
+    @pytest.mark.parametrize("size", list(range(1, 200)) + [1023, 1024, 1025, 65537])
+    def test_blocks_cover_and_align(self, size):
+        blocks = binary_decompose(size)
+        total = 0
+        prev_level = None
+        for level, offset in blocks:
+            assert offset == total, "blocks must be contiguous from 0"
+            assert offset % (1 << level) == 0, "blocks must be aligned"
+            if prev_level is not None:
+                assert level < prev_level, "levels strictly decrease"
+            prev_level = level
+            total += 1 << level
+        assert total == size
+        assert len(blocks) == bin(size).count("1")
+
+    def test_cuts_match_blocks(self):
+        for size in range(1, 100):
+            blocks = binary_decompose(size)
+            cuts = decompose_cuts(size)
+            assert cuts == [off + (1 << k) for k, off in blocks]
+            assert cuts[-1] == size
+
+
+class TestPatTrunkSize:
+    def test_in_memory_rule_sqrt(self):
+        """Section 3.2: trunkSize = floor(sqrt(D)) in memory."""
+        for d in (1, 2, 4, 10, 100, 1000, 12345):
+            assert pat_trunk_size(d) == math.isqrt(d)
+
+    def test_memory_limited_rule(self):
+        """Out-of-core: as small as possible (paper uses 10 on twitter)."""
+        assert pat_trunk_size(10**6, memory_limited=True, min_size=10) == 10
+
+    def test_zero_degree(self):
+        assert pat_trunk_size(0) == 1
+
+
+class TestLevels:
+    def test_num_levels(self):
+        assert num_levels(0) == 0
+        assert num_levels(1) == 1
+        assert num_levels(7) == 3   # K = floor(log2 7) = 2 → levels 0..2
+        assert num_levels(8) == 4
+
+    def test_level_width(self):
+        # d=7: level 0 covers 7, level 1 covers 6, level 2 covers 4.
+        assert level_width(7, 0) == 7
+        assert level_width(7, 1) == 6
+        assert level_width(7, 2) == 4
+        assert level_width(7, 3) == 0

@@ -1,0 +1,51 @@
+"""Graph validation and temporal-path checking."""
+
+import numpy as np
+
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.validate import check_graph, is_temporal_path
+
+
+class TestCheckGraph:
+    def test_valid_graph_passes(self, small_graph):
+        assert check_graph(small_graph) == []
+
+    def test_detects_unsorted_adjacency(self):
+        # Hand-build a CSR with ascending (wrong) times.
+        indptr = np.array([0, 2])
+        nbr = np.array([0, 0])
+        etime = np.array([1.0, 2.0])  # ascending: invalid
+        graph = TemporalGraph(indptr, nbr, etime)
+        problems = check_graph(graph)
+        assert any("time-descending" in p for p in problems)
+
+    def test_detects_bad_neighbor(self):
+        indptr = np.array([0, 1])
+        nbr = np.array([7])  # out of range for 1-vertex graph
+        etime = np.array([1.0])
+        graph = TemporalGraph(indptr, nbr, etime)
+        assert any("out of range" in p for p in check_graph(graph))
+
+
+class TestIsTemporalPath:
+    def test_valid_path(self, toy_graph):
+        path = [(9, None), (7, 4.0), (5, 6.0)]
+        assert is_temporal_path(toy_graph, path)
+
+    def test_time_order_violation(self, toy_graph):
+        path = [(8, None), (7, 0.0), (0, 1.0), (7, 3.0), (0, 1.0)]
+        assert not is_temporal_path(toy_graph, path)
+
+    def test_nonexistent_edge(self, toy_graph):
+        path = [(9, None), (4, 1.0)]
+        assert not is_temporal_path(toy_graph, path)
+
+    def test_equal_times_rejected(self, toy_graph):
+        # 8 -> 7 at t=0, then 7 -> ? at the same time 0: no such edge, and
+        # even a fabricated one would violate strict ordering.
+        path = [(8, None), (7, 0.0), (0, 0.0)]
+        assert not is_temporal_path(toy_graph, path)
+
+    def test_single_vertex_path(self, toy_graph):
+        assert is_temporal_path(toy_graph, [(3, None)])

@@ -1,0 +1,91 @@
+"""WeightModel: the static-weight rewrite of Equation 3."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import WeightModel
+from repro.graph.edge_stream import EdgeStream
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestValidation:
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            WeightModel(kind="banana")
+
+    def test_bad_scale(self):
+        with pytest.raises(ValueError):
+            WeightModel(kind="exponential", scale=0.0)
+
+    def test_describe(self):
+        assert "exponential" in WeightModel("exponential", 2.0).describe()
+        assert WeightModel("uniform").describe() == "uniform"
+
+
+class TestCompute:
+    def test_uniform(self, toy_graph):
+        w = WeightModel("uniform").compute(toy_graph)
+        assert np.all(w == 1.0)
+
+    def test_linear_rank_vertex7(self, toy_graph):
+        """Figure 5: vertex 7's temporal weights are 7..1, newest first."""
+        w = WeightModel("linear_rank").compute(toy_graph)
+        lo, hi = toy_graph.indptr[7], toy_graph.indptr[8]
+        assert list(w[lo:hi]) == [7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0]
+
+    def test_linear_time_positive(self, small_graph):
+        w = WeightModel("linear_time").compute(small_graph)
+        assert np.all(w >= 1.0)
+
+    def test_exponential_shift_invariance(self, toy_graph):
+        """Per-vertex max shift: probabilities equal the raw exp form."""
+        w = WeightModel("exponential", scale=1.0).compute(toy_graph)
+        lo, hi = toy_graph.indptr[7], toy_graph.indptr[8]
+        times = toy_graph.etime[lo:hi]
+        raw = np.exp(times)
+        assert np.allclose(w[lo:hi] / w[lo:hi].sum(), raw / raw.sum())
+
+    def test_exponential_newest_weight_is_one(self, small_graph):
+        w = WeightModel("exponential", scale=5.0).compute(small_graph)
+        for v in range(small_graph.num_vertices):
+            lo, hi = small_graph.indptr[v], small_graph.indptr[v + 1]
+            if hi > lo:
+                assert w[lo] == pytest.approx(1.0)
+                assert np.all(w[lo:hi] <= 1.0 + 1e-12)
+
+    def test_exponential_no_overflow_large_times(self):
+        stream = EdgeStream([0, 0], [1, 2], [1e6, 1e6 + 10])
+        graph = TemporalGraph.from_stream(stream)
+        w = WeightModel("exponential", scale=1.0).compute(graph)
+        assert np.all(np.isfinite(w))
+        assert w.max() == pytest.approx(1.0)
+
+    def test_monotone_nonincreasing_per_segment(self, small_graph):
+        """Time-desc order ⇒ non-increasing weights for monotone kinds —
+        the property the rejection envelope's prefix-max relies on."""
+        for kind, scale in [("linear_rank", 1.0), ("linear_time", 1.0),
+                            ("exponential", 10.0)]:
+            w = WeightModel(kind, scale).compute(small_graph)
+            for v in range(small_graph.num_vertices):
+                lo, hi = small_graph.indptr[v], small_graph.indptr[v + 1]
+                seg = w[lo:hi]
+                assert np.all(seg[:-1] >= seg[1:] - 1e-12), (kind, v)
+
+    def test_empty_graph(self):
+        graph = TemporalGraph.from_stream(EdgeStream.empty(), num_vertices=4)
+        assert WeightModel("exponential").compute(graph).size == 0
+
+
+class TestDynamicForm:
+    def test_weight_of_time_exponential(self):
+        model = WeightModel("exponential", scale=2.0)
+        t = np.array([4.0, 2.0])
+        assert np.allclose(model.weight_of_time(t, t_ref=2.0), np.exp([1.0, 0.0]))
+
+    def test_weight_of_time_uniform(self):
+        model = WeightModel("uniform")
+        assert np.all(model.weight_of_time(np.array([1.0, 9.0])) == 1.0)
+
+    def test_weight_of_time_linear(self):
+        model = WeightModel("linear_time")
+        assert np.allclose(model.weight_of_time(np.array([3.0]), 1.0), [3.0])
