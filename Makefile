@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-quick examples lint clean
+.PHONY: install test stats-smoke bench bench-quick examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test:
+test: stats-smoke
 	$(PYTHON) -m pytest tests/
+
+# End-to-end telemetry smoke: run a tiny walk with --stats, write the
+# JSON run report, then replay it (the replay validates the schema and
+# exits nonzero on violations).
+stats-smoke:
+	mkdir -p bench_results
+	PYTHONPATH=src $(PYTHON) -m repro walk --dataset tiny --engine tea \
+		--app exponential --length 10 --max-walks 50 --stats \
+		--trace-out bench_results/stats_smoke.json \
+		--prom-out bench_results/stats_smoke.prom
+	PYTHONPATH=src $(PYTHON) -m repro stats --report bench_results/stats_smoke.json >/dev/null
+	@echo "stats-smoke: run report validated"
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

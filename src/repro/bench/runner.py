@@ -57,11 +57,17 @@ def run_engines(
     workload: Workload,
     seed: RngLike = 0,
     dataset: str = "?",
+    telemetry_dir=None,
 ) -> List[ExperimentRow]:
     """Run every engine factory on the same graph/spec/workload.
 
     A factory raising :class:`SimulatedOOM` during preparation yields an
     OOM row (the Figure 12 convention) instead of aborting the sweep.
+
+    ``telemetry_dir``, when given, receives one schema-versioned JSON
+    run report per engine (``<dataset>_<label>.json`` — the machine
+    companion to the printed table, conventionally written next to the
+    ``bench_results`` text artifacts).
     """
     rows: List[ExperimentRow] = []
     for label, factory in engines.items():
@@ -74,6 +80,16 @@ def run_engines(
         row = ExperimentRow.from_result(dataset, result)
         row.engine = label  # prefer the sweep's label over the engine name
         rows.append(row)
+        if telemetry_dir is not None:
+            import os
+            import re
+
+            from repro.telemetry import write_run_report
+
+            os.makedirs(telemetry_dir, exist_ok=True)
+            slug = re.sub(r"[^A-Za-z0-9_.-]", "-", f"{dataset}_{label}")
+            path = os.path.join(telemetry_dir, f"{slug}.json")
+            write_run_report(path, result.run_report(meta={"dataset": dataset}))
     return rows
 
 

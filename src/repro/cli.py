@@ -90,9 +90,34 @@ def cmd_walk(args) -> int:
         max_length=args.length,
         max_walks=args.max_walks,
     )
-    result = engine.run(workload, seed=args.seed)
-    for key, value in result.summary().items():
-        print(f"{key}: {value}")
+    from repro.telemetry import (
+        MetricsRegistry,
+        Tracer,
+        format_stats_table,
+        to_prometheus,
+        write_run_report,
+    )
+
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=True, walk_sample_every=args.trace_sample)
+    result = engine.run(workload, seed=args.seed, registry=registry, tracer=tracer)
+    report = result.run_report(meta={"dataset": args.dataset or args.input})
+    if args.stats:
+        print(format_stats_table(report))
+    else:
+        for key, value in result.summary().items():
+            print(f"{key}: {value}")
+    try:
+        if args.trace_out:
+            write_run_report(args.trace_out, report)
+            print(f"run report -> {args.trace_out}")
+        if args.prom_out:
+            with open(args.prom_out, "w") as fh:
+                fh.write(to_prometheus(registry))
+            print(f"prometheus exposition -> {args.prom_out}")
+    except OSError as exc:
+        print(f"cannot write telemetry output: {exc}", file=sys.stderr)
+        return 1
     if args.show_paths:
         for path in result.paths[: args.show_paths]:
             hops = " -> ".join(
@@ -103,6 +128,19 @@ def cmd_walk(args) -> int:
 
 
 def cmd_stats(args) -> int:
+    if args.report:
+        from repro.telemetry import format_stats_table, load_run_report
+
+        try:
+            report = load_run_report(args.report)
+        except OSError as exc:
+            print(f"cannot read run report: {exc}", file=sys.stderr)
+            return 1
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 1
+        print(format_stats_table(report))
+        return 0
     graph = _load_graph(args)
     from repro.core.weights import WeightModel
     from repro.graph.stats import graph_stats, predict_sampling_costs
@@ -225,8 +263,11 @@ def cmd_compare(args) -> int:
     spec = APPLICATIONS[args.app]
     engines = {name: ENGINES[name] for name in args.engines}
     workload = Workload(max_length=args.length, max_walks=args.max_walks)
-    rows = run_engines(graph, spec, engines, workload, seed=args.seed, dataset=args.dataset)
+    rows = run_engines(graph, spec, engines, workload, seed=args.seed,
+                       dataset=args.dataset, telemetry_dir=args.telemetry_dir)
     print(format_rows(rows, title=f"{args.dataset} / {args.app} ({workload.describe()})"))
+    if args.telemetry_dir:
+        print(f"per-engine run reports -> {args.telemetry_dir}/")
     return 0
 
 
@@ -254,6 +295,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--walks-per-vertex", type=int, default=1)
     p.add_argument("--max-walks", type=int, default=None)
     p.add_argument("--show-paths", type=int, default=0)
+    p.add_argument("--stats", action="store_true",
+                   help="print the full telemetry table instead of the summary")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write the schema-versioned JSON run report here")
+    p.add_argument("--trace-sample", type=int, default=16, metavar="N",
+                   help="trace 1 in N walks with per-step spans (0 disables)")
+    p.add_argument("--prom-out", metavar="PATH",
+                   help="write Prometheus text exposition here")
     p.set_defaults(fn=cmd_walk)
 
     p = sub.add_parser("bench", help="run one paper experiment")
@@ -289,6 +338,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_args(p)
     p.add_argument("--predict-costs", action="store_true")
     p.add_argument("--exp-scale", type=float, default=6.0)
+    p.add_argument("--report", metavar="PATH",
+                   help="replay a saved JSON run report instead of graph stats")
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("pagerank", help="temporal (personalized) PageRank")
@@ -308,6 +359,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--length", type=int, default=80)
     p.add_argument("--max-walks", type=int, default=200)
+    p.add_argument("--telemetry-dir", metavar="DIR",
+                   help="write one JSON run report per engine into DIR")
     p.set_defaults(fn=cmd_compare)
 
     return parser

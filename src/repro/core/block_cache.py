@@ -26,6 +26,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    bytes_in: int = 0
+    bytes_evicted: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -33,12 +35,36 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
     def snapshot(self) -> dict:
+        """Full-precision view; round at display time, not here."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
-            "hit_rate": round(self.hit_rate, 4),
+            "bytes_in": self.bytes_in,
+            "bytes_evicted": self.bytes_evicted,
+            "hit_rate": self.hit_rate,
         }
+
+    def pretty(self) -> str:
+        """Display rendering (the only place the hit rate is rounded)."""
+        return (
+            f"hits={self.hits} misses={self.misses} evictions={self.evictions} "
+            f"bytes_in={self.bytes_in} bytes_evicted={self.bytes_evicted} "
+            f"hit_rate={self.hit_rate:.4f}"
+        )
+
+    def publish(self, registry, prefix: str = "cache") -> None:
+        """Report into a :class:`~repro.telemetry.MetricsRegistry`."""
+        registry.counter(f"{prefix}.hits", "cache hits").inc(self.hits)
+        registry.counter(f"{prefix}.misses", "cache misses").inc(self.misses)
+        registry.counter(f"{prefix}.evictions", "cache evictions").inc(self.evictions)
+        registry.counter(f"{prefix}.bytes_in", "bytes admitted").inc(self.bytes_in)
+        registry.counter(f"{prefix}.bytes_evicted", "bytes evicted").inc(
+            self.bytes_evicted
+        )
+        registry.gauge(f"{prefix}.hit_rate", "hits / (hits + misses)").set(
+            self.hit_rate
+        )
 
 
 class BlockCache:
@@ -97,10 +123,13 @@ class BlockCache:
             self._bytes -= self._nbytes(old)
         self._entries[key] = value
         self._bytes += nbytes
+        self.stats.bytes_in += nbytes
         while self._bytes > self.capacity_bytes and self._entries:
             _, evicted = self._entries.popitem(last=False)
-            self._bytes -= self._nbytes(evicted)
+            evicted_bytes = self._nbytes(evicted)
+            self._bytes -= evicted_bytes
             self.stats.evictions += 1
+            self.stats.bytes_evicted += evicted_bytes
 
     def clear(self) -> None:
         self._entries.clear()

@@ -34,6 +34,7 @@ from repro.core.trunks import pat_trunk_size
 from repro.core.weights import WeightModel
 from repro.graph.temporal_graph import TemporalGraph
 from repro.sampling.alias import build_alias_arrays_batch
+from repro.telemetry import NULL_TRACER
 
 
 @dataclass
@@ -380,42 +381,50 @@ def preprocess(
     workers: int = 1,
     trunk_size: Optional[int] = None,
     backend: str = "thread",
+    tracer=None,
 ) -> Preprocessed:
     """Run the full preprocessing pipeline with per-phase timing.
 
     ``structure`` ∈ {"hpat", "pat", "its"}; ``backend`` ∈ {"thread",
     "process"} selects the executor for ``workers > 1`` (see
-    :func:`build_hpat`).
+    :func:`build_hpat`). ``tracer`` is an optional
+    :class:`repro.telemetry.Tracer`; each phase becomes a child span of
+    the caller's open ``prepare`` span.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     report = ConstructionReport(workers=workers)
 
     t0 = time.perf_counter()
-    candidate_sizes = search_candidate_sets(graph, workers=workers)
+    with tracer.span("prepare.candidate_search", edges=graph.num_edges):
+        candidate_sizes = search_candidate_sets(graph, workers=workers)
     report.candidate_search_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    weights = weight_model.compute(graph)
+    with tracer.span("prepare.weights", kind=weight_model.kind):
+        weights = weight_model.compute(graph)
     report.weight_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    if structure == "hpat":
-        index = build_hpat(graph, weights, with_aux_index=False, workers=workers, backend=backend)
-    elif structure == "pat":
-        index = build_pat(graph, weights, trunk_size=trunk_size, workers=workers)
-    elif structure == "its":
-        from repro.core.its_index import ITSIndex
+    with tracer.span("prepare.index_build", structure=structure, workers=workers):
+        if structure == "hpat":
+            index = build_hpat(graph, weights, with_aux_index=False, workers=workers, backend=backend)
+        elif structure == "pat":
+            index = build_pat(graph, weights, trunk_size=trunk_size, workers=workers)
+        elif structure == "its":
+            from repro.core.its_index import ITSIndex
 
-        index = ITSIndex(
-            graph.indptr,
-            build_prefix_array(graph, weights, workers=workers, backend=backend),
-        )
-    else:
-        raise ValueError(f"unknown structure {structure!r}")
+            index = ITSIndex(
+                graph.indptr,
+                build_prefix_array(graph, weights, workers=workers, backend=backend),
+            )
+        else:
+            raise ValueError(f"unknown structure {structure!r}")
     report.index_build_seconds = time.perf_counter() - t0
 
     if structure == "hpat" and with_aux_index:
         t0 = time.perf_counter()
-        index.aux = AuxiliaryIndex(graph.max_degree())
+        with tracer.span("prepare.aux_index", max_degree=int(graph.max_degree())):
+            index.aux = AuxiliaryIndex(graph.max_degree())
         report.aux_index_seconds = time.perf_counter() - t0
 
     return Preprocessed(index=index, weights=weights, candidate_sizes=candidate_sizes, report=report)

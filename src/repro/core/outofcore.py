@@ -53,8 +53,14 @@ class TrunkStore:
         self._alias: Optional[np.memmap] = None
         # Paper §4.1's re-entry optimisation: reuse prior loaded data.
         from repro.core.block_cache import BlockCache
+        from repro.telemetry import BYTES_BUCKETS, Histogram
 
         self.cache = BlockCache(cache_bytes)
+        # Standalone histogram of bytes per trunk load (cache misses
+        # only); merged into a run's registry by publish_telemetry.
+        self.read_bytes_hist = Histogram(
+            "ooc.trunk_read_bytes", "bytes per trunk payload load", **BYTES_BUCKETS
+        )
 
     @classmethod
     def persist(cls, pat: PersistentAliasTable, directory: PathLike,
@@ -89,6 +95,7 @@ class TrunkStore:
             return cached
         if counters is not None:
             counters.record_io((hi - lo) * 8)
+        self.read_bytes_hist.observe((hi - lo) * 8)
         block = np.asarray(self._c[lo:hi])
         self.cache.put(("c", lo, hi), block)
         return block
@@ -99,9 +106,23 @@ class TrunkStore:
             return cached
         if counters is not None:
             counters.record_io((hi - lo) * 16)  # prob + alias
+        self.read_bytes_hist.observe((hi - lo) * 16)
         block = (np.asarray(self._prob[lo:hi]), np.asarray(self._alias[lo:hi]))
         self.cache.put(("pa", lo, hi), block)
         return block
+
+    def publish_telemetry(self, registry) -> None:
+        """Cache hit/miss/bytes counters plus the trunk-load histogram."""
+        self.cache.stats.publish(registry, prefix="cache")
+        registry.gauge("cache.resident_bytes", "bytes held by the cache").set(
+            self.cache.nbytes
+        )
+        registry.histogram(
+            "ooc.trunk_read_bytes", self.read_bytes_hist.help,
+            start=self.read_bytes_hist.start,
+            growth=self.read_bytes_hist.growth,
+            buckets=len(self.read_bytes_hist.bounds),
+        ).merge_from(self.read_bytes_hist)
 
 
 class OutOfCorePAT:

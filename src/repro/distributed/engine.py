@@ -39,6 +39,7 @@ from repro.metrics.memory import MemoryReport
 from repro.metrics.timing import PhaseTimer
 from repro.rng import RngLike, make_rng, spawn
 from repro.sampling.counters import CostCounters
+from repro.telemetry import MetricsRegistry, Tracer
 from repro.walks.spec import WalkSpec
 from repro.walks.walker import WalkPath
 
@@ -89,13 +90,21 @@ class DistributedStats:
 
 
 class _Worker:
-    """One simulated worker: a vertex shard plus its walker queue."""
+    """One simulated worker: a vertex shard plus its walker queue.
 
-    __slots__ = ("worker_id", "counters", "queue", "steps")
+    Each worker owns a private :class:`CostCounters` *and* a private
+    :class:`MetricsRegistry` — the per-worker discipline that makes the
+    shared-counter thread hazard structurally impossible (see the note
+    in :mod:`repro.sampling.counters`); the engine folds both at the
+    barrier via their merge paths.
+    """
+
+    __slots__ = ("worker_id", "counters", "registry", "queue", "steps")
 
     def __init__(self, worker_id: int):
         self.worker_id = worker_id
         self.counters = CostCounters()
+        self.registry = MetricsRegistry()
         self.queue: List[int] = []  # walker ids resident this superstep
         self.steps = 0
 
@@ -187,10 +196,20 @@ class DistributedTeaEngine:
     # -- execution -------------------------------------------------------------
 
     def run(self, workload: Workload, seed: RngLike = 0,
-            record_paths: bool = True):
-        """Run the workload in BSP supersteps; returns (paths, stats)."""
+            record_paths: bool = True,
+            registry: Optional[MetricsRegistry] = None,
+            tracer: Optional[Tracer] = None):
+        """Run the workload in BSP supersteps; returns (paths, stats).
+
+        ``registry``, when given, receives the merged per-worker
+        registries plus cluster-level gauges after the run.
+        """
+        if registry is None:
+            registry = MetricsRegistry()
+        self.last_registry = registry
+        tracer = tracer if tracer is not None else Tracer(enabled=True)
         timer = PhaseTimer()
-        with timer.phase("prepare"):
+        with timer.phase("prepare"), tracer.span("prepare", engine="tea-distributed"):
             self.prepare()
         rng = make_rng(seed)
         worker_rngs = spawn(rng, self.num_workers)
@@ -214,7 +233,9 @@ class DistributedTeaEngine:
             load=partition_load(g, self.owners, self.num_workers),
         )
 
-        with timer.phase("walk"):
+        with timer.phase("walk"), tracer.span(
+            "walk", engine="tea-distributed", workers=self.num_workers
+        ):
             while any(worker.queue for worker in workers):
                 stats.supersteps += 1
                 superstep_steps = np.zeros(self.num_workers, dtype=np.int64)
@@ -229,6 +250,7 @@ class DistributedTeaEngine:
                         if not advanced:
                             continue  # walk finished
                         superstep_steps[worker.worker_id] += 1
+                        worker.steps += 1
                         dest = int(self.owners[state.vertex])
                         if dest == worker.worker_id:
                             outgoing[dest].append(wid)
@@ -245,9 +267,20 @@ class DistributedTeaEngine:
                     + messages_this_step * self.message_cost / self.num_workers
                 )
 
+        # Fold the per-worker accounts: CostCounters merge for the
+        # legacy return value, registry merge for telemetry (each worker
+        # publishes into its own registry first — the merge path the
+        # counters module's thread-safety note prescribes).
         counters = CostCounters()
         for worker in workers:
             counters.merge(worker.counters)
+            worker.counters.publish(worker.registry)
+            worker.registry.counter(
+                "distributed.worker_steps", "sampling steps across workers"
+            ).inc(worker.steps)
+            registry.merge(worker.registry)
+        for key, value in stats.snapshot().items():
+            registry.gauge(f"distributed.{key}", "cluster-level run stat").set(value)
         paths = [WalkPath(hops=list(s.hops)) for s in walkers] if record_paths else []
         return paths, stats, counters, timer
 

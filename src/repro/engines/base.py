@@ -23,6 +23,8 @@ the paper's experiments do. Two loop behaviours differ by engine flag:
 from __future__ import annotations
 
 import abc
+import time
+from collections import Counter as _LengthCounter
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -33,6 +35,13 @@ from repro.metrics.memory import MemoryReport
 from repro.metrics.timing import PhaseTimer
 from repro.rng import RngLike, make_rng
 from repro.sampling.counters import CostCounters
+from repro.telemetry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    NULL_TRACER,
+    Tracer,
+    build_run_report,
+)
 from repro.walks.spec import WalkSpec
 from repro.walks.walker import Walker, WalkPath
 
@@ -93,6 +102,8 @@ class EngineResult:
     timer: PhaseTimer
     memory: MemoryReport
     time_divisor: float = 1.0
+    registry: Optional[MetricsRegistry] = None
+    trace: Optional[Tracer] = None
 
     @property
     def num_walks(self) -> int:
@@ -131,6 +142,19 @@ class EngineResult:
             "memory_bytes": self.memory.total,
         }
 
+    def run_report(self, meta: Optional[dict] = None) -> dict:
+        """The schema-versioned JSON run-report document for this run."""
+        base = {
+            "engine": self.engine,
+            "spec": self.spec,
+            "workload": self.workload,
+            "time_divisor": self.time_divisor,
+        }
+        if meta:
+            base.update(meta)
+        registry = self.registry if self.registry is not None else MetricsRegistry()
+        return build_run_report(registry, self.trace, meta=base)
+
 
 class Engine(abc.ABC):
     """Shared walk loop; subclasses supply preprocessing and sampling."""
@@ -146,6 +170,9 @@ class Engine(abc.ABC):
         self.spec = spec
         self._prepared = False
         self.candidate_sizes: Optional[np.ndarray] = None
+        # Active tracer: run() installs the caller's before preparing, so
+        # _prepare implementations can emit child spans via self.tracer.
+        self.tracer: Tracer = NULL_TRACER
 
     # -- subclass interface -------------------------------------------------
 
@@ -172,6 +199,14 @@ class Engine(abc.ABC):
         if self.candidate_sizes is not None:
             report.add("candidate_index", self.candidate_sizes.nbytes)
         return report
+
+    def publish_telemetry(self, registry: MetricsRegistry) -> None:
+        """Engine-specific end-of-run metrics (cache stats, shard info).
+
+        Called once by :meth:`run` after the walk phase; subclasses
+        override to add their structures' telemetry on top of the
+        standard sampling/io/walk metrics the shared loop emits.
+        """
 
     # -- shared machinery ------------------------------------------------------
 
@@ -248,6 +283,11 @@ class Engine(abc.ABC):
         counters: CostCounters,
         stop_probability: float = 0.0,
     ) -> Walker:
+        # The untraced fast path. _walk_one_traced below is its
+        # instrumented twin — any change to this loop body must be
+        # mirrored there (the two are kept separate so the common case
+        # pays zero per-step telemetry branches; the <5% overhead
+        # budget in ISSUE's acceptance criteria is why).
         walker = Walker(start)
         spec = self.spec
         beta = spec.dynamic_parameter
@@ -289,12 +329,80 @@ class Engine(abc.ABC):
             v = v2
         return walker
 
+    def _walk_one_traced(
+        self,
+        start: int,
+        max_length: int,
+        rng: np.random.Generator,
+        counters: CostCounters,
+        trace_span,
+        registry: MetricsRegistry,
+        stop_probability: float = 0.0,
+    ) -> Walker:
+        # Instrumented twin of _walk_one: identical sampling semantics
+        # (same rng call sequence), plus per-step latency and
+        # trials-per-step histograms. Only tracer-sampled walks run it.
+        step_hist = registry.histogram(
+            "walk.step_seconds", "per-step latency (traced walks)",
+            **LATENCY_BUCKETS,
+        )
+        trials_hist = registry.histogram(
+            "sampling.trials_per_step",
+            "β rejection trials per step (traced walks)",
+        )
+        walker = Walker(start)
+        spec = self.spec
+        beta = spec.dynamic_parameter
+        beta_max = beta.beta_max if beta is not None else 1.0
+        v = start
+        s = self._initial_candidates(v)
+        while walker.num_edges < max_length and s > 0:
+            if stop_probability and rng.random() < stop_probability:
+                break
+            step_t0 = time.perf_counter()
+            counters.record_step()
+            t = walker.current_time
+            accepted: Optional[Tuple[int, int, float]] = None
+            trials = 0
+            for _ in range(BETA_REJECTION_BUDGET):
+                idx = self.sample_edge(v, s, t, rng, counters)
+                pos = int(self.graph.indptr[v]) + idx
+                v2 = int(self.graph.nbr[pos])
+                t2 = float(self.graph.etime[pos])
+                if beta is None:
+                    accepted = (pos, v2, t2)
+                    break
+                trials += 1
+                b = beta(self.graph, walker.previous_vertex, v2)
+                ok = rng.random() * beta_max <= b
+                counters.record_trial(ok)
+                if ok:
+                    accepted = (pos, v2, t2)
+                    break
+            if accepted is None:
+                idx = self._beta_exact_draw(
+                    v, s, walker.previous_vertex, beta, rng, counters
+                )
+                pos = int(self.graph.indptr[v]) + idx
+                accepted = (pos, int(self.graph.nbr[pos]), float(self.graph.etime[pos]))
+            pos, v2, t2 = accepted
+            walker.advance(v2, t2)
+            s = self._next_candidates(pos, v2, t2, counters)
+            v = v2
+            step_hist.observe(time.perf_counter() - step_t0)
+            trials_hist.observe(trials)
+        trace_span.set("length", walker.num_edges)
+        trace_span.set("end_vertex", v)
+        return walker
+
     def run(
         self,
         workload: Workload,
         seed: RngLike = 0,
         record_paths: bool = True,
         sink=None,
+        registry: Optional[MetricsRegistry] = None,
+        tracer: Optional[Tracer] = None,
     ) -> EngineResult:
         """Run the workload; returns paths plus cost/time/memory accounts.
 
@@ -302,26 +410,82 @@ class Engine(abc.ABC):
         completed walks stream to it (flushed in batches of 1,024, the
         paper's §4.1 policy) so huge corpora never accumulate in memory —
         pass ``record_paths=False`` alongside for constant-memory runs.
+
+        ``registry`` collects this run's metrics (one is created when
+        not supplied — every run returns a populated registry on the
+        result). ``tracer`` controls span tracing: the default records
+        only the two phase root spans; pass one with
+        ``walk_sample_every=N`` to additionally trace 1-in-N walks with
+        per-step latency histograms.
         """
+        registry = registry if registry is not None else MetricsRegistry()
+        tracer = tracer if tracer is not None else Tracer(enabled=True)
+        self.tracer = tracer
         timer = PhaseTimer()
-        with timer.phase("prepare"):
+        with timer.phase("prepare"), tracer.span("prepare", engine=self.name):
             self.prepare()
         rng = make_rng(seed)
         counters = CostCounters()
         paths: List[WalkPath] = []
         starts = workload.resolve_starts(self.graph.num_vertices, rng)
-        with timer.phase("walk"):
-            for u in starts:
-                walker = self._walk_one(
-                    int(u), workload.max_length, rng, counters,
-                    stop_probability=workload.stop_probability,
-                )
-                if record_paths or sink is not None:
-                    finished = walker.finish()
-                    if record_paths:
-                        paths.append(finished)
-                    if sink is not None:
-                        sink.append(finished)
+        walk_length_hist = registry.histogram(
+            "walk.length", "edges per completed walk"
+        )
+        # Per-walk telemetry is kept off the hot path: lengths go into a
+        # plain list (folded into the histogram per distinct value after
+        # the loop), and the untraced variant of the loop carries no
+        # sampling branch at all — short-walk workloads are dominated by
+        # per-walk overhead, and the acceptance bar is <5% wall regression.
+        # (max with 0: <= 0 means "never sample", matching sample_walk)
+        sample_every = max(0, tracer.walk_sample_every) if tracer.enabled else 0
+        lengths: List[int] = []
+        lengths_append = lengths.append
+        with timer.phase("walk"), tracer.span(
+            "walk", engine=self.name, walks=int(starts.size)
+        ):
+            if sample_every:
+                for walk_index, u in enumerate(starts):
+                    if walk_index % sample_every == 0:
+                        with tracer.span(
+                            "walk.one", walk=walk_index, start_vertex=int(u)
+                        ) as walk_span:
+                            walker = self._walk_one_traced(
+                                int(u), workload.max_length, rng, counters,
+                                walk_span, registry,
+                                stop_probability=workload.stop_probability,
+                            )
+                    else:
+                        walker = self._walk_one(
+                            int(u), workload.max_length, rng, counters,
+                            stop_probability=workload.stop_probability,
+                        )
+                    lengths_append(walker.num_edges)
+                    if record_paths or sink is not None:
+                        finished = walker.finish()
+                        if record_paths:
+                            paths.append(finished)
+                        if sink is not None:
+                            sink.append(finished)
+            else:
+                for u in starts:
+                    walker = self._walk_one(
+                        int(u), workload.max_length, rng, counters,
+                        stop_probability=workload.stop_probability,
+                    )
+                    lengths_append(walker.num_edges)
+                    if record_paths or sink is not None:
+                        finished = walker.finish()
+                        if record_paths:
+                            paths.append(finished)
+                        if sink is not None:
+                            sink.append(finished)
+        for length, n in _LengthCounter(lengths).items():
+            walk_length_hist.observe_n(length, n)
+        memory = self.memory_report()
+        counters.publish(registry)
+        registry.counter("walk.walks", "walks executed").inc(int(starts.size))
+        registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
+        self.publish_telemetry(registry)
         return EngineResult(
             engine=self.name,
             spec=self.spec.describe(),
@@ -329,6 +493,8 @@ class Engine(abc.ABC):
             paths=paths,
             counters=counters,
             timer=timer,
-            memory=self.memory_report(),
+            memory=memory,
             time_divisor=self.time_divisor,
+            registry=registry,
+            trace=tracer,
         )

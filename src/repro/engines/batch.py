@@ -34,6 +34,7 @@ from repro.metrics.memory import MemoryReport
 from repro.metrics.timing import PhaseTimer
 from repro.rng import RngLike, make_rng
 from repro.sampling.counters import CostCounters
+from repro.telemetry import MetricsRegistry, Tracer
 from repro.walks.spec import WalkSpec
 from repro.walks.walker import WalkPath
 
@@ -121,7 +122,8 @@ class BatchTeaEngine(Engine):
         self._static_ready = False
 
     def _prepare(self) -> None:
-        pre = builder.preprocess(self.graph, self.spec.weight_model)
+        pre = builder.preprocess(self.graph, self.spec.weight_model,
+                                 tracer=self.tracer)
         self.index = pre.index
         self.weights = pre.weights
         self.candidate_sizes = pre.candidate_sizes
@@ -183,12 +185,20 @@ class BatchTeaEngine(Engine):
     # -- run ---------------------------------------------------------------------
 
     def run(self, workload: Workload, seed: RngLike = 0,
-            record_paths: bool = True, sink=None) -> EngineResult:
+            record_paths: bool = True, sink=None,
+            registry: Optional[MetricsRegistry] = None,
+            tracer: Optional[Tracer] = None) -> EngineResult:
+        registry = registry if registry is not None else MetricsRegistry()
+        tracer = tracer if tracer is not None else Tracer(enabled=True)
+        self.tracer = tracer
         timer = PhaseTimer()
-        with timer.phase("prepare"):
+        with timer.phase("prepare"), tracer.span("prepare", engine=self.name):
             self.prepare()
         rng = make_rng(seed)
         counters = CostCounters()
+        frontier_hist = registry.histogram(
+            "batch.frontier_size", "active walkers per frontier iteration"
+        )
         g = self.graph
         beta = self.spec.dynamic_parameter
         beta_max = beta.beta_max if beta is not None else 1.0
@@ -200,7 +210,9 @@ class BatchTeaEngine(Engine):
         keep_hops = record_paths or sink is not None
         hops: List[List] = [[(int(u), None)] for u in starts] if keep_hops else []
 
-        with timer.phase("walk"):
+        with timer.phase("walk"), tracer.span(
+            "walk", engine=self.name, walks=num
+        ):
             cur = starts.copy()
             prev = np.full(num, -1, dtype=np.int64)
             s = (g.indptr[cur + 1] - g.indptr[cur]).astype(np.int64)
@@ -208,6 +220,7 @@ class BatchTeaEngine(Engine):
             active = (s > 0) & (steps_left > 0)
             lanes = np.flatnonzero(active)
             while lanes.size:
+                frontier_hist.observe(lanes.size)
                 if workload.stop_probability:
                     survive = rng.random(lanes.size) >= workload.stop_probability
                     lanes = lanes[survive]
@@ -267,6 +280,11 @@ class BatchTeaEngine(Engine):
                 still = (s_next > 0) & (steps_left[lanes] > 0)
                 lanes = lanes[still]
 
+        walk_length_hist = registry.histogram(
+            "walk.length", "edges per completed walk"
+        )
+        for length in (workload.max_length - steps_left).tolist():
+            walk_length_hist.observe(length)
         paths = []
         if keep_hops:
             for h in hops:
@@ -275,6 +293,11 @@ class BatchTeaEngine(Engine):
                     paths.append(walk)
                 if sink is not None:
                     sink.append(walk)
+        memory = self.memory_report()
+        counters.publish(registry)
+        registry.counter("walk.walks", "walks executed").inc(num)
+        registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
+        self.publish_telemetry(registry)
         return EngineResult(
             engine=self.name,
             spec=self.spec.describe(),
@@ -282,7 +305,9 @@ class BatchTeaEngine(Engine):
             paths=paths,
             counters=counters,
             timer=timer,
-            memory=self.memory_report(),
+            memory=memory,
+            registry=registry,
+            trace=tracer,
         )
 
     def memory_report(self) -> MemoryReport:

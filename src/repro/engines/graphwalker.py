@@ -64,22 +64,25 @@ class GraphWalkerEngine(Engine):
         return self.spec.weight_model.kind in _STATIC_KINDS
 
     def _prepare(self) -> None:
-        self.weights = self.spec.weight_model.compute(self.graph)
+        with self.tracer.span("prepare.weights", kind=self.spec.weight_model.kind):
+            self.weights = self.spec.weight_model.compute(self.graph)
         if self._static and not self.out_of_core:
-            self.c = build_prefix_array(self.graph, self.weights)
+            with self.tracer.span("prepare.index_build", structure="its"):
+                self.c = build_prefix_array(self.graph, self.weights)
         if self.out_of_core:
-            directory = self._storage_dir
-            if directory is None:
-                self._tmpdir = tempfile.TemporaryDirectory(prefix="graphwalker-")
-                directory = self._tmpdir.name
-            directory = Path(directory)
-            directory.mkdir(parents=True, exist_ok=True)
-            self.graph.nbr.tofile(directory / "nbr.bin")
-            self.graph.etime.tofile(directory / "time.bin")
-            self.weights.tofile(directory / "w.bin")
-            self._disk_nbr = np.memmap(directory / "nbr.bin", dtype=np.int64, mode="r")
-            self._disk_time = np.memmap(directory / "time.bin", dtype=np.float64, mode="r")
-            self._disk_w = np.memmap(directory / "w.bin", dtype=np.float64, mode="r")
+            with self.tracer.span("prepare.adjacency_spill"):
+                directory = self._storage_dir
+                if directory is None:
+                    self._tmpdir = tempfile.TemporaryDirectory(prefix="graphwalker-")
+                    directory = self._tmpdir.name
+                directory = Path(directory)
+                directory.mkdir(parents=True, exist_ok=True)
+                self.graph.nbr.tofile(directory / "nbr.bin")
+                self.graph.etime.tofile(directory / "time.bin")
+                self.weights.tofile(directory / "w.bin")
+                self._disk_nbr = np.memmap(directory / "nbr.bin", dtype=np.int64, mode="r")
+                self._disk_time = np.memmap(directory / "time.bin", dtype=np.float64, mode="r")
+                self._disk_w = np.memmap(directory / "w.bin", dtype=np.float64, mode="r")
 
     def sample_edge(self, v, candidate_size, walker_time, rng, counters):
         s = int(candidate_size)
@@ -115,6 +118,14 @@ class GraphWalkerEngine(Engine):
             weight_fn=weight_fn,
             times_time_desc=self.graph.etime[lo : lo + d],
         )
+
+    def publish_telemetry(self, registry) -> None:
+        registry.gauge(
+            "engine.out_of_core", "1 when the adjacency is disk-resident"
+        ).set(1 if self.out_of_core else 0)
+        registry.gauge(
+            "engine.static_sampling", "1 when static weights allow ITS"
+        ).set(1 if self._static else 0)
 
     def memory_report(self) -> MemoryReport:
         report = super().memory_report()

@@ -66,20 +66,25 @@ class KnightKingEngine(Engine):
         return self.spec.weight_model.kind in _STATIC_KINDS
 
     def _prepare(self) -> None:
-        self.weights = self.spec.weight_model.compute(self.graph)
+        with self.tracer.span("prepare.weights", kind=self.spec.weight_model.kind):
+            self.weights = self.spec.weight_model.compute(self.graph)
         if self._static:
-            self.c = build_prefix_array(self.graph, self.weights)
+            with self.tracer.span("prepare.index_build", structure="its"):
+                self.c = build_prefix_array(self.graph, self.weights)
             return
         # Per-vertex prefix maxima give the O(1) envelope for any
         # candidate prefix (weights are time-monotone per segment, but we
         # compute the true prefix max so arbitrary weights stay correct).
-        m = self.graph.num_edges
-        self.prefix_max = np.empty(m, dtype=np.float64)
-        indptr = self.graph.indptr
-        for v in range(self.graph.num_vertices):
-            lo, hi = indptr[v], indptr[v + 1]
-            if hi > lo:
-                np.maximum.accumulate(self.weights[lo:hi], out=self.prefix_max[lo:hi])
+        with self.tracer.span("prepare.envelope_build"):
+            m = self.graph.num_edges
+            self.prefix_max = np.empty(m, dtype=np.float64)
+            indptr = self.graph.indptr
+            for v in range(self.graph.num_vertices):
+                lo, hi = indptr[v], indptr[v + 1]
+                if hi > lo:
+                    np.maximum.accumulate(
+                        self.weights[lo:hi], out=self.prefix_max[lo:hi]
+                    )
 
     def sample_edge(self, v, candidate_size, walker_time, rng, counters):
         s = int(candidate_size)
@@ -117,6 +122,14 @@ class KnightKingEngine(Engine):
         if total <= 0:
             return float("inf")
         return s * float(w.max()) / total
+
+    def publish_telemetry(self, registry) -> None:
+        registry.gauge("engine.modeled_nodes", "modeled cluster size").set(
+            self.time_divisor
+        )
+        registry.gauge("engine.max_trials", "rejection budget per step").set(
+            self.max_trials
+        )
 
     def memory_report(self) -> MemoryReport:
         report = super().memory_report()

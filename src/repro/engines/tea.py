@@ -76,11 +76,14 @@ class TeaEngine(Engine):
 
     def _prepare(self) -> None:
         if self.structure == "alias":
-            self.candidate_sizes = builder.search_candidate_sets(self.graph, self.workers)
-            self.weights = self.spec.weight_model.compute(self.graph)
-            self.index = FullAliasIndex.build(
-                self.graph, self.weights, budget_bytes=self.alias_budget_bytes
-            )
+            with self.tracer.span("prepare.candidate_search"):
+                self.candidate_sizes = builder.search_candidate_sets(self.graph, self.workers)
+            with self.tracer.span("prepare.weights"):
+                self.weights = self.spec.weight_model.compute(self.graph)
+            with self.tracer.span("prepare.index_build", structure="alias"):
+                self.index = FullAliasIndex.build(
+                    self.graph, self.weights, budget_bytes=self.alias_budget_bytes
+                )
             return
         if self.structure == "hpat" and self.index_cache_path is not None:
             import os
@@ -106,6 +109,7 @@ class TeaEngine(Engine):
             with_aux_index=self.use_aux_index,
             workers=self.workers,
             trunk_size=self.trunk_size,
+            tracer=self.tracer,
         )
         self.index = pre.index
         self.weights = pre.weights
@@ -128,6 +132,26 @@ class TeaEngine(Engine):
                 v, candidate_size, rng, counters, use_index=self.use_aux_index
             )
         return self.index.sample(v, candidate_size, rng, counters)
+
+    def publish_telemetry(self, registry) -> None:
+        registry.gauge("engine.workers", "configured preprocessing workers").set(
+            self.workers
+        )
+        if self.construction_report is not None:
+            rep = self.construction_report
+            registry.gauge("build.workers", "preprocessing workers").set(rep.workers)
+            registry.gauge(
+                "build.candidate_search_seconds", "candidate-set search time"
+            ).set(rep.candidate_search_seconds)
+            registry.gauge("build.weight_seconds", "weight computation time").set(
+                rep.weight_seconds
+            )
+            registry.gauge("build.index_seconds", "PAT/HPAT/ITS build time").set(
+                rep.index_build_seconds
+            )
+            registry.gauge("build.aux_index_seconds", "aux index build time").set(
+                rep.aux_index_seconds
+            )
 
     def memory_report(self) -> MemoryReport:
         report = super().memory_report()

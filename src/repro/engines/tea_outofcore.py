@@ -49,15 +49,22 @@ class TeaOutOfCoreEngine(Engine):
         self.index: Optional[OutOfCorePAT] = None
 
     def _prepare(self) -> None:
-        self.candidate_sizes = search_candidate_sets(self.graph)
-        weights = self.spec.weight_model.compute(self.graph)
-        pat = build_pat(self.graph, weights, trunk_size=self.trunk_size)
+        with self.tracer.span("prepare.candidate_search"):
+            self.candidate_sizes = search_candidate_sets(self.graph)
+        with self.tracer.span("prepare.weights"):
+            weights = self.spec.weight_model.compute(self.graph)
+        with self.tracer.span("prepare.index_build", structure="pat",
+                              trunk_size=self.trunk_size):
+            pat = build_pat(self.graph, weights, trunk_size=self.trunk_size)
         directory = self._storage_dir
         if directory is None:
             self._tmpdir = tempfile.TemporaryDirectory(prefix="tea-ooc-")
             directory = self._tmpdir.name
-        store = TrunkStore.persist(pat, directory, cache_bytes=self.cache_bytes).open()
-        self.index = OutOfCorePAT(pat, store)
+        with self.tracer.span("prepare.trunk_spill", cache_bytes=self.cache_bytes):
+            store = TrunkStore.persist(
+                pat, directory, cache_bytes=self.cache_bytes
+            ).open()
+            self.index = OutOfCorePAT(pat, store)
         # The full PAT arrays are now disk-resident; drop the in-memory copy.
         del pat
 
@@ -69,6 +76,16 @@ class TeaOutOfCoreEngine(Engine):
 
     def sample_edge(self, v, candidate_size, walker_time, rng, counters):
         return self.index.sample(v, candidate_size, rng, counters)
+
+    def publish_telemetry(self, registry) -> None:
+        """Re-entry cache hit/miss/bytes plus resident-footprint gauges."""
+        self.index.store.publish_telemetry(registry)
+        registry.gauge(
+            "ooc.resident_bytes", "memory-resident trunk-boundary prefix bytes"
+        ).set(self.index.resident_nbytes())
+        registry.gauge("ooc.trunk_size", "configured trunk size").set(
+            self.trunk_size
+        )
 
     def memory_report(self) -> MemoryReport:
         report = super().memory_report()

@@ -1,4 +1,12 @@
-"""Tiny phase timer used by engines and benchmarks."""
+"""Tiny phase timer used by engines and benchmarks.
+
+.. deprecated::
+    ``PhaseTimer`` is superseded by :class:`repro.telemetry.Tracer`,
+    whose nested spans carry parent/child structure, attributes, and
+    per-walk sampling. The timer remains for back-compat callers (the
+    ``EngineResult.timer`` field and the Figure 11/13 benchmarks read
+    it), and engines keep filling it alongside spans.
+"""
 
 from __future__ import annotations
 
@@ -12,6 +20,15 @@ from typing import Dict, Iterator
 class PhaseTimer:
     """Accumulates wall-clock seconds per named phase.
 
+    Re-entering a phase name *while it is still open* (nested use) is
+    counted once, against the outermost entry: historically the inner
+    ``with`` double-counted the overlapped wall time, so a nested
+    ``phase("walk")`` inside ``phase("walk")`` reported up to 2× the
+    elapsed seconds. Sequential re-entry still accumulates.
+
+    Deprecated in favour of :class:`repro.telemetry.Tracer` spans (see
+    the module note); kept for back-compat callers.
+
     >>> timer = PhaseTimer()
     >>> with timer.phase("preprocess"):
     ...     pass
@@ -20,16 +37,25 @@ class PhaseTimer:
     """
 
     seconds: Dict[str, float] = field(default_factory=dict)
+    _depth: Dict[str, int] = field(default_factory=dict, repr=False, compare=False)
+    _open_since: Dict[str, float] = field(default_factory=dict, repr=False, compare=False)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        start = time.perf_counter()
+        depth = self._depth.get(name, 0)
+        if depth == 0:
+            self._open_since[name] = time.perf_counter()
+        self._depth[name] = depth + 1
         try:
             yield
         finally:
-            self.seconds[name] = self.seconds.get(name, 0.0) + (
-                time.perf_counter() - start
-            )
+            remaining = self._depth[name] - 1
+            self._depth[name] = remaining
+            if remaining == 0:
+                start = self._open_since.pop(name)
+                self.seconds[name] = self.seconds.get(name, 0.0) + (
+                    time.perf_counter() - start
+                )
 
     @property
     def total(self) -> float:

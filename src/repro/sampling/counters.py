@@ -13,6 +13,18 @@ report both wall time and this model. Conventions:
 
 I/O counters serve the out-of-core experiments (Figure 14): a *block* is
 one disk read of :data:`BLOCK_BYTES` bytes.
+
+**Thread safety.** A ``CostCounters`` is plain mutable state with
+read-modify-write increments; sharing one instance across concurrently
+executing walkers silently loses updates (``+=`` is not atomic once the
+GIL yields between the load and the store, and free-threaded builds
+drop even that accident of protection). Every parallel path in this
+repo therefore gives each worker its *own* counters and folds them with
+:meth:`CostCounters.merge` at the end — the distributed engine's
+per-worker counters and the telemetry registry's merge path
+(:meth:`publish` into per-worker
+:class:`~repro.telemetry.MetricsRegistry` instances) both follow this
+discipline. Do not share one instance across threads or processes.
 """
 
 from __future__ import annotations
@@ -24,7 +36,9 @@ BLOCK_BYTES = 4096
 
 @dataclass
 class CostCounters:
-    """Mutable tally of sampling work. Cheap to pass around; not thread-safe."""
+    """Mutable tally of sampling work. Cheap to pass around; NOT
+    thread-safe — use one per worker and :meth:`merge` (see the module
+    docstring)."""
 
     steps: int = 0
     edges_evaluated: int = 0
@@ -85,6 +99,38 @@ class CostCounters:
         self.io_blocks += other.io_blocks
         self.io_bytes += other.io_bytes
         return self
+
+    def publish(self, registry, prefix: str = "sampling") -> None:
+        """Map every field onto telemetry registry counters/gauges.
+
+        Call once per finished run (repeated publishes re-add the
+        totals, which is exactly right when each worker publishes its
+        own counters into its own registry before the merge).
+        """
+        registry.counter(f"{prefix}.steps", "sampling steps taken").inc(self.steps)
+        registry.counter(
+            f"{prefix}.edges_evaluated", "edges examined (Figure 2 numerator)"
+        ).inc(self.edges_evaluated)
+        registry.counter(
+            f"{prefix}.rejection_trials", "rejection trials attempted"
+        ).inc(self.rejection_trials)
+        registry.counter(f"{prefix}.rejected", "rejection trials refused").inc(
+            self.rejected
+        )
+        registry.counter(
+            f"{prefix}.binary_search_probes", "prefix/boundary probes"
+        ).inc(self.binary_search_probes)
+        registry.counter(f"{prefix}.alias_draws", "in-trunk alias draws").inc(
+            self.alias_draws
+        )
+        registry.counter("io.blocks", "4 KiB disk blocks loaded").inc(self.io_blocks)
+        registry.counter("io.bytes", "bytes loaded from disk").inc(self.io_bytes)
+        registry.gauge(
+            f"{prefix}.edges_per_step", "Figure 2 metric: edges/step"
+        ).set(self.edges_per_step)
+        registry.gauge(
+            f"{prefix}.acceptance_ratio", "rejection acceptance ratio ε"
+        ).set(self.acceptance_ratio)
 
     def snapshot(self) -> dict:
         """Plain-dict view for reports."""

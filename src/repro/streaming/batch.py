@@ -12,6 +12,7 @@ ever happens between batches.
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -21,6 +22,7 @@ from repro.exceptions import NotSupportedError
 from repro.graph.edge_stream import EdgeStream
 from repro.rng import RngLike, make_rng
 from repro.sampling.counters import CostCounters
+from repro.telemetry import LATENCY_BUCKETS, MetricsRegistry
 from repro.walks.spec import WalkSpec
 from repro.walks.walker import Walker, WalkPath
 
@@ -34,7 +36,7 @@ class StreamingTeaEngine:
     streaming evaluation (Figure 13d) uses the weight-only applications.
     """
 
-    def __init__(self, spec: WalkSpec):
+    def __init__(self, spec: WalkSpec, registry: Optional[MetricsRegistry] = None):
         if spec.has_dynamic_parameter:
             raise NotSupportedError(
                 "streaming mode supports weight-only applications "
@@ -43,12 +45,27 @@ class StreamingTeaEngine:
         self.spec = spec
         self.index = IncrementalHPAT(spec.weight_model)
         self.counters = CostCounters()
+        # Ingestion telemetry accumulates here; walk-side counters join
+        # it on telemetry_snapshot() so repeated snapshots never
+        # double-count.
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     # -- ingestion ---------------------------------------------------------
 
     def apply_batch(self, batch: EdgeStream) -> None:
         """Ingest one time-ordered batch of new edges."""
+        t0 = time.perf_counter()
         self.index.apply_batch(batch)
+        elapsed = time.perf_counter() - t0
+        self.registry.counter("streaming.batches", "update batches applied").inc()
+        self.registry.counter("streaming.edges", "edges ingested").inc(len(batch))
+        self.registry.histogram(
+            "streaming.batch_edges", "edges per update batch"
+        ).observe(len(batch))
+        self.registry.histogram(
+            "streaming.apply_seconds", "incremental carry-merge time per batch",
+            **LATENCY_BUCKETS,
+        ).observe(elapsed)
 
     def ingest(self, stream: EdgeStream, batch_size: int) -> int:
         """Ingest a whole stream in fixed-size batches; returns batch count."""
@@ -100,3 +117,20 @@ class StreamingTeaEngine:
 
     def nbytes(self) -> int:
         return self.index.nbytes()
+
+    def telemetry_snapshot(self) -> MetricsRegistry:
+        """Fresh registry: ingestion metrics + current walk counters.
+
+        The engine's own registry only accumulates ingestion events;
+        the sampling counters are folded into the *copy*, so calling
+        this repeatedly never double-publishes them.
+        """
+        snapshot = MetricsRegistry().merge(self.registry)
+        self.counters.publish(snapshot)
+        snapshot.gauge("streaming.index_bytes", "incremental HPAT bytes").set(
+            self.index.nbytes()
+        )
+        snapshot.gauge("streaming.num_edges", "edges ingested so far").set(
+            self.num_edges
+        )
+        return snapshot

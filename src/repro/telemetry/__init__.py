@@ -1,0 +1,53 @@
+"""Unified telemetry: metrics registry, nested spans, exporters.
+
+One layer every engine, sampler, cache, and streaming batch reports
+into (see ``docs/observability.md`` for the metric catalogue and span
+taxonomy):
+
+* :class:`MetricsRegistry` — named counters, gauges, log-scale
+  histograms; cheap enough for per-step use, mergeable across workers;
+* :class:`Tracer` / :class:`Span` — nested phase tracing with a 1-in-N
+  per-walk sampling rate (the structured successor to ``PhaseTimer``);
+* exporters — Prometheus text exposition, schema-versioned JSON run
+  reports, and the ``--stats`` human table.
+"""
+
+from repro.telemetry.registry import (
+    BYTES_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+)
+from repro.telemetry.spans import NULL_TRACER, Span, Tracer
+from repro.telemetry.exporters import (
+    REPORT_SCHEMA,
+    build_run_report,
+    format_stats_table,
+    load_run_report,
+    parse_prometheus,
+    to_prometheus,
+    validate_run_report,
+    write_run_report,
+)
+
+__all__ = [
+    "BYTES_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "REPORT_SCHEMA",
+    "Span",
+    "Tracer",
+    "build_run_report",
+    "format_stats_table",
+    "load_run_report",
+    "parse_prometheus",
+    "to_prometheus",
+    "validate_run_report",
+    "write_run_report",
+]

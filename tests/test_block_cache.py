@@ -33,6 +33,36 @@ class TestBlockCache:
         assert cache.get("a") is not None
         assert cache.get("b") is None
         assert cache.stats.evictions == 1
+        assert cache.stats.bytes_in == 4 * 64
+        assert cache.stats.bytes_evicted == 64
+
+    def test_snapshot_full_precision_hit_rate(self):
+        cache = BlockCache(1024)
+        cache.put("a", np.zeros(8))
+        cache.get("a")
+        cache.get("a")
+        for _ in range(7):
+            cache.get("missing")
+        # 2 hits / 9 lookups: 0.2222... must survive the snapshot
+        # unrounded (display rounding lives in pretty()).
+        snap = cache.stats.snapshot()
+        assert snap["hit_rate"] == cache.stats.hit_rate == 2 / 9
+        assert snap["bytes_in"] == 64
+        assert snap["bytes_evicted"] == 0
+        assert "0.2222" in cache.stats.pretty()
+
+    def test_stats_publish_to_registry(self):
+        from repro.telemetry import MetricsRegistry
+
+        cache = BlockCache(1024)
+        cache.put("a", np.zeros(8))
+        cache.get("a")
+        cache.get("b")
+        registry = MetricsRegistry()
+        cache.stats.publish(registry)
+        assert registry.counter_value("cache.hits") == 1
+        assert registry.counter_value("cache.misses") == 1
+        assert registry.counter_value("cache.bytes_in") == 64
 
     def test_byte_budget_respected(self):
         cache = BlockCache(100)
