@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test stats-smoke bench bench-quick examples lint clean
+.PHONY: install test stats-smoke scaling-smoke bench bench-quick examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: stats-smoke
+test: stats-smoke scaling-smoke
 	$(PYTHON) -m pytest tests/
 
 # End-to-end telemetry smoke: run a tiny walk with --stats, write the
@@ -21,6 +21,14 @@ stats-smoke:
 		--prom-out bench_results/stats_smoke.prom
 	PYTHONPATH=src $(PYTHON) -m repro stats --report bench_results/stats_smoke.json >/dev/null
 	@echo "stats-smoke: run report validated"
+
+# Parallel walk executor smoke: sweep 1 and 2 workers on a tiny graph,
+# asserting bit-determinism across worker counts, telemetry conservation
+# (sum of per-worker steps == serial steps), and no wall-time regression
+# (>= 1.0x speedup on multi-core hosts; an overhead floor on 1 core).
+scaling-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.parallel.scaling --smoke
+	@echo "scaling-smoke: parallel invariants hold"
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

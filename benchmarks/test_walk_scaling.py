@@ -1,0 +1,75 @@
+"""Strong scaling of the chunk-parallel walk executor.
+
+Not a paper figure: the paper's engine is multi-threaded C++ and its
+Table 4 numbers already assume all cores; this bench characterises the
+reproduction's analogue — :class:`repro.parallel.ParallelBatchTeaEngine`
+running the R·|V| node2vec workload (Table 4's shape) over 1/2/4/8
+workers with one fixed chunk plan, so the sweep isolates pure execution
+scaling:
+
+* wall time and speedup per worker count (the strong-scaling curve);
+* queue-wait share (work-queue pressure: time chunks spent enqueued
+  relative to total worker-seconds);
+* sampled steps per run — asserted identical across worker counts,
+  the executor's bit-determinism contract.
+
+On single-core CI hosts the speedup column documents overhead rather
+than scaling; the determinism assertion is the portable invariant.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_R, BENCH_SCALE, write_result
+from repro.engines.base import Workload
+from repro.graph.datasets import load_dataset
+from repro.parallel.scaling import format_scaling_table, run_scaling
+from repro.walks.apps import temporal_node2vec
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+_rows = {}
+
+
+@pytest.fixture(scope="module")
+def scaling_graph():
+    # ~100k edges at scale 1.0: the Table 4 shape on the synthetic
+    # twitter analogue, halved to keep the four-point sweep tractable
+    # in pure Python.
+    return load_dataset("twitter", seed=0, scale=0.5 * BENCH_SCALE)
+
+
+def test_walk_scaling_sweep(benchmark, scaling_graph):
+    spec = temporal_node2vec(p=4.0, q=0.25, scale=6.0)
+    workload = Workload(walks_per_vertex=BENCH_R, max_length=80,
+                        max_walks=2000)
+
+    def run():
+        return run_scaling(
+            scaling_graph, spec, workload,
+            worker_counts=WORKER_COUNTS, seed=0,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _rows["sweep"] = rows
+    benchmark.extra_info.update(
+        {f"W={row.workers}": row.snapshot() for row in rows}
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    rows = _rows.get("sweep")
+    if not rows or len(rows) != len(WORKER_COUNTS):
+        return
+    # Determinism: one chunk plan -> identical sampled steps everywhere.
+    steps = {row.steps for row in rows}
+    assert len(steps) == 1, f"steps varied across worker counts: {steps}"
+    text = format_scaling_table(
+        rows,
+        title=(
+            "Parallel walk executor strong scaling "
+            f"(twitter@{0.5 * BENCH_SCALE:g}, node2vec, R={BENCH_R}, L=80)"
+        ),
+    )
+    write_result("walk_scaling", text)

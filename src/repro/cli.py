@@ -23,6 +23,7 @@ from repro.engines import (
     CtdneEngine,
     GraphWalkerEngine,
     KnightKingEngine,
+    ParallelBatchTeaEngine,
     TeaEngine,
     TeaOutOfCoreEngine,
     Workload,
@@ -43,6 +44,7 @@ ENGINES = {
     "knightking": lambda g, s: KnightKingEngine(g, s, nodes=8),
     "knightking-1node": lambda g, s: KnightKingEngine(g, s, nodes=1),
     "ctdne": lambda g, s: CtdneEngine(g, s),
+    "tea-parallel": lambda g, s: ParallelBatchTeaEngine(g, s),
 }
 
 
@@ -84,7 +86,16 @@ def cmd_generate(args) -> int:
 def cmd_walk(args) -> int:
     graph = _load_graph(args)
     spec = APPLICATIONS[args.app]
-    engine = ENGINES[args.engine](graph, spec)
+    # --workers selects the chunk-parallel executor; it composes with
+    # --chunk-size / --parallel-backend and overrides --engine (the
+    # parallel engine runs the tea-batch kernel, so semantics match).
+    if args.engine == "tea-parallel" or args.workers:
+        engine = ParallelBatchTeaEngine(
+            graph, spec, workers=args.workers,
+            chunk_size=args.chunk_size, backend=args.parallel_backend,
+        )
+    else:
+        engine = ENGINES[args.engine](graph, spec)
     workload = Workload(
         walks_per_vertex=args.walks_per_vertex,
         max_length=args.length,
@@ -240,6 +251,7 @@ BENCH_TARGETS = {
     "batch": "test_batch_executor.py",
     "trunksize": "test_trunk_size_ablation.py",
     "gnn": "test_gnn_sampling.py",
+    "scaling": "test_walk_scaling.py",
 }
 
 
@@ -294,6 +306,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--length", type=int, default=80)
     p.add_argument("--walks-per-vertex", type=int, default=1)
     p.add_argument("--max-walks", type=int, default=None)
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="run chunk-parallel with N workers "
+                        "(implies --engine tea-parallel)")
+    p.add_argument("--chunk-size", type=int, default=None, metavar="M",
+                   help="start vertices per work-queue chunk "
+                        "(default ~4 chunks/worker)")
+    p.add_argument("--parallel-backend", default="auto",
+                   choices=["auto", "process", "thread", "serial"],
+                   help="worker pool type for tea-parallel")
     p.add_argument("--show-paths", type=int, default=0)
     p.add_argument("--stats", action="store_true",
                    help="print the full telemetry table instead of the summary")

@@ -271,9 +271,8 @@ class DistributedTeaEngine:
         # legacy return value, registry merge for telemetry (each worker
         # publishes into its own registry first — the merge path the
         # counters module's thread-safety note prescribes).
-        counters = CostCounters()
+        counters = CostCounters.merge_all(w.counters for w in workers)
         for worker in workers:
-            counters.merge(worker.counters)
             worker.counters.publish(worker.registry)
             worker.registry.counter(
                 "distributed.worker_steps", "sampling steps across workers"

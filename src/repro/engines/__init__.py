@@ -13,7 +13,10 @@
   implementation style: per-step dynamic weight evaluation in
   interpreter-speed code;
 * :class:`~repro.engines.tea_outofcore.TeaOutOfCoreEngine` — PAT with
-  disk-resident trunks.
+  disk-resident trunks;
+* :class:`~repro.parallel.ParallelBatchTeaEngine` — the frontier kernel
+  run chunk-parallel across worker processes/threads over a shared
+  prepared index (re-exported here for discoverability).
 
 All engines share :class:`~repro.engines.base.Engine`'s walk loop
 (Algorithm 2), differing only in how one edge is sampled from a candidate
@@ -29,6 +32,10 @@ from repro.engines.ctdne import CtdneEngine
 from repro.engines.tea_outofcore import TeaOutOfCoreEngine
 from repro.engines.mutable import MutableTeaEngine
 
+# Imported last: repro.parallel builds on repro.engines.batch, which is
+# already bound above, so this re-export cannot recurse.
+from repro.parallel.engine import ParallelBatchTeaEngine
+
 __all__ = [
     "Engine",
     "EngineResult",
@@ -40,4 +47,5 @@ __all__ = [
     "CtdneEngine",
     "TeaOutOfCoreEngine",
     "MutableTeaEngine",
+    "ParallelBatchTeaEngine",
 ]

@@ -23,6 +23,7 @@ what lets benchmarks run the paper's full R·|V| workloads.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -39,6 +40,63 @@ from repro.walks.spec import WalkSpec
 from repro.walks.walker import WalkPath
 
 _MAX_BETA_ROUNDS = 16
+
+
+@dataclass
+class FrontierResult:
+    """Columnar outcome of one frontier-vectorised walk batch.
+
+    Hops are recorded per *column* (step index) into dense ``(num_walks,
+    max_length)`` arrays — every lane active at iteration ``k`` has taken
+    exactly ``k`` hops, so a scatter per iteration replaces the per-lane
+    Python append the loop used to pay. Walk ``i``'s valid hops are
+    ``hop_vertex[i, :lengths[i]]`` / ``hop_time[i, :lengths[i]]``.
+    ``hop_vertex``/``hop_time`` are ``None`` when hop recording was off.
+    """
+
+    starts: np.ndarray
+    lengths: np.ndarray
+    hop_vertex: Optional[np.ndarray] = None
+    hop_time: Optional[np.ndarray] = None
+
+    @property
+    def total_steps(self) -> int:
+        return int(self.lengths.sum())
+
+    def materialise_paths(self, record_paths: bool = True, sink=None) -> List[WalkPath]:
+        """Build :class:`WalkPath` objects from the columnar arrays.
+
+        Runs once per batch after the walk phase (never inside it);
+        ``sink`` receives every walk, the returned list only fills when
+        ``record_paths`` is true.
+        """
+        paths: List[WalkPath] = []
+        if self.hop_vertex is None or (not record_paths and sink is None):
+            return paths
+        starts = self.starts.tolist()
+        lengths = self.lengths.tolist()
+        for i, (start, length) in enumerate(zip(starts, lengths)):
+            hops = [(start, None)]
+            if length:
+                hops.extend(
+                    zip(
+                        self.hop_vertex[i, :length].tolist(),
+                        self.hop_time[i, :length].tolist(),
+                    )
+                )
+            walk = WalkPath(hops=hops)
+            if record_paths:
+                paths.append(walk)
+            if sink is not None:
+                sink.append(walk)
+        return paths
+
+    def observe_lengths(self, histogram) -> None:
+        """Fold walk lengths into ``histogram`` one distinct value at a
+        time (the ``np.unique`` twin of the scalar loop's Counter fold)."""
+        values, counts = np.unique(self.lengths, return_counts=True)
+        for value, n in zip(values.tolist(), counts.tolist()):
+            histogram.observe_n(value, n)
 
 
 def hpat_sample_batch(
@@ -145,6 +203,36 @@ class BatchTeaEngine(Engine):
             )
             self._static_ready = True
 
+    @classmethod
+    def from_prepared(
+        cls,
+        graph: TemporalGraph,
+        spec: WalkSpec,
+        index,
+        candidate_sizes: np.ndarray,
+        static_keys: Optional[np.ndarray] = None,
+    ) -> "BatchTeaEngine":
+        """Wrap an already-built index without re-running preprocessing.
+
+        The zero-copy entry point for parallel workers: ``graph`` must
+        already be spec-restricted and ``index``/``candidate_sizes`` are
+        adopted as-is (typically views over shared memory), so
+        construction costs no array copies and no index build.
+        """
+        engine = object.__new__(cls)
+        engine.graph = graph
+        engine.spec = spec
+        engine._prepared = True
+        engine.index = index
+        engine.weights = None
+        engine.candidate_sizes = candidate_sizes
+        from repro.telemetry import NULL_TRACER
+
+        engine.tracer = NULL_TRACER
+        engine._static_keys = static_keys
+        engine._static_ready = static_keys is not None
+        return engine
+
     # Scalar fallback keeps the Engine contract usable (tests, analytics).
     def sample_edge(self, v, candidate_size, walker_time, rng, counters):
         return self.index.sample(v, candidate_size, rng, counters)
@@ -182,6 +270,115 @@ class BatchTeaEngine(Engine):
             out[undecided] = np.where(is_neighbor, 1.0, 1.0 / beta.q)
         return out
 
+    # -- frontier kernel ---------------------------------------------------------
+
+    def _run_frontier(
+        self,
+        starts: np.ndarray,
+        max_length: int,
+        stop_probability: float,
+        rng: np.random.Generator,
+        counters: CostCounters,
+        keep_hops: bool,
+        frontier_hist=None,
+    ) -> FrontierResult:
+        """Advance every walk in ``starts`` to completion, vectorised.
+
+        The reusable core of this engine: the parallel executor
+        (:mod:`repro.parallel`) runs exactly this kernel per chunk inside
+        worker threads/processes, against the same shared index arrays.
+        Hops land in columnar ``(num, max_length)`` arrays — all lanes
+        active at iteration ``k`` have taken ``k`` hops, so recording is
+        one scatter per iteration instead of a Python append per lane.
+        """
+        g = self.graph
+        beta = self.spec.dynamic_parameter
+        beta_max = beta.beta_max if beta is not None else 1.0
+        if beta is not None and g.num_vertices and g._static_indptr is None:
+            g._build_static_adjacency()
+        num = starts.size
+        hop_vertex = hop_time = None
+        if keep_hops:
+            hop_vertex = np.zeros((num, max_length), dtype=np.int64)
+            hop_time = np.zeros((num, max_length), dtype=np.float64)
+
+        cur = starts.copy()
+        prev = np.full(num, -1, dtype=np.int64)
+        s = (g.indptr[cur + 1] - g.indptr[cur]).astype(np.int64)
+        steps_left = np.full(num, max_length, dtype=np.int64)
+        active = (s > 0) & (steps_left > 0)
+        lanes = np.flatnonzero(active)
+        iteration = 0
+        while lanes.size:
+            if frontier_hist is not None:
+                frontier_hist.observe(lanes.size)
+            if stop_probability:
+                survive = rng.random(lanes.size) >= stop_probability
+                lanes = lanes[survive]
+                if not lanes.size:
+                    break
+            counters.steps += lanes.size
+            vs = cur[lanes]
+            ss = s[lanes]
+            pending = np.arange(lanes.size)
+            idx_out = np.empty(lanes.size, dtype=np.int64)
+            for _ in range(_MAX_BETA_ROUNDS):
+                draw = self._sample_batch(vs[pending], ss[pending], rng, counters)
+                idx_out[pending] = draw
+                if beta is None:
+                    pending = pending[:0]
+                    break
+                pos_try = g.indptr[vs[pending]] + draw
+                cand = g.nbr[pos_try]
+                pv = prev[lanes][pending]
+                has_prev = pv >= 0
+                b = np.full(pending.size, beta_max)
+                if has_prev.any():
+                    if self._static_ready:
+                        b[has_prev] = self._beta_batch(pv[has_prev], cand[has_prev])
+                    else:  # custom Dynamic_parameter: scalar evaluation
+                        b[has_prev] = np.fromiter(
+                            (beta(g, int(p), int(c))
+                             for p, c in zip(pv[has_prev], cand[has_prev])),
+                            dtype=np.float64,
+                        )
+                accept = rng.random(pending.size) * beta_max <= b
+                counters.rejection_trials += pending.size
+                counters.edges_evaluated += pending.size
+                counters.rejected += int((~accept).sum())
+                pending = pending[~accept]
+                if not pending.size:
+                    break
+            # Rare lanes that exhausted the rejection budget fall back
+            # to the exact β-adjusted scan (same as the scalar loop).
+            for lane_pos in pending:
+                pv = prev[lanes][lane_pos]
+                idx_out[lane_pos] = self._beta_exact_draw(
+                    int(vs[lane_pos]), int(ss[lane_pos]),
+                    None if pv < 0 else int(pv), beta, rng, counters,
+                )
+            pos = g.indptr[vs] + idx_out
+            nxt = g.nbr[pos].astype(np.int64)
+            t_next = g.etime[pos]
+            s_next = self.candidate_sizes[pos].astype(np.int64)
+            if keep_hops:
+                hop_vertex[lanes, iteration] = nxt
+                hop_time[lanes, iteration] = t_next
+            prev[lanes] = cur[lanes]
+            cur[lanes] = nxt
+            s[lanes] = s_next
+            steps_left[lanes] -= 1
+            still = (s_next > 0) & (steps_left[lanes] > 0)
+            lanes = lanes[still]
+            iteration += 1
+
+        return FrontierResult(
+            starts=starts,
+            lengths=max_length - steps_left,
+            hop_vertex=hop_vertex,
+            hop_time=hop_time,
+        )
+
     # -- run ---------------------------------------------------------------------
 
     def run(self, workload: Workload, seed: RngLike = 0,
@@ -199,103 +396,24 @@ class BatchTeaEngine(Engine):
         frontier_hist = registry.histogram(
             "batch.frontier_size", "active walkers per frontier iteration"
         )
-        g = self.graph
-        beta = self.spec.dynamic_parameter
-        beta_max = beta.beta_max if beta is not None else 1.0
-        if beta is not None and g.num_vertices and g._static_indptr is None:
-            g._build_static_adjacency()
-
-        starts = workload.resolve_starts(g.num_vertices, rng).astype(np.int64)
-        num = starts.size
+        starts = workload.resolve_starts(self.graph.num_vertices, rng).astype(np.int64)
         keep_hops = record_paths or sink is not None
-        hops: List[List] = [[(int(u), None)] for u in starts] if keep_hops else []
 
         with timer.phase("walk"), tracer.span(
-            "walk", engine=self.name, walks=num
+            "walk", engine=self.name, walks=int(starts.size)
         ):
-            cur = starts.copy()
-            prev = np.full(num, -1, dtype=np.int64)
-            s = (g.indptr[cur + 1] - g.indptr[cur]).astype(np.int64)
-            steps_left = np.full(num, workload.max_length, dtype=np.int64)
-            active = (s > 0) & (steps_left > 0)
-            lanes = np.flatnonzero(active)
-            while lanes.size:
-                frontier_hist.observe(lanes.size)
-                if workload.stop_probability:
-                    survive = rng.random(lanes.size) >= workload.stop_probability
-                    lanes = lanes[survive]
-                    if not lanes.size:
-                        break
-                counters.steps += lanes.size
-                vs = cur[lanes]
-                ss = s[lanes]
-                pending = np.arange(lanes.size)
-                idx_out = np.empty(lanes.size, dtype=np.int64)
-                for _ in range(_MAX_BETA_ROUNDS):
-                    draw = self._sample_batch(vs[pending], ss[pending], rng, counters)
-                    idx_out[pending] = draw
-                    if beta is None:
-                        pending = pending[:0]
-                        break
-                    pos_try = g.indptr[vs[pending]] + draw
-                    cand = g.nbr[pos_try]
-                    pv = prev[lanes][pending]
-                    has_prev = pv >= 0
-                    b = np.full(pending.size, beta_max)
-                    if has_prev.any():
-                        if self._static_ready:
-                            b[has_prev] = self._beta_batch(pv[has_prev], cand[has_prev])
-                        else:  # custom Dynamic_parameter: scalar evaluation
-                            b[has_prev] = np.fromiter(
-                                (beta(g, int(p), int(c))
-                                 for p, c in zip(pv[has_prev], cand[has_prev])),
-                                dtype=np.float64,
-                            )
-                    accept = rng.random(pending.size) * beta_max <= b
-                    counters.rejection_trials += pending.size
-                    counters.edges_evaluated += pending.size
-                    counters.rejected += int((~accept).sum())
-                    pending = pending[~accept]
-                    if not pending.size:
-                        break
-                # Rare lanes that exhausted the rejection budget fall back
-                # to the exact β-adjusted scan (same as the scalar loop).
-                for lane_pos in pending:
-                    pv = prev[lanes][lane_pos]
-                    idx_out[lane_pos] = self._beta_exact_draw(
-                        int(vs[lane_pos]), int(ss[lane_pos]),
-                        None if pv < 0 else int(pv), beta, rng, counters,
-                    )
-                pos = g.indptr[vs] + idx_out
-                nxt = g.nbr[pos].astype(np.int64)
-                t_next = g.etime[pos]
-                s_next = self.candidate_sizes[pos].astype(np.int64)
-                if keep_hops:
-                    for lane, v2, t2 in zip(lanes, nxt, t_next):
-                        hops[lane].append((int(v2), float(t2)))
-                prev[lanes] = cur[lanes]
-                cur[lanes] = nxt
-                s[lanes] = s_next
-                steps_left[lanes] -= 1
-                still = (s_next > 0) & (steps_left[lanes] > 0)
-                lanes = lanes[still]
+            result = self._run_frontier(
+                starts, workload.max_length, workload.stop_probability,
+                rng, counters, keep_hops, frontier_hist,
+            )
 
-        walk_length_hist = registry.histogram(
-            "walk.length", "edges per completed walk"
+        result.observe_lengths(
+            registry.histogram("walk.length", "edges per completed walk")
         )
-        for length in (workload.max_length - steps_left).tolist():
-            walk_length_hist.observe(length)
-        paths = []
-        if keep_hops:
-            for h in hops:
-                walk = WalkPath(hops=h)
-                if record_paths:
-                    paths.append(walk)
-                if sink is not None:
-                    sink.append(walk)
+        paths = result.materialise_paths(record_paths=record_paths, sink=sink)
         memory = self.memory_report()
         counters.publish(registry)
-        registry.counter("walk.walks", "walks executed").inc(num)
+        registry.counter("walk.walks", "walks executed").inc(int(starts.size))
         registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
         self.publish_telemetry(registry)
         return EngineResult(

@@ -1,0 +1,39 @@
+"""Chunk-parallel walk execution over a shared prepared index.
+
+The single-node multi-core counterpart to :mod:`repro.distributed`'s
+simulated cluster: one preprocessing pass in the parent, then the
+vectorised frontier kernel (:mod:`repro.engines.batch`) runs per chunk
+of start vertices in a worker pool, against index arrays shared
+zero-copy (POSIX shared memory, falling back to fork copy-on-write).
+Results are deterministic in the chunk plan — not in worker count or
+scheduling — and every worker's counters/metrics/spans fold at the join
+barrier.
+
+Public surface:
+
+* :class:`~repro.parallel.engine.ParallelBatchTeaEngine` — the engine
+  (registered as ``tea-parallel`` in the CLI);
+* :func:`~repro.parallel.chunks.plan_chunks` /
+  :class:`~repro.parallel.chunks.ChunkPlan` — deterministic chunking;
+* :class:`~repro.parallel.sharing.SharedIndexImage` — the shared-memory
+  image of the prepared arrays;
+* :func:`~repro.parallel.scaling.run_scaling` — the strong-scaling
+  sweep behind ``bench_results/walk_scaling.txt`` and
+  ``make scaling-smoke``.
+"""
+
+from repro.parallel.chunks import ChunkPlan, default_chunk_size, plan_chunks
+from repro.parallel.engine import ParallelBatchTeaEngine
+from repro.parallel.sharing import SharedIndexImage
+from repro.parallel.worker import ChunkResult, WorkerContext, execute_chunk
+
+__all__ = [
+    "ChunkPlan",
+    "ChunkResult",
+    "ParallelBatchTeaEngine",
+    "SharedIndexImage",
+    "WorkerContext",
+    "default_chunk_size",
+    "execute_chunk",
+    "plan_chunks",
+]

@@ -1,0 +1,334 @@
+"""Chunk-parallel frontier walk execution (multi-core single node).
+
+:class:`ParallelBatchTeaEngine` runs the exact
+:class:`~repro.engines.batch.BatchTeaEngine` frontier kernel, but over
+*chunks* of the workload's start vertices served from a shared work
+queue to a pool of workers. The prepared index is built once in the
+parent and shared zero-copy (see :mod:`repro.parallel.sharing`);
+workers wrap it with
+:meth:`~repro.engines.batch.BatchTeaEngine.from_prepared` and walk
+their chunks independently.
+
+Design invariants:
+
+* **Determinism** — every chunk's randomness comes from a seed planned
+  up front (:mod:`repro.parallel.chunks`), so results are bit-identical
+  across worker counts, backends, and scheduling orders for a fixed
+  ``(seed, chunk_size)``. ``--workers 1`` is the reference run, not a
+  special case.
+* **Per-worker telemetry** — each chunk carries private
+  :class:`~repro.sampling.counters.CostCounters`, registry, and tracer;
+  the engine folds all of them at the join barrier through their
+  associative merge paths, then adds the ``parallel.*`` metrics
+  (workers, chunks, queue wait, per-worker step totals).
+* **Backends** — ``process`` (forked workers, true multi-core; index
+  shared via POSIX shared memory with a copy-on-write fallback),
+  ``thread`` (numpy releases the GIL for long stretches of the kernel,
+  and threads need no array shipping at all), or ``serial`` (inline,
+  for debugging). ``auto`` picks ``process`` where ``fork`` exists.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.persist import hpat_array_catalogue
+from repro.engines.base import EngineResult, Workload
+from repro.engines.batch import BatchTeaEngine, FrontierResult
+from repro.graph.temporal_graph import TemporalGraph
+from repro.metrics.timing import PhaseTimer
+from repro.parallel.chunks import ChunkPlan, default_chunk_size, plan_chunks
+from repro.parallel.sharing import export_or_none
+from repro.parallel.worker import (
+    ChunkResult,
+    WorkerContext,
+    _process_chunk,
+    _process_init,
+    execute_chunk,
+)
+from repro.rng import RngLike, make_rng
+from repro.sampling.counters import CostCounters
+from repro.telemetry import LATENCY_BUCKETS, MetricsRegistry, Tracer
+from repro.walks.spec import WalkSpec
+
+BACKENDS = ("auto", "process", "thread", "serial")
+SHARE_MODES = ("auto", "shm", "inherit")
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ParallelBatchTeaEngine(BatchTeaEngine):
+    """Work-queue parallel TEA: the frontier kernel per chunk, merged.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the machine's CPU count. The effective
+        pool never exceeds the number of chunks.
+    chunk_size:
+        Start vertices per chunk; default targets ~4 chunks per worker
+        (queue-level load balancing). Chunking — not worker count —
+        keys the randomness, so pin it when comparing worker counts.
+    backend:
+        ``auto`` | ``process`` | ``thread`` | ``serial``.
+    share_mode:
+        ``auto`` (shared memory, falling back to fork/copy-on-write),
+        ``shm``, or ``inherit`` (copy-on-write only). Only the process
+        backend ships arrays; threads share the address space.
+    """
+
+    name = "tea-parallel"
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        spec: WalkSpec,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        backend: str = "auto",
+        share_mode: str = "auto",
+    ):
+        super().__init__(graph, spec)
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
+        if share_mode not in SHARE_MODES:
+            raise ValueError(
+                f"share_mode must be one of {SHARE_MODES}, got {share_mode!r}"
+            )
+        self.workers = int(workers) if workers else (multiprocessing.cpu_count() or 1)
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.chunk_size = int(chunk_size) if chunk_size else None
+        self.backend = backend
+        self.share_mode = share_mode
+        #: How the last run actually shared arrays / executed (for
+        #: reports and tests): set by :meth:`run`.
+        self.last_backend: Optional[str] = None
+        self.last_share_mode: Optional[str] = None
+
+    # -- context -----------------------------------------------------------
+
+    def _resolve_backend(self, workers_used: int) -> str:
+        if self.backend == "auto":
+            if workers_used <= 1:
+                return "serial"
+            return "process" if _fork_available() else "thread"
+        if self.backend == "process" and not _fork_available():
+            return "thread"
+        return self.backend
+
+    def _shared_arrays(self) -> Dict[str, np.ndarray]:
+        """The read-only image workers need, under the catalogue names."""
+        g = self.graph
+        arrays: Dict[str, np.ndarray] = {
+            "graph.indptr": g.indptr,
+            "graph.nbr": g.nbr,
+            "graph.etime": g.etime,
+        }
+        if g.eweight is not None:
+            arrays["graph.eweight"] = g.eweight
+        arrays.update(hpat_array_catalogue(self.index, self.candidate_sizes))
+        if g._static_indptr is not None:
+            arrays["static.indptr"] = g._static_indptr
+            arrays["static.nbr"] = g._static_nbr
+        if self._static_ready:
+            arrays["static.keys"] = self._static_keys
+        return arrays
+
+    def _build_context(
+        self, plan: ChunkPlan, workload: Workload, keep_hops: bool
+    ) -> WorkerContext:
+        # Build the static adjacency once in the parent (any dynamic
+        # parameter may consult it): workers then share it instead of
+        # each lazily rebuilding, and the thread backend avoids a
+        # concurrent-build race inside the kernel.
+        if (
+            self.spec.dynamic_parameter is not None
+            and self.graph.num_vertices
+            and self.graph._static_indptr is None
+        ):
+            self.graph._build_static_adjacency()
+        aux = self.index.aux
+        return WorkerContext(
+            spec=self.spec,
+            starts=plan.starts,
+            seeds=plan.seeds,
+            max_length=workload.max_length,
+            stop_probability=workload.stop_probability,
+            keep_hops=keep_hops,
+            aux_max=aux.max_size if aux is not None else -1,
+            arrays=self._shared_arrays(),
+        )
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_pool(
+        self, pool: Executor, tasks, via_process: bool, ctx: WorkerContext
+    ) -> List[ChunkResult]:
+        futures = []
+        for chunk_id, lo, hi in tasks:
+            enqueue_ts = time.monotonic()
+            if via_process:
+                futures.append(
+                    pool.submit(_process_chunk, chunk_id, lo, hi, enqueue_ts)
+                )
+            else:
+                futures.append(
+                    pool.submit(execute_chunk, self, ctx, chunk_id, lo, hi, enqueue_ts)
+                )
+        # Collect in submit order == chunk order: the fold below is then
+        # deterministic no matter which worker finished first.
+        return [f.result() for f in futures]
+
+    def _execute_chunks(
+        self, plan: ChunkPlan, ctx: WorkerContext, backend: str, workers_used: int
+    ) -> List[ChunkResult]:
+        tasks = [
+            (chunk_id, *plan.chunk(chunk_id)) for chunk_id in range(plan.num_chunks)
+        ]
+        if backend == "serial" or workers_used <= 1:
+            self.last_share_mode = "local"
+            now = time.monotonic()
+            return [
+                execute_chunk(self, ctx, chunk_id, lo, hi, now)
+                for chunk_id, lo, hi in tasks
+            ]
+        if backend == "thread":
+            self.last_share_mode = "local"
+            with ThreadPoolExecutor(
+                max_workers=workers_used, thread_name_prefix="walk"
+            ) as pool:
+                return self._run_pool(pool, tasks, via_process=False, ctx=ctx)
+
+        # Process backend: export the image to shared memory when asked;
+        # otherwise (or on export failure) the pre-fork context's arrays
+        # reach children copy-on-write, which is equally zero-copy.
+        inherit_arrays = ctx.arrays
+        image = None
+        if self.share_mode in ("auto", "shm"):
+            image = export_or_none(ctx.arrays)
+        if image is not None:
+            ctx.arrays = image.arrays()
+            self.last_share_mode = "shm"
+        else:
+            self.last_share_mode = "cow"
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers_used,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_process_init,
+                initargs=(ctx,),
+            ) as pool:
+                return self._run_pool(pool, tasks, via_process=True, ctx=ctx)
+        finally:
+            if image is not None:
+                ctx.arrays = inherit_arrays  # release shm-backed views
+                image.dispose()
+
+    # -- run ---------------------------------------------------------------
+
+    def run(self, workload: Workload, seed: RngLike = 0,
+            record_paths: bool = True, sink=None,
+            registry: Optional[MetricsRegistry] = None,
+            tracer: Optional[Tracer] = None) -> EngineResult:
+        registry = registry if registry is not None else MetricsRegistry()
+        tracer = tracer if tracer is not None else Tracer(enabled=True)
+        self.tracer = tracer
+        timer = PhaseTimer()
+        with timer.phase("prepare"), tracer.span("prepare", engine=self.name):
+            self.prepare()
+        rng = make_rng(seed)
+        starts = workload.resolve_starts(self.graph.num_vertices, rng).astype(np.int64)
+        keep_hops = record_paths or sink is not None
+
+        chunk_size = self.chunk_size or default_chunk_size(starts.size, self.workers)
+        plan = plan_chunks(starts, chunk_size, rng)
+        workers_used = max(1, min(self.workers, plan.num_chunks))
+        backend = self._resolve_backend(workers_used)
+        self.last_backend = backend
+        ctx = self._build_context(plan, workload, keep_hops)
+
+        with timer.phase("walk"), tracer.span(
+            "walk", engine=self.name, walks=int(starts.size),
+            workers=workers_used, chunks=plan.num_chunks, backend=backend,
+        ) as walk_span:
+            results = self._execute_chunks(plan, ctx, backend, workers_used)
+            walk_span.set("share_mode", self.last_share_mode)
+            for res in results:
+                walk_span.children.extend(res.spans)
+
+        # Fold at the barrier, in chunk order: counters, registries,
+        # lengths, paths. Merge is associative, so this equals any
+        # completion order — but a fixed order keeps reports stable.
+        counters = CostCounters.merge_all(res.counters for res in results)
+        for res in results:
+            registry.merge(res.registry)
+
+        lengths = (
+            np.concatenate([res.lengths for res in results])
+            if results else np.zeros(0, dtype=np.int64)
+        )
+        FrontierResult(starts=starts, lengths=lengths).observe_lengths(
+            registry.histogram("walk.length", "edges per completed walk")
+        )
+        paths = []
+        for res in results:
+            lo, hi = plan.chunk(res.chunk_id)
+            chunk = FrontierResult(
+                starts=plan.starts[lo:hi], lengths=res.lengths,
+                hop_vertex=res.hop_vertex, hop_time=res.hop_time,
+            )
+            paths.extend(chunk.materialise_paths(record_paths=record_paths, sink=sink))
+
+        self._publish_parallel_metrics(registry, results, workers_used, plan)
+        memory = self.memory_report()
+        counters.publish(registry)
+        registry.counter("walk.walks", "walks executed").inc(int(starts.size))
+        registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
+        self.publish_telemetry(registry)
+        return EngineResult(
+            engine=self.name,
+            spec=self.spec.describe(),
+            workload=workload.describe(),
+            paths=paths,
+            counters=counters,
+            timer=timer,
+            memory=memory,
+            registry=registry,
+            trace=tracer,
+        )
+
+    def _publish_parallel_metrics(
+        self,
+        registry: MetricsRegistry,
+        results: List[ChunkResult],
+        workers_used: int,
+        plan: ChunkPlan,
+    ) -> None:
+        registry.gauge("parallel.workers", "worker pool size").set(workers_used)
+        registry.counter("parallel.chunks", "chunks executed").inc(plan.num_chunks)
+        # The per-chunk registries already folded their queue-wait
+        # observations into parallel.queue_wait_seconds via merge();
+        # touch it here so the metric exists even for zero-chunk runs.
+        registry.histogram(
+            "parallel.queue_wait_seconds",
+            "delay between chunk enqueue and execution start",
+            **LATENCY_BUCKETS,
+        )
+        per_worker: Dict[str, int] = {}
+        for res in results:
+            per_worker[res.worker_label] = (
+                per_worker.get(res.worker_label, 0) + res.total_steps
+            )
+        steps_hist = registry.histogram(
+            "parallel.worker_steps", "sampling steps per worker (fold of chunks)"
+        )
+        for steps in per_worker.values():
+            steps_hist.observe(steps)

@@ -1,0 +1,155 @@
+"""Zero-copy sharing of a prepared index image across walk workers.
+
+A parallel walk run reads the same immutable arrays from every worker:
+the graph CSR, the HPAT flat arrays (the catalogue
+:data:`repro.core.persist.HPAT_ARRAY_FIELDS` enumerates), the per-edge
+candidate index, and — for node2vec specs — the static-adjacency
+offset-key view. None of it is written during the walk, so the right
+sharing primitive is a read-only page mapping, not a pickle.
+
+Two mechanisms, in preference order:
+
+* **POSIX shared memory** (:class:`SharedIndexImage`): the arrays are
+  copied once into ``multiprocessing.shared_memory`` segments; workers
+  either inherit the mappings through ``fork`` or attach by segment
+  name (:meth:`SharedIndexImage.attach` — the picklable
+  :meth:`~SharedIndexImage.specs` travel to any process). One physical
+  copy serves every worker regardless of start method.
+* **fork copy-on-write fallback**: on platforms or in conditions where
+  shared memory is unavailable (``/dev/shm`` full, permissions), the
+  parent simply passes its own arrays into the pre-fork worker context.
+  ``fork`` shares the pages copy-on-write, and since the walk never
+  writes them, they are never duplicated. This is equally zero-copy but
+  only works for forked children.
+
+The exporting process owns the segments: call :meth:`dispose` after the
+worker pool has shut down to close and unlink them (numpy views must be
+dropped before closing, which ``dispose`` handles).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+#: spec entry: (shared-memory segment name, array shape, dtype string)
+ArraySpec = Tuple[str, Tuple[int, ...], str]
+
+
+class SharedIndexImage:
+    """A dict of named arrays exported into shared-memory segments.
+
+    Use :meth:`export` in the owning process and :meth:`arrays` for
+    views backed by the segments; ship :meth:`specs` to non-forked
+    workers and rebuild views there with :meth:`attach`.
+    """
+
+    def __init__(self) -> None:
+        self._segments: List[shared_memory.SharedMemory] = []
+        self._specs: Dict[str, ArraySpec] = {}
+        self._views: Dict[str, np.ndarray] = {}
+        self._owner = False
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def export(cls, arrays: Dict[str, np.ndarray]) -> "SharedIndexImage":
+        """Copy ``arrays`` into fresh shared-memory segments (one each).
+
+        The one copy this module ever makes: after it, every process
+        reads the same physical pages. Raises ``OSError`` when shared
+        memory cannot be allocated — callers fall back to
+        copy-on-write inheritance.
+        """
+        image = cls()
+        image._owner = True
+        try:
+            for field, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                # A zero-byte segment is invalid; round up so empty
+                # arrays (empty graphs, weightless specs) still ship.
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(1, arr.nbytes)
+                )
+                image._segments.append(shm)
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                view.setflags(write=False)
+                image._specs[field] = (shm.name, arr.shape, arr.dtype.str)
+                image._views[field] = view
+        except OSError:
+            image.dispose()
+            raise
+        return image
+
+    @classmethod
+    def attach(cls, specs: Dict[str, ArraySpec]) -> "SharedIndexImage":
+        """Map the segments named in ``specs`` (worker side, by name).
+
+        The attach-by-name path works from any process on the host —
+        including ``spawn``-started ones — as long as the exporting
+        process keeps the image alive. Call :meth:`dispose` (which only
+        closes, never unlinks, on attached images) when done.
+        """
+        image = cls()
+        for field, (name, shape, dtype) in specs.items():
+            shm = shared_memory.SharedMemory(name=name)
+            image._segments.append(shm)
+            view = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf)
+            view.setflags(write=False)
+            image._specs[field] = (name, tuple(shape), dtype)
+            image._views[field] = view
+        return image
+
+    # -- access ------------------------------------------------------------
+
+    def arrays(self) -> Dict[str, np.ndarray]:
+        """Read-only views backed by the shared segments."""
+        return dict(self._views)
+
+    def specs(self) -> Dict[str, ArraySpec]:
+        """Picklable descriptors for :meth:`attach` in another process."""
+        return dict(self._specs)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(view.nbytes for view in self._views.values())
+
+    # -- teardown ----------------------------------------------------------
+
+    def dispose(self) -> None:
+        """Drop views, close the mappings, and (if owner) unlink.
+
+        numpy views hold buffer references into the segments, so they
+        must be released before ``close()`` — call this only after no
+        other live array references the image (i.e. after the worker
+        pool has joined).
+        """
+        self._views.clear()
+        for shm in self._segments:
+            try:
+                shm.close()
+            except (OSError, BufferError):  # pragma: no cover - teardown
+                pass
+            if self._owner:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
+        self._segments.clear()
+        self._specs.clear()
+
+
+def export_or_none(arrays: Dict[str, np.ndarray]) -> Optional[SharedIndexImage]:
+    """Try the shared-memory export; ``None`` means "use the fallback".
+
+    The graceful half of the share-mode ladder: a full ``/dev/shm`` or a
+    platform without POSIX shared memory degrades to fork/copy-on-write
+    sharing instead of failing the run.
+    """
+    try:
+        return SharedIndexImage.export(arrays)
+    except (OSError, ValueError):
+        return None

@@ -1,0 +1,205 @@
+"""Worker-side chunk execution for the parallel walk executor.
+
+A worker — thread or forked process — owns nothing but a
+:class:`WorkerContext`: the walk parameters, the chunk plan's arrays,
+and the shared read-only image of the prepared index. From it each
+worker builds one private :class:`~repro.engines.batch.BatchTeaEngine`
+via :meth:`~repro.engines.batch.BatchTeaEngine.from_prepared` (no index
+rebuild, no array copies) and then runs chunks through the frontier
+kernel.
+
+Every chunk execution carries a private :class:`CostCounters`, a private
+:class:`MetricsRegistry`, and a private :class:`Tracer` — the
+per-worker telemetry discipline (see :mod:`repro.sampling.counters`);
+the engine folds all three at the join barrier. A chunk's randomness
+comes exclusively from its planned seed, so the produced walks are
+independent of which worker ran it.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.aux_index import AuxiliaryIndex
+from repro.core.hpat import HierarchicalPAT
+from repro.core.persist import HPAT_ARRAY_FIELDS
+from repro.engines.batch import BatchTeaEngine, FrontierResult
+from repro.graph.temporal_graph import TemporalGraph
+from repro.sampling.counters import CostCounters
+from repro.telemetry import LATENCY_BUCKETS, MetricsRegistry, Span, Tracer
+from repro.walks.spec import WalkSpec
+
+
+@dataclass
+class WorkerContext:
+    """Everything a worker needs to run chunks, with zero-copy arrays.
+
+    ``arrays`` maps prefixed names to the shared image:
+    ``graph.indptr/nbr/etime[/eweight]`` (the spec-restricted CSR), the
+    HPAT catalogue fields plus ``candidate_sizes``, and — when the spec
+    has a prepared node2vec parameter — ``static.indptr/nbr/keys``. The
+    backing may be shared-memory segments or the parent's own arrays
+    inherited copy-on-write; workers cannot tell and do not care.
+    """
+
+    spec: WalkSpec
+    starts: np.ndarray
+    seeds: np.ndarray
+    max_length: int
+    stop_probability: float
+    keep_hops: bool
+    aux_max: int
+    arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def build_engine(self) -> BatchTeaEngine:
+        """Assemble a private engine over the shared arrays.
+
+        The only per-worker allocation of note is
+        ``TemporalGraph._neg_etime`` (|E| floats, recomputed by the
+        constructor); the CSR, index, and candidate arrays are adopted
+        as-is.
+        """
+        a = self.arrays
+        graph = TemporalGraph(
+            a["graph.indptr"], a["graph.nbr"], a["graph.etime"],
+            eweight=a.get("graph.eweight"),
+        )
+        if "static.indptr" in a:
+            graph._static_indptr = a["static.indptr"]
+            graph._static_nbr = a["static.nbr"]
+        aux = AuxiliaryIndex(self.aux_max) if self.aux_max >= 0 else None
+        index = HierarchicalPAT(
+            aux=aux, **{name: a[name] for name in HPAT_ARRAY_FIELDS}
+        )
+        return BatchTeaEngine.from_prepared(
+            graph, self.spec, index, a["candidate_sizes"],
+            static_keys=a.get("static.keys"),
+        )
+
+
+@dataclass
+class ChunkResult:
+    """One chunk's walks plus its private telemetry, ready to fold.
+
+    ``lengths``/``hop_vertex``/``hop_time`` are the chunk's slice of the
+    columnar frontier output (hop columns trimmed to the chunk's longest
+    walk so process workers ship minimal bytes). ``spans`` are the
+    worker tracer's finished roots — the engine adopts them under its
+    ``walk`` span at the barrier.
+    """
+
+    chunk_id: int
+    num_walks: int
+    lengths: np.ndarray
+    hop_vertex: Optional[np.ndarray]
+    hop_time: Optional[np.ndarray]
+    counters: CostCounters
+    registry: MetricsRegistry
+    spans: List[Span]
+    queue_wait_seconds: float
+    wall_seconds: float
+    worker_label: str
+
+    @property
+    def total_steps(self) -> int:
+        return int(self.lengths.sum())
+
+
+def worker_label() -> str:
+    """Stable identity of the executing worker for per-worker metrics."""
+    thread = threading.current_thread()
+    if thread is threading.main_thread():
+        return f"pid-{os.getpid()}"
+    return f"pid-{os.getpid()}/{thread.name}"
+
+
+def execute_chunk(
+    engine: BatchTeaEngine,
+    ctx: WorkerContext,
+    chunk_id: int,
+    lo: int,
+    hi: int,
+    enqueue_ts: float,
+) -> ChunkResult:
+    """Walk chunk ``chunk_id`` (``starts[lo:hi]``) to completion.
+
+    Runs the same frontier kernel as the serial engine with a fresh
+    generator seeded from the chunk plan; telemetry goes to private
+    per-chunk instances. ``enqueue_ts`` (``time.monotonic`` at submit)
+    yields the queue-wait share the scaling report tracks.
+    """
+    t0 = time.monotonic()
+    queue_wait = max(0.0, t0 - enqueue_ts)
+    rng = np.random.default_rng(int(ctx.seeds[chunk_id]))
+    counters = CostCounters()
+    registry = MetricsRegistry()
+    tracer = Tracer(enabled=True)
+    frontier_hist = registry.histogram(
+        "batch.frontier_size", "active walkers per frontier iteration"
+    )
+    label = worker_label()
+    with tracer.span(
+        "walk.chunk", chunk=chunk_id, walks=hi - lo, worker=label
+    ) as span:
+        result: FrontierResult = engine._run_frontier(
+            ctx.starts[lo:hi], ctx.max_length, ctx.stop_probability,
+            rng, counters, ctx.keep_hops, frontier_hist,
+        )
+        span.set("steps", result.total_steps)
+        span.set("queue_wait_seconds", round(queue_wait, 6))
+    registry.histogram(
+        "parallel.queue_wait_seconds",
+        "delay between chunk enqueue and execution start",
+        **LATENCY_BUCKETS,
+    ).observe(queue_wait)
+
+    hop_vertex = hop_time = None
+    if result.hop_vertex is not None:
+        # Trim hop columns to this chunk's longest walk: correctness is
+        # row-wise (walk i uses columns [:lengths[i]]), and process
+        # workers pickle the result back to the parent.
+        width = int(result.lengths.max()) if result.lengths.size else 0
+        hop_vertex = np.ascontiguousarray(result.hop_vertex[:, :width])
+        hop_time = np.ascontiguousarray(result.hop_time[:, :width])
+    return ChunkResult(
+        chunk_id=chunk_id,
+        num_walks=hi - lo,
+        lengths=result.lengths,
+        hop_vertex=hop_vertex,
+        hop_time=hop_time,
+        counters=counters,
+        registry=registry,
+        spans=tracer.roots,
+        queue_wait_seconds=queue_wait,
+        wall_seconds=time.monotonic() - t0,
+        worker_label=label,
+    )
+
+
+# -- process-backend entry points ------------------------------------------
+#
+# The process pool uses the fork start method: the initializer and its
+# context argument reach children by inheritance (no pickling), and the
+# shared image's mappings come along for free. Each child builds its
+# engine once; chunk tasks then cost one small (ints) message in and one
+# ChunkResult pickle out.
+
+_ENGINE: Optional[BatchTeaEngine] = None
+_CONTEXT: Optional[WorkerContext] = None
+
+
+def _process_init(ctx: WorkerContext) -> None:
+    global _ENGINE, _CONTEXT
+    _CONTEXT = ctx
+    _ENGINE = ctx.build_engine()
+
+
+def _process_chunk(chunk_id: int, lo: int, hi: int, enqueue_ts: float) -> ChunkResult:
+    assert _ENGINE is not None and _CONTEXT is not None, "worker not initialised"
+    return execute_chunk(_ENGINE, _CONTEXT, chunk_id, lo, hi, enqueue_ts)

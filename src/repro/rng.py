@@ -30,11 +30,23 @@ def make_rng(seed: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
+def spawn_seeds(rng: np.random.Generator, n: int) -> np.ndarray:
+    """Draw ``n`` child seeds from ``rng`` (the transportable half of
+    :func:`spawn`).
+
+    Parallel executors ship these integers to workers instead of
+    generator objects: worker ``i`` reconstructs
+    ``np.random.default_rng(int(seeds[i]))``, so results are keyed by
+    task index — independent of which worker runs the task or in what
+    order tasks complete.
+    """
+    return rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+
+
 def spawn(rng: np.random.Generator, n: int) -> list:
     """Derive ``n`` statistically independent child generators from ``rng``.
 
     Used for parallel construction and multi-walker experiments; children
     are independent of each other and of subsequent draws from ``rng``.
     """
-    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [np.random.default_rng(int(s)) for s in spawn_seeds(rng, n)]

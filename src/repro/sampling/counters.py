@@ -20,16 +20,19 @@ executing walkers silently loses updates (``+=`` is not atomic once the
 GIL yields between the load and the store, and free-threaded builds
 drop even that accident of protection). Every parallel path in this
 repo therefore gives each worker its *own* counters and folds them with
-:meth:`CostCounters.merge` at the end — the distributed engine's
-per-worker counters and the telemetry registry's merge path
+:meth:`CostCounters.merge` (or :meth:`CostCounters.merge_all` over a
+whole worker set) at the end — the distributed engine's per-worker
+counters, the parallel walk executor's per-chunk counters
+(:mod:`repro.parallel`), and the telemetry registry's merge path
 (:meth:`publish` into per-worker
-:class:`~repro.telemetry.MetricsRegistry` instances) both follow this
+:class:`~repro.telemetry.MetricsRegistry` instances) all follow this
 discipline. Do not share one instance across threads or processes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 BLOCK_BYTES = 4096
 
@@ -99,6 +102,18 @@ class CostCounters:
         self.io_blocks += other.io_blocks
         self.io_bytes += other.io_bytes
         return self
+
+    @classmethod
+    def merge_all(cls, parts: Iterable["CostCounters"]) -> "CostCounters":
+        """Fold a worker set's counters into a fresh instance.
+
+        Merge is associative and commutative (every field is a sum), so
+        the fold is deterministic whatever order workers finished in.
+        """
+        out = cls()
+        for part in parts:
+            out.merge(part)
+        return out
 
     def publish(self, registry, prefix: str = "sampling") -> None:
         """Map every field onto telemetry registry counters/gauges.

@@ -65,3 +65,40 @@ class TestMerge:
         snap = CostCounters().snapshot()
         for key in ("steps", "edges_per_step", "acceptance_ratio", "io_blocks"):
             assert key in snap
+
+
+class TestMergeAll:
+    def _filled(self, k):
+        c = CostCounters()
+        for _ in range(k):
+            c.record_step()
+            c.record_trial(k % 2 == 0)
+        c.record_probe(k)
+        c.record_alias_draw()
+        c.record_io(k * 100)
+        return c
+
+    def test_merge_all_equals_sequential_merge(self):
+        parts = [self._filled(k) for k in (1, 3, 5)]
+        folded = CostCounters.merge_all(parts)
+        manual = CostCounters()
+        for part in parts:
+            manual.merge(part)
+        assert folded.snapshot() == manual.snapshot()
+
+    def test_merge_all_is_order_independent(self):
+        """Associativity + commutativity: any fold order agrees — the
+        property the parallel executor's barrier fold relies on."""
+        parts = [self._filled(k) for k in (2, 4, 7, 9)]
+        fwd = CostCounters.merge_all(parts)
+        rev = CostCounters.merge_all(reversed(parts))
+        assert fwd.snapshot() == rev.snapshot()
+
+    def test_merge_all_empty(self):
+        assert CostCounters.merge_all([]).snapshot() == CostCounters().snapshot()
+
+    def test_merge_all_leaves_parts_untouched(self):
+        part = self._filled(3)
+        before = part.snapshot()
+        CostCounters.merge_all([part, self._filled(2)])
+        assert part.snapshot() == before

@@ -117,3 +117,67 @@ class TestEngineWarmStart:
         assert a == b
         other = TemporalGraph.from_stream(temporal_powerlaw(20, 100, seed=1))
         assert persist.graph_fingerprint(other) != a
+
+
+class TestMmapLoading:
+    def test_uncompressed_roundtrip_mmaps(self, setup, tmp_path):
+        graph, model, hpat, sizes = setup
+        path = tmp_path / "raw.npz"
+        persist.save_hpat(path, hpat, graph, sizes,
+                          weight_desc=model.describe(), compressed=False)
+        loaded, loaded_sizes = persist.load_hpat(
+            path, graph, weight_desc=model.describe(), mmap_mode="r"
+        )
+        # The flat arrays really are memory-mapped views of the file.
+        assert isinstance(loaded.c, np.memmap)
+        assert isinstance(loaded.prob, np.memmap)
+        assert isinstance(loaded_sizes, np.memmap)
+        assert np.array_equal(loaded.c, hpat.c)
+        assert np.array_equal(loaded.alias, hpat.alias)
+        assert np.array_equal(loaded_sizes, sizes)
+
+    def test_mmap_draws_identical(self, setup, tmp_path):
+        graph, model, hpat, sizes = setup
+        path = tmp_path / "raw.npz"
+        persist.save_hpat(path, hpat, graph, sizes,
+                          weight_desc=model.describe(), compressed=False)
+        loaded, _ = persist.load_hpat(path, graph,
+                                      weight_desc=model.describe(),
+                                      mmap_mode="r")
+        v = int(np.argmax(graph.degrees()))
+        d = graph.out_degree(v)
+        r1, r2 = make_rng(0), make_rng(0)
+        for s in (1, d // 2, d):
+            assert hpat.sample(v, s, r1) == loaded.sample(v, s, r2)
+
+    def test_compressed_container_falls_back_to_copy(self, setup, tmp_path):
+        graph, model, hpat, sizes = setup
+        path = tmp_path / "compressed.npz"
+        persist.save_hpat(path, hpat, graph, sizes,
+                          weight_desc=model.describe(), compressed=True)
+        loaded, loaded_sizes = persist.load_hpat(
+            path, graph, weight_desc=model.describe(), mmap_mode="r"
+        )
+        assert not isinstance(loaded.c, np.memmap)
+        assert np.array_equal(loaded.c, hpat.c)
+        assert np.array_equal(loaded_sizes, sizes)
+
+    def test_mmap_mode_still_rejects_stale(self, setup, tmp_path):
+        graph, model, hpat, sizes = setup
+        path = tmp_path / "raw.npz"
+        persist.save_hpat(path, hpat, graph, sizes,
+                          weight_desc=model.describe(), compressed=False)
+        other = TemporalGraph.from_stream(temporal_powerlaw(20, 100, seed=1))
+        with pytest.raises(GraphFormatError):
+            persist.load_hpat(path, other, weight_desc=model.describe(),
+                              mmap_mode="r")
+        with pytest.raises(GraphFormatError):
+            persist.load_hpat(path, graph, weight_desc="something-else",
+                              mmap_mode="r")
+
+    def test_mmap_npz_arrays_missing_member(self, setup, tmp_path):
+        graph, model, hpat, sizes = setup
+        path = tmp_path / "raw.npz"
+        persist.save_hpat(path, hpat, graph, sizes,
+                          weight_desc=model.describe(), compressed=False)
+        assert persist.mmap_npz_arrays(path, ("no_such_member",)) is None
