@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test stats-smoke scaling-smoke bench bench-quick examples lint clean
+.PHONY: install test stats-smoke scaling-smoke ooc-smoke bench bench-quick examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: stats-smoke scaling-smoke
+test: stats-smoke scaling-smoke ooc-smoke
 	$(PYTHON) -m pytest tests/
 
 # End-to-end telemetry smoke: run a tiny walk with --stats, write the
@@ -29,6 +29,13 @@ stats-smoke:
 scaling-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.parallel.scaling --smoke
 	@echo "scaling-smoke: parallel invariants hold"
+
+# Out-of-core smoke: scalar-vs-batched step parity at max_length=1,
+# coalescing (strictly fewer backing reads), cache hit-rate floor,
+# prefetch conservation and fixed-seed determinism.
+ooc-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.engines.tea_outofcore.smoke
+	@echo "ooc-smoke: out-of-core invariants hold"
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -34,6 +34,7 @@ from repro.core import (
     WeightModel,
 )
 from repro.engines import (
+    BatchTeaOutOfCoreEngine,
     CtdneEngine,
     Engine,
     EngineResult,
@@ -75,6 +76,7 @@ __all__ = [
     "KnightKingEngine",
     "TeaEngine",
     "TeaOutOfCoreEngine",
+    "BatchTeaOutOfCoreEngine",
     "Workload",
     "WalkSpec",
     "exponential_walk",

@@ -20,6 +20,7 @@ from repro.bench.report import format_rows
 from repro.bench.runner import run_engines
 from repro.engines import (
     BatchTeaEngine,
+    BatchTeaOutOfCoreEngine,
     CtdneEngine,
     GraphWalkerEngine,
     KnightKingEngine,
@@ -27,6 +28,10 @@ from repro.engines import (
     TeaEngine,
     TeaOutOfCoreEngine,
     Workload,
+)
+from repro.engines.tea_outofcore import (
+    DEFAULT_OOC_CACHE_BYTES,
+    DEFAULT_OOC_TRUNK_SIZE,
 )
 from repro.graph import io as graph_io
 from repro.graph.datasets import DATASETS, load_dataset
@@ -38,7 +43,10 @@ ENGINES = {
     "tea-batch": lambda g, s: BatchTeaEngine(g, s),
     "tea-pat": lambda g, s: TeaEngine(g, s, structure="pat"),
     "tea-its": lambda g, s: TeaEngine(g, s, structure="its"),
-    "tea-ooc": lambda g, s: TeaOutOfCoreEngine(g, s),
+    "tea-ooc": lambda g, s: TeaOutOfCoreEngine(
+        g, s, cache_bytes=DEFAULT_OOC_CACHE_BYTES
+    ),
+    "tea-ooc-batch": lambda g, s: BatchTeaOutOfCoreEngine(g, s),
     "graphwalker": lambda g, s: GraphWalkerEngine(g, s),
     "graphwalker-ooc": lambda g, s: GraphWalkerEngine(g, s, out_of_core=True),
     "knightking": lambda g, s: KnightKingEngine(g, s, nodes=8),
@@ -93,6 +101,17 @@ def cmd_walk(args) -> int:
         engine = ParallelBatchTeaEngine(
             graph, spec, workers=args.workers,
             chunk_size=args.chunk_size, backend=args.parallel_backend,
+        )
+    elif args.engine == "tea-ooc":
+        engine = TeaOutOfCoreEngine(
+            graph, spec, trunk_size=args.ooc_trunk_size,
+            cache_bytes=args.cache_bytes,
+        )
+    elif args.engine == "tea-ooc-batch":
+        engine = BatchTeaOutOfCoreEngine(
+            graph, spec, trunk_size=args.ooc_trunk_size,
+            cache_bytes=args.cache_bytes,
+            prefetch=args.prefetch == "on",
         )
     else:
         engine = ENGINES[args.engine](graph, spec)
@@ -246,6 +265,7 @@ BENCH_TARGETS = {
     "fig13": "test_fig13_construction.py",
     "fig13d": "test_fig13d_incremental.py",
     "fig14": "test_fig14_outofcore.py",
+    "ooc-cache": "test_ooc_cache.py",
     "params": "test_param_sensitivity.py",
     "distributed": "test_distributed_scaling.py",
     "batch": "test_batch_executor.py",
@@ -315,6 +335,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--parallel-backend", default="auto",
                    choices=["auto", "process", "thread", "serial"],
                    help="worker pool type for tea-parallel")
+    p.add_argument("--cache-bytes", type=int, default=DEFAULT_OOC_CACHE_BYTES,
+                   metavar="B",
+                   help="re-entry cache budget for the out-of-core engines "
+                        "(0 disables caching)")
+    p.add_argument("--ooc-trunk-size", type=int,
+                   default=DEFAULT_OOC_TRUNK_SIZE, metavar="T",
+                   help="trunk size for the out-of-core PAT spill")
+    p.add_argument("--prefetch", default="on", choices=["on", "off"],
+                   help="async trunk prefetch for tea-ooc-batch")
     p.add_argument("--show-paths", type=int, default=0)
     p.add_argument("--stats", action="store_true",
                    help="print the full telemetry table instead of the summary")

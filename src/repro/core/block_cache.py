@@ -1,4 +1,4 @@
-"""LRU caching for out-of-core reads — the paper's re-entry optimisation.
+"""Segmented-LRU caching for out-of-core reads — §4.1's re-entry reuse.
 
 Paper §4.1: "each to-be-loaded data will use the prior loaded data
 re-entry [1] to minimize the disk I/O" (the reference is CLIP's
@@ -6,19 +6,39 @@ loaded-data reuse, ATC '17). Random walks revisit hot vertices
 constantly — power-law graphs concentrate walk mass on hubs — so caching
 recently loaded trunks converts most loads into hits.
 
-:class:`BlockCache` is a byte-budgeted LRU over (region, lo, hi) keys;
-:class:`~repro.core.outofcore.TrunkStore` consults it before touching
-the memory-map and only charges I/O counters on misses. The Figure 14
-companion benchmark ablates cache on/off.
+:class:`BlockCache` is a byte-budgeted **scan-resistant segmented LRU**
+(SLRU) over ``(region, lo, hi)`` keys. New blocks are admitted into a
+*probation* segment; a second touch promotes them into a *protected*
+segment that one-touch traffic can never displace. That matters for the
+batched out-of-core path: a frontier step coalesces many cold trunk
+ranges into large sequential reads — a scan — and a plain LRU would let
+that scan flush the hot hub trunks the walk keeps returning to. Under
+SLRU the scan churns probation only.
+
+Entries can be **pinned** (the async prefetcher pins blocks it has
+warmed until the sampler consumes them, so an aggressive step cannot
+evict its own prefetched data before it is used) and every admitted
+array is frozen read-only — callers share the cached block itself, so a
+mutation would silently corrupt every future hit.
+
+:class:`~repro.core.outofcore.TrunkStore` consults the cache before
+touching the memory-map and only charges I/O counters on misses. The
+Figure 14 companion benchmarks ablate cache capacity and prefetch.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Hashable, Optional, Tuple
+from typing import Callable, Hashable, Optional
 
 import numpy as np
+
+#: Fraction of the byte budget the protected segment may occupy. The
+#: remainder is probation head-room for not-yet-promoted admissions
+#: (classic SLRU sizing; 0.8 keeps hot reuse dominant without starving
+#: new blocks of their trial period).
+DEFAULT_PROTECTED_RATIO = 0.8
 
 
 @dataclass
@@ -28,6 +48,12 @@ class CacheStats:
     evictions: int = 0
     bytes_in: int = 0
     bytes_evicted: int = 0
+    #: Logical bytes returned from cache hits — together with
+    #: ``bytes_in`` this makes hit rate *by bytes* computable, not just
+    #: by lookup count (large trunk hits matter more than 8-byte ones).
+    bytes_served: int = 0
+    #: Probation → protected promotions (second-touch admissions).
+    promotions: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -42,6 +68,8 @@ class CacheStats:
             "evictions": self.evictions,
             "bytes_in": self.bytes_in,
             "bytes_evicted": self.bytes_evicted,
+            "bytes_served": self.bytes_served,
+            "promotions": self.promotions,
             "hit_rate": self.hit_rate,
         }
 
@@ -62,28 +90,65 @@ class CacheStats:
         registry.counter(f"{prefix}.bytes_evicted", "bytes evicted").inc(
             self.bytes_evicted
         )
+        registry.counter(
+            f"{prefix}.bytes_served", "logical bytes returned from hits"
+        ).inc(self.bytes_served)
+        registry.counter(
+            f"{prefix}.promotions", "probation-to-protected promotions"
+        ).inc(self.promotions)
         registry.gauge(f"{prefix}.hit_rate", "hits / (hits + misses)").set(
             self.hit_rate
         )
 
 
+class _Entry:
+    __slots__ = ("value", "nbytes", "pinned")
+
+    def __init__(self, value, nbytes: int, pinned: bool = False):
+        self.value = value
+        self.nbytes = nbytes
+        self.pinned = pinned
+
+
 class BlockCache:
-    """Byte-budgeted LRU cache of numpy array blocks.
+    """Byte-budgeted scan-resistant SLRU cache of numpy array blocks.
 
     Keys are arbitrary hashables (the stores use ``(region, lo, hi)``);
-    values are the loaded arrays. ``capacity_bytes <= 0`` disables
-    caching entirely (every get misses, nothing is stored), which gives
-    benchmarks a clean off switch.
+    values are loaded arrays or tuples of arrays, frozen read-only on
+    admission. ``capacity_bytes <= 0`` disables caching entirely (every
+    get misses, nothing is stored), which gives benchmarks a clean off
+    switch.
+
+    Pinned entries are never evicted; pinned bytes still count against
+    the budget, so heavy pinning can transiently push ``nbytes`` above
+    ``capacity_bytes`` until the pins are released (:meth:`unpin`
+    re-runs eviction). ``on_evict(key)`` — when set — fires for every
+    eviction, letting the prefetcher account warmed-but-unused blocks.
     """
 
-    def __init__(self, capacity_bytes: int):
+    def __init__(
+        self,
+        capacity_bytes: int,
+        protected_ratio: float = DEFAULT_PROTECTED_RATIO,
+        on_evict: Optional[Callable[[Hashable], None]] = None,
+    ):
+        if not (0.0 < protected_ratio < 1.0):
+            raise ValueError("protected_ratio must be in (0, 1)")
         self.capacity_bytes = int(capacity_bytes)
-        self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
+        self.protected_capacity = int(self.capacity_bytes * protected_ratio)
+        self.on_evict = on_evict
+        self._probation: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._protected: "OrderedDict[Hashable, _Entry]" = OrderedDict()
         self._bytes = 0
+        self._protected_bytes = 0
         self.stats = CacheStats()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._probation) + len(self._protected)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Non-counting peek (the prefetcher's already-resident check)."""
+        return key in self._probation or key in self._protected
 
     @property
     def nbytes(self) -> int:
@@ -93,17 +158,35 @@ class BlockCache:
     def enabled(self) -> bool:
         return self.capacity_bytes > 0
 
+    # -- lookups -------------------------------------------------------------
+
     def get(self, key: Hashable):
-        if not self.enabled:
+        if self.capacity_bytes <= 0:
             self.stats.misses += 1
             return None
-        value = self._entries.get(key)
-        if value is None:
+        entry = self._protected.get(key)
+        if entry is not None:
+            self._protected.move_to_end(key)
+            self.stats.hits += 1
+            self.stats.bytes_served += entry.nbytes
+            return entry.value
+        entry = self._probation.get(key)
+        if entry is None:
             self.stats.misses += 1
             return None
-        self._entries.move_to_end(key)
+        # Second touch: promote out of probation. A one-pass scan only
+        # ever populates probation, so it cannot displace this entry
+        # again — that is the scan resistance.
+        del self._probation[key]
+        self._protected[key] = entry
+        self._protected_bytes += entry.nbytes
+        self.stats.promotions += 1
+        self._demote_overflow()
         self.stats.hits += 1
-        return value
+        self.stats.bytes_served += entry.nbytes
+        return entry.value
+
+    # -- mutation ------------------------------------------------------------
 
     @staticmethod
     def _nbytes(value) -> int:
@@ -111,26 +194,95 @@ class BlockCache:
             return int(sum(v.nbytes for v in value))
         return int(value.nbytes)
 
-    def put(self, key: Hashable, value) -> None:
-        """Store an array (or tuple of arrays) under ``key``."""
+    @staticmethod
+    def _freeze(value) -> None:
+        """Make the admitted block(s) read-only. Callers receive the
+        cached array itself on every hit, so a writable block would let
+        one caller silently corrupt all future hits."""
+        members = value if isinstance(value, tuple) else (value,)
+        for arr in members:
+            arr.setflags(write=False)
+
+    def put(self, key: Hashable, value, pin: bool = False) -> None:
+        """Store an array (or tuple of arrays) under ``key``.
+
+        ``pin=True`` admits the entry pinned (prefetch in flight); it
+        stays unevictable until :meth:`unpin`.
+        """
         if not self.enabled:
             return
         nbytes = self._nbytes(value)
         if nbytes > self.capacity_bytes:
             return  # oversized blocks are not worth evicting everything for
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self._bytes -= self._nbytes(old)
-        self._entries[key] = value
+        self._discard(key)
+        self._freeze(value)
+        self._probation[key] = _Entry(value, nbytes, pinned=pin)
         self._bytes += nbytes
         self.stats.bytes_in += nbytes
-        while self._bytes > self.capacity_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            evicted_bytes = self._nbytes(evicted)
-            self._bytes -= evicted_bytes
-            self.stats.evictions += 1
-            self.stats.bytes_evicted += evicted_bytes
+        self._evict_to_budget()
+
+    def pin(self, key: Hashable) -> bool:
+        entry = self._probation.get(key) or self._protected.get(key)
+        if entry is None:
+            return False
+        entry.pinned = True
+        return True
+
+    def unpin(self, key: Hashable) -> bool:
+        entry = self._probation.get(key) or self._protected.get(key)
+        if entry is None:
+            return False
+        entry.pinned = False
+        self._evict_to_budget()
+        return True
 
     def clear(self) -> None:
-        self._entries.clear()
+        self._probation.clear()
+        self._protected.clear()
         self._bytes = 0
+        self._protected_bytes = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _discard(self, key: Hashable) -> None:
+        """Silent removal (overwrite path): no eviction accounting."""
+        entry = self._probation.pop(key, None)
+        if entry is None:
+            entry = self._protected.pop(key, None)
+            if entry is not None:
+                self._protected_bytes -= entry.nbytes
+        if entry is not None:
+            self._bytes -= entry.nbytes
+
+    def _demote_overflow(self) -> None:
+        """Shrink protected to its cap by demoting LRU entries back to
+        probation's MRU end (SLRU's second chance — they are not
+        evicted, just exposed to probation churn again)."""
+        while self._protected_bytes > self.protected_capacity and len(self._protected) > 1:
+            key, entry = self._protected.popitem(last=False)
+            self._protected_bytes -= entry.nbytes
+            self._probation[key] = entry
+
+    def _evict_to_budget(self) -> None:
+        while self._bytes > self.capacity_bytes:
+            victim = self._pick_victim()
+            if victim is None:
+                return  # everything left is pinned: transient overflow
+            segment, key = victim
+            entry = segment.pop(key)
+            self._bytes -= entry.nbytes
+            if segment is self._protected:
+                self._protected_bytes -= entry.nbytes
+            self.stats.evictions += 1
+            self.stats.bytes_evicted += entry.nbytes
+            if self.on_evict is not None:
+                self.on_evict(key)
+
+    def _pick_victim(self):
+        """Oldest unpinned probation entry, else oldest unpinned
+        protected entry, else None."""
+        for segment in (self._probation, self._protected):
+            for key, entry in segment.items():
+                if not entry.pinned:
+                    return segment, key
+        return None

@@ -36,6 +36,32 @@ from repro.sampling.prefix_sum import draw_in_range, its_search
 
 PathLike = Union[str, os.PathLike]
 
+#: Logical bytes per entry of each store region: per-edge prefix sums
+#: ("c", one float64) and alias-table trunks ("pa", prob + alias).
+_REGION_WIDTH = {"c": 8, "pa": 16}
+
+
+def coalesce_runs(ranges):
+    """Merge lo-ascending ``(lo, hi, tag)`` ranges into maximal runs.
+
+    Overlapping or exactly adjacent ranges (``next.lo <= run.hi``) join
+    the current run. Yields ``(run_lo, run_hi, [tags...])`` triples —
+    each run is one backing read whose union covers every member range.
+    """
+    run_lo = run_hi = None
+    members: list = []
+    for lo, hi, tag in ranges:
+        if run_lo is None:
+            run_lo, run_hi, members = lo, hi, [tag]
+        elif lo <= run_hi:
+            run_hi = max(run_hi, hi)
+            members.append(tag)
+        else:
+            yield run_lo, run_hi, members
+            run_lo, run_hi, members = lo, hi, [tag]
+    if run_lo is not None:
+        yield run_lo, run_hi, members
+
 
 class TrunkStore:
     """Disk-resident PAT payload: per-edge prefix sums + alias arrays.
@@ -44,6 +70,15 @@ class TrunkStore:
     directory; ``open`` maps them read-only. The maps are accessed only in
     trunk-sized slices by :class:`OutOfCorePAT`, which accounts each
     access as disk I/O.
+
+    Two read paths share one accounting discipline (:meth:`_read_region`):
+    the scalar per-step reads (``read_c`` / ``read_alias_trunk``) and the
+    batched frontier path (:meth:`read_batch`), which serves a whole
+    step's ranges at once and **coalesces** adjacent/overlapping misses
+    into single large backing reads — strictly fewer read operations for
+    the same logical bytes. The async prefetcher's bookkeeping
+    (issued/hit/wasted conservation, pin lifetimes) also lives here so
+    every counter is mutated from the sampling thread only.
     """
 
     def __init__(self, directory: PathLike, cache_bytes: int = 0):
@@ -55,12 +90,32 @@ class TrunkStore:
         from repro.core.block_cache import BlockCache
         from repro.telemetry import BYTES_BUCKETS, Histogram
 
-        self.cache = BlockCache(cache_bytes)
+        self.cache = BlockCache(cache_bytes, on_evict=self._on_evict)
         # Standalone histogram of bytes per trunk load (cache misses
         # only); merged into a run's registry by publish_telemetry.
         self.read_bytes_hist = Histogram(
             "ooc.trunk_read_bytes", "bytes per trunk payload load", **BYTES_BUCKETS
         )
+        # Bytes per *backing* read after coalescing (batched path and
+        # prefetcher only — scalar reads are their own backing reads).
+        self.coalesced_hist = Histogram(
+            "ooc.coalesced_read_bytes", "bytes per coalesced backing read",
+            **BYTES_BUCKETS,
+        )
+        #: Backing-store read operations (cache misses + prefetch runs).
+        #: The coalescing win is this number shrinking, not io_bytes.
+        self.read_ops = 0
+        # -- prefetch bookkeeping (sampling-thread only) ----------------
+        # key -> admission generation; a key leaves exactly once, into
+        # hits (consumed), or wasted (evicted unused / unused at exit).
+        self._prefetch_pending: dict = {}
+        self._prefetch_gen = 0
+        self.prefetch_enabled = False
+        self.prefetch_issued = 0
+        self.prefetch_hits = 0
+        self.prefetch_wasted = 0
+        self.prefetch_in_flight = 0
+        self.prefetch_overlap_seconds = 0.0
 
     @classmethod
     def persist(cls, pat: PersistentAliasTable, directory: PathLike,
@@ -89,27 +144,161 @@ class TrunkStore:
 
     # -- accounted reads ------------------------------------------------------
 
-    def read_c(self, lo: int, hi: int, counters: Optional[CostCounters]) -> np.ndarray:
-        cached = self.cache.get(("c", lo, hi))
+    def _load(self, region: str, lo: int, hi: int):
+        """Copy a region slice out of the memory-maps (no accounting).
+
+        Returns owned arrays, never memmap views: cached blocks must
+        stay valid after :meth:`close` and must not pin the maps' pages.
+        The prefetch worker calls this off-thread — it touches only the
+        read-only maps, never the cache or any counter.
+        """
+        if region == "c":
+            return np.array(self._c[lo:hi])
+        return (np.array(self._prob[lo:hi]), np.array(self._alias[lo:hi]))
+
+    def _read_region(self, region: str, lo: int, hi: int,
+                     counters: Optional[CostCounters]):
+        """One accounted read: cache consult, then a charged miss load."""
+        key = (region, lo, hi)
+        cached = self.cache.get(key)
         if cached is not None:
+            self._note_consumed(key)
             return cached
+        nbytes = (hi - lo) * _REGION_WIDTH[region]
         if counters is not None:
-            counters.record_io((hi - lo) * 8)
-        self.read_bytes_hist.observe((hi - lo) * 8)
-        block = np.asarray(self._c[lo:hi])
-        self.cache.put(("c", lo, hi), block)
+            counters.record_io(nbytes)
+        self.read_bytes_hist.observe(nbytes)
+        self.read_ops += 1
+        block = self._load(region, lo, hi)
+        self.cache.put(key, block)
         return block
 
+    def read_c(self, lo: int, hi: int, counters: Optional[CostCounters]) -> np.ndarray:
+        return self._read_region("c", lo, hi, counters)
+
     def read_alias_trunk(self, lo: int, hi: int, counters: Optional[CostCounters]):
-        cached = self.cache.get(("pa", lo, hi))
-        if cached is not None:
-            return cached
-        if counters is not None:
-            counters.record_io((hi - lo) * 16)  # prob + alias
-        self.read_bytes_hist.observe((hi - lo) * 16)
-        block = (np.asarray(self._prob[lo:hi]), np.asarray(self._alias[lo:hi]))
-        self.cache.put(("pa", lo, hi), block)
-        return block
+        return self._read_region("pa", lo, hi, counters)
+
+    def read_batch(self, region: str, los, his,
+                   counters: Optional[CostCounters]):
+        """Serve a whole frontier step's ranges in one accounted pass.
+
+        Duplicate ranges collapse to one lookup; misses are sorted and
+        **coalesced** — overlapping or exactly adjacent ``(lo, hi)``
+        ranges become one backing read spanning their union — so a step
+        needing k ranges costs at most k (and typically far fewer) read
+        operations. Returns ``(blocks, inverse)`` with
+        ``blocks[inverse[i]]`` the block for ``(los[i], his[i])``.
+        """
+        los = np.asarray(los, dtype=np.int64)
+        his = np.asarray(his, dtype=np.int64)
+        n = los.size
+        if n == 0:
+            return [], np.zeros(0, dtype=np.int64)
+        # Manual unique-by-pair (np.unique(axis=0) inverse shapes vary
+        # across numpy versions): lexsort puts equal pairs together and
+        # misses in lo-ascending order, which coalescing needs anyway.
+        order = np.lexsort((his, los))
+        slo, shi = los[order], his[order]
+        new = np.ones(n, dtype=bool)
+        new[1:] = (slo[1:] != slo[:-1]) | (shi[1:] != shi[:-1])
+        inverse = np.empty(n, dtype=np.int64)
+        inverse[order] = np.cumsum(new) - 1
+        uniq_lo = slo[new].tolist()
+        uniq_hi = shi[new].tolist()
+        width = _REGION_WIDTH[region]
+        blocks: list = [None] * len(uniq_lo)
+        missing = []
+        cache_get = self.cache.get
+        note = self._note_consumed if self._prefetch_pending else None
+        for j, (lo, hi) in enumerate(zip(uniq_lo, uniq_hi)):
+            key = (region, lo, hi)
+            cached = cache_get(key)
+            if cached is not None:
+                if note is not None:
+                    note(key)
+                blocks[j] = cached
+            else:
+                missing.append(j)
+        for run in coalesce_runs(
+            [(uniq_lo[j], uniq_hi[j], j) for j in missing]
+        ):
+            run_lo, run_hi, members = run
+            nbytes = (run_hi - run_lo) * width
+            if counters is not None:
+                counters.record_io(nbytes)
+            self.coalesced_hist.observe(nbytes)
+            self.read_ops += 1
+            big = self._load(region, run_lo, run_hi)
+            for j in members:
+                lo, hi = uniq_lo[j], uniq_hi[j]
+                if region == "c":
+                    block = np.array(big[lo - run_lo : hi - run_lo])
+                else:
+                    block = (
+                        np.array(big[0][lo - run_lo : hi - run_lo]),
+                        np.array(big[1][lo - run_lo : hi - run_lo]),
+                    )
+                self.read_bytes_hist.observe((hi - lo) * width)
+                self.cache.put((region, lo, hi), block)
+                blocks[j] = block
+        return blocks, inverse
+
+    # -- prefetch bookkeeping --------------------------------------------------
+    # The async prefetcher (engines.tea_outofcore.prefetch) reads the
+    # maps off-thread but hands every result back to the sampling thread,
+    # which calls these hooks — so the cache and all counters stay
+    # single-threaded. Conservation invariant (tested, exported):
+    #     issued == hits + wasted + in_flight_at_exit.
+
+    def _note_consumed(self, key) -> None:
+        if self._prefetch_pending.pop(key, None) is not None:
+            self.prefetch_hits += 1
+            self.cache.unpin(key)
+
+    def _on_evict(self, key) -> None:
+        if self._prefetch_pending.pop(key, None) is not None:
+            self.prefetch_wasted += 1
+
+    def note_prefetch_issued(self, n: int) -> None:
+        self.prefetch_enabled = True
+        self.prefetch_issued += int(n)
+
+    def begin_prefetch_generation(self) -> None:
+        """Unpin pending blocks from earlier steps (missed their window).
+
+        They stay cached and still count as prefetch hits if consumed
+        later — the pin, not the entry, expires. Bounds pinned bytes to
+        roughly one step's predictions.
+        """
+        self._prefetch_gen += 1
+        for key, gen in list(self._prefetch_pending.items()):
+            if gen < self._prefetch_gen:
+                self.cache.unpin(key)
+
+    def admit_prefetched(self, key, value) -> None:
+        """Admit one warmed block (sampling thread, at queue drain)."""
+        if key in self._prefetch_pending:
+            self.prefetch_wasted += 1  # duplicate arrival: redundant read
+            return
+        if key in self.cache:
+            # The sampler got there first: the warmed copy is redundant.
+            self.prefetch_wasted += 1
+            return
+        self.cache.put(key, value, pin=True)
+        if key in self.cache:
+            self._prefetch_pending[key] = self._prefetch_gen
+        else:
+            self.prefetch_wasted += 1  # rejected (oversized / disabled)
+
+    def finalize_prefetch(self, in_flight: int, overlap_seconds: float) -> None:
+        """Close out a run: unconsumed warm blocks become wasted."""
+        self.prefetch_in_flight += int(in_flight)
+        self.prefetch_overlap_seconds += float(overlap_seconds)
+        for key in list(self._prefetch_pending):
+            self.cache.unpin(key)
+            self.prefetch_wasted += 1
+        self._prefetch_pending.clear()
 
     def publish_telemetry(self, registry) -> None:
         """Cache hit/miss/bytes counters plus the trunk-load histogram."""
@@ -117,12 +306,38 @@ class TrunkStore:
         registry.gauge("cache.resident_bytes", "bytes held by the cache").set(
             self.cache.nbytes
         )
+        registry.counter(
+            "ooc.read_ops", "backing reads (cache misses + prefetch runs)"
+        ).inc(self.read_ops)
         registry.histogram(
             "ooc.trunk_read_bytes", self.read_bytes_hist.help,
             start=self.read_bytes_hist.start,
             growth=self.read_bytes_hist.growth,
             buckets=len(self.read_bytes_hist.bounds),
         ).merge_from(self.read_bytes_hist)
+        registry.histogram(
+            "ooc.coalesced_read_bytes", self.coalesced_hist.help,
+            start=self.coalesced_hist.start,
+            growth=self.coalesced_hist.growth,
+            buckets=len(self.coalesced_hist.bounds),
+        ).merge_from(self.coalesced_hist)
+        if self.prefetch_enabled:
+            registry.counter(
+                "prefetch.issued", "prefetch requests submitted"
+            ).inc(self.prefetch_issued)
+            registry.counter(
+                "prefetch.hits", "prefetched blocks consumed by the sampler"
+            ).inc(self.prefetch_hits)
+            registry.counter(
+                "prefetch.wasted", "prefetched blocks never consumed"
+            ).inc(self.prefetch_wasted)
+            registry.gauge(
+                "prefetch.in_flight", "requests still in flight at exit"
+            ).set(self.prefetch_in_flight)
+            registry.gauge(
+                "ooc.io_overlap_seconds",
+                "prefetch worker busy time overlapped with sampling",
+            ).set(self.prefetch_overlap_seconds)
 
 
 class OutOfCorePAT:

@@ -13,7 +13,10 @@
   implementation style: per-step dynamic weight evaluation in
   interpreter-speed code;
 * :class:`~repro.engines.tea_outofcore.TeaOutOfCoreEngine` — PAT with
-  disk-resident trunks;
+  disk-resident trunks (scalar), and
+  :class:`~repro.engines.tea_outofcore.BatchTeaOutOfCoreEngine` — the
+  batched fast path over the same store (coalesced reads, async
+  prefetch, scan-resistant cache);
 * :class:`~repro.parallel.ParallelBatchTeaEngine` — the frontier kernel
   run chunk-parallel across worker processes/threads over a shared
   prepared index (re-exported here for discoverability).
@@ -29,7 +32,10 @@ from repro.engines.batch import BatchTeaEngine
 from repro.engines.graphwalker import GraphWalkerEngine
 from repro.engines.knightking import KnightKingEngine
 from repro.engines.ctdne import CtdneEngine
-from repro.engines.tea_outofcore import TeaOutOfCoreEngine
+from repro.engines.tea_outofcore import (
+    BatchTeaOutOfCoreEngine,
+    TeaOutOfCoreEngine,
+)
 from repro.engines.mutable import MutableTeaEngine
 
 # Imported last: repro.parallel builds on repro.engines.batch, which is
@@ -46,6 +52,7 @@ __all__ = [
     "KnightKingEngine",
     "CtdneEngine",
     "TeaOutOfCoreEngine",
+    "BatchTeaOutOfCoreEngine",
     "MutableTeaEngine",
     "ParallelBatchTeaEngine",
 ]

@@ -185,15 +185,22 @@ class BatchTeaEngine(Engine):
         self.index = pre.index
         self.weights = pre.weights
         self.candidate_sizes = pre.candidate_sizes
+        self._maybe_build_static_keys()
+
+    def _maybe_build_static_keys(self) -> None:
+        """Precompute the node2vec offset-key adjacency view (if needed).
+
+        Shared by every frontier-vectorised engine's ``_prepare``: with a
+        :class:`Node2VecParameter` the walk phase becomes pure array
+        work; custom Dynamic_parameters are evaluated scalar per rejected
+        lane instead.
+        """
         from repro.walks.spec import Node2VecParameter
 
         if (
             isinstance(self.spec.dynamic_parameter, Node2VecParameter)
             and self.graph.num_vertices
         ):
-            # Build the static adjacency and its offset-key view now so
-            # the walk phase is pure array work. Custom Dynamic_parameters
-            # are evaluated scalar per rejected lane instead.
             g = self.graph
             g._build_static_adjacency()
             span = np.int64(g.num_vertices)
@@ -269,6 +276,13 @@ class BatchTeaEngine(Engine):
             is_neighbor = (found < keys.size) & (keys[np.minimum(found, keys.size - 1)] == qval)
             out[undecided] = np.where(is_neighbor, 1.0, 1.0 / beta.q)
         return out
+
+    def _on_frontier_advance(self, vs: np.ndarray, ss: np.ndarray) -> None:
+        """Hook fired after each frontier iteration with the lanes that
+        stay active — ``(vertex, candidate size)`` pairs the *next*
+        iteration will sample. The in-memory engine needs no lookahead;
+        the out-of-core subclass predicts trunk demand here and hands it
+        to the async prefetcher."""
 
     # -- frontier kernel ---------------------------------------------------------
 
@@ -370,6 +384,8 @@ class BatchTeaEngine(Engine):
             steps_left[lanes] -= 1
             still = (s_next > 0) & (steps_left[lanes] > 0)
             lanes = lanes[still]
+            if lanes.size:
+                self._on_frontier_advance(cur[lanes], s[lanes])
             iteration += 1
 
         return FrontierResult(

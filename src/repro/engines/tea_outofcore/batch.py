@@ -1,0 +1,287 @@
+"""Frontier-vectorised out-of-core TEA (the batched Figure 14 path).
+
+The scalar :class:`~repro.engines.tea_outofcore.scalar.TeaOutOfCoreEngine`
+pays one synchronous trunk read per walker per step. This engine
+advances the whole frontier per iteration instead, which turns the I/O
+pattern itself into an optimisation surface:
+
+* every lane's range requests for the step are collected and served by
+  one :meth:`TrunkStore.read_batch` call — duplicates collapse, and
+  adjacent/overlapping ranges **coalesce** into single large backing
+  reads (strictly fewer read operations for the same logical bytes);
+* after each frontier advance the engine knows exactly which vertices
+  the next iteration samples, so it predicts their trunk demand and
+  hands it to the :class:`AsyncPrefetcher`, overlapping next-step I/O
+  with this step's sampling compute;
+* the scan-resistant segmented cache keeps hub trunks resident while
+  the coalesced cold reads churn through probation only.
+
+Sampling semantics are :meth:`OutOfCorePAT.sample` exactly — same
+trunk-boundary ITS, same in-trunk alias draw, same partial-trunk search
+— evaluated in numpy lockstep, so the per-step distribution matches the
+scalar engine (chi-squared tested) even though the vectorised RNG
+consumption order differs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.outofcore import OutOfCorePAT
+from repro.engines.base import Engine
+from repro.engines.batch import BatchTeaEngine
+from repro.engines.tea_outofcore.prefetch import AsyncPrefetcher
+from repro.engines.tea_outofcore.scalar import (
+    DEFAULT_OOC_TRUNK_SIZE,
+    build_ooc_index,
+)
+from repro.graph.temporal_graph import TemporalGraph
+from repro.metrics.memory import MemoryReport
+from repro.sampling.counters import CostCounters
+from repro.walks.spec import WalkSpec
+
+#: Default re-entry cache budget once caching is on by default (the
+#: scalar engine predates the cache and still defaults to 0 for
+#: backward compatibility; the CLI threads this value to both).
+DEFAULT_OOC_CACHE_BYTES = 4 << 20
+
+#: Trunks inspected per lane when predicting next-step demand: the
+#: heaviest of the first ``min(full, N)`` trunks is the likeliest ITS
+#: winner. Scanning all of them would redo the sampler's work.
+_PREFETCH_TRUNK_SCAN = 8
+
+
+def ooc_sample_batch(
+    index: OutOfCorePAT,
+    vs: np.ndarray,
+    ss: np.ndarray,
+    rng: np.random.Generator,
+    counters: Optional[CostCounters] = None,
+) -> np.ndarray:
+    """Vectorised PAT-over-TrunkStore draws for (vertex, size) arrays.
+
+    Mirrors :meth:`OutOfCorePAT.sample` case for case — complete-trunk
+    ITS over the resident boundary prefix sums, alias draw inside the
+    winning trunk, partial-trunk ITS over a disk slice — with every
+    disk access routed through :meth:`TrunkStore.read_batch` so the
+    whole frontier's ranges dedupe and coalesce. Every ``ss`` entry
+    must be >= 1. Probe counts for the lockstep boundary search are
+    exact; partial-trunk search probes are the usual batched
+    approximation (cf. :func:`repro.engines.batch.hpat_sample_batch`).
+    """
+    store = index.store
+    n = vs.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    ss = ss.astype(np.int64)
+    ts = index.trunk_sizes[vs].astype(np.int64)
+    full = ss // ts
+    rem = ss - full * ts
+    tb = index.tr_indptr[vs]
+    cbase = (index.indptr[vs] + vs).astype(np.int64)
+
+    # Candidate totals: trunk-aligned prefixes are resident; the rest
+    # live on disk as single C entries — one coalesced batch read.
+    totals = np.empty(n, dtype=np.float64)
+    aligned = rem == 0
+    if aligned.any():
+        totals[aligned] = index.tr_prefix[tb[aligned] + full[aligned]]
+    ragged = ~aligned
+    if ragged.any():
+        los = cbase[ragged] + ss[ragged]
+        blocks, inv = store.read_batch("c", los, los + 1, counters)
+        totals[ragged] = np.array([float(b[0]) for b in blocks])[inv]
+
+    r = totals - rng.random(n) * totals  # draws in (0, total]
+    full_weight = index.tr_prefix[tb + full]
+    in_full = (full > 0) & (r <= full_weight)
+    out = np.empty(n, dtype=np.int64)
+
+    if in_full.any():
+        rows = np.flatnonzero(in_full)
+        # Trunk-boundary ITS in lockstep: the resident tr_prefix bisect
+        # of the scalar path, all lanes halving together.
+        lo_j = np.zeros(rows.size, dtype=np.int64)
+        hi_j = full[rows].copy()
+        act = (hi_j - lo_j) > 1
+        while act.any():
+            if counters is not None:
+                counters.record_probe(int(act.sum()))
+            mid = (lo_j + hi_j) // 2
+            go_up = act & (index.tr_prefix[tb[rows] + mid] < r[rows])
+            lo_j[go_up] = mid[go_up]
+            go_dn = act & ~go_up
+            hi_j[go_dn] = mid[go_dn]
+            act = (hi_j - lo_j) > 1
+        trunk = lo_j
+        edge_lo = (index.indptr[vs[rows]] + trunk * ts[rows]).astype(np.int64)
+        blocks, inv = store.read_batch(
+            "pa", edge_lo, edge_lo + ts[rows], counters
+        )
+        widths = np.array([b[0].size for b in blocks], dtype=np.int64)
+        offs = np.zeros(widths.size + 1, dtype=np.int64)
+        np.cumsum(widths, out=offs[1:])
+        prob_cat = np.concatenate([b[0] for b in blocks])
+        alias_cat = np.concatenate([b[1] for b in blocks])
+        base = offs[inv]
+        w = ts[rows]
+        cell = (rng.random(rows.size) * w).astype(np.int64)
+        cell = np.minimum(cell, w - 1)
+        take = rng.random(rows.size) < prob_cat[base + cell]
+        local = np.where(take, cell, alias_cat[base + cell])
+        out[rows] = trunk * ts[rows] + local
+        if counters is not None:
+            counters.alias_draws += rows.size
+            counters.edges_evaluated += rows.size
+
+    partial = ~in_full
+    if partial.any():
+        rows = np.flatnonzero(partial)
+        # The draw fell past the complete trunks: ITS inside the partial
+        # trunk's C slice [full·ts, s]. (rem > 0 here: aligned lanes
+        # always satisfy r <= full_weight.)
+        los = cbase[rows] + full[rows] * ts[rows]
+        his = cbase[rows] + ss[rows] + 1
+        blocks, inv = store.read_batch("c", los, his, counters)
+        rr = r[rows]
+        a = np.empty(rows.size, dtype=np.int64)
+        for j, block in enumerate(blocks):
+            sel = inv == j
+            # its_search's contract: block[a] < r <= block[a+1].
+            a[sel] = np.searchsorted(block, rr[sel], side="left") - 1
+        out[rows] = full[rows] * ts[rows] + a
+        if counters is not None:
+            m = np.maximum(rem[rows], 2)
+            probes = np.ceil(np.log2(m)).astype(np.int64) + 1
+            counters.record_probe(int(probes.sum()))
+    return out
+
+
+class BatchTeaOutOfCoreEngine(BatchTeaEngine):
+    """Batched frontier execution against a disk-resident PAT."""
+
+    has_candidate_index = True
+    name = "tea-ooc-batch"
+
+    def __init__(
+        self,
+        graph: TemporalGraph,
+        spec: WalkSpec,
+        trunk_size: int = DEFAULT_OOC_TRUNK_SIZE,
+        storage_dir: Optional[str] = None,
+        cache_bytes: int = DEFAULT_OOC_CACHE_BYTES,
+        prefetch: bool = True,
+    ):
+        super().__init__(graph, spec)
+        self.trunk_size = int(trunk_size)
+        self._storage_dir = storage_dir
+        self._tmpdir = None
+        self.cache_bytes = int(cache_bytes)
+        # Prefetch warms the cache; without one it has nowhere to put
+        # the blocks, so it quietly turns itself off.
+        self.prefetch = bool(prefetch) and self.cache_bytes > 0
+        self._prefetcher: Optional[AsyncPrefetcher] = None
+
+    def _prepare(self) -> None:
+        self.index, self.candidate_sizes, self._tmpdir = build_ooc_index(
+            self.graph, self.spec, self.trunk_size,
+            self._storage_dir, self.cache_bytes, self.tracer,
+        )
+        self.weights = None
+        self._maybe_build_static_keys()
+
+    @property
+    def cache_stats(self):
+        """Re-entry cache hit/miss statistics (paper §4.1's optimisation)."""
+        self.prepare()
+        return self.index.store.cache.stats
+
+    # -- vectorised kernel -----------------------------------------------------
+
+    def _sample_batch(self, vs, ss, rng, counters):
+        if self._prefetcher is not None:
+            # Opportunistically admit whatever the worker finished, so
+            # this round's read_batch sees the warmed blocks.
+            self._prefetcher.drain(counters)
+        return ooc_sample_batch(self.index, vs, ss, rng, counters)
+
+    def _on_frontier_advance(self, vs: np.ndarray, ss: np.ndarray) -> None:
+        if self._prefetcher is None:
+            return
+        index = self.index
+        store = index.store
+        store.begin_prefetch_generation()
+        ts = index.trunk_sizes[vs].astype(np.int64)
+        ss = ss.astype(np.int64)
+        full = ss // ts
+        rem = ss - full * ts
+        cbase = (index.indptr[vs] + vs).astype(np.int64)
+        tb = index.tr_indptr[vs]
+        requests = []
+        # Certain need: ragged candidate boundaries read C[cbase+s] for
+        # the total before drawing anything.
+        ragged = rem != 0
+        for lo in (cbase[ragged] + ss[ragged]).tolist():
+            requests.append(("c", lo, lo + 1))
+        # Certain need: lanes with no complete trunk always resolve in
+        # the partial slice.
+        p0 = full == 0
+        for lo, hi in zip(cbase[p0].tolist(), (cbase[p0] + ss[p0] + 1).tolist()):
+            requests.append(("c", lo, hi))
+        # Probabilistic: the heaviest of the first few complete trunks
+        # is the likeliest ITS winner — warm its alias table.
+        pf = full > 0
+        if pf.any():
+            rows = np.flatnonzero(pf)
+            kmax = np.minimum(full[rows], _PREFETCH_TRUNK_SCAN)
+            best = np.zeros(rows.size, dtype=np.int64)
+            best_w = np.full(rows.size, -np.inf)
+            for k in range(int(kmax.max())):
+                act = k < kmax
+                w = index.tr_prefix[tb[rows] + k + 1] - index.tr_prefix[tb[rows] + k]
+                upd = act & (w > best_w)
+                best_w[upd] = w[upd]
+                best[upd] = k
+            edge_lo = (index.indptr[vs[rows]] + best * ts[rows]).astype(np.int64)
+            for lo, hi in zip(edge_lo.tolist(), (edge_lo + ts[rows]).tolist()):
+                requests.append(("pa", lo, hi))
+        self._prefetcher.submit(requests)
+
+    def _run_frontier(self, starts, max_length, stop_probability, rng,
+                      counters, keep_hops, frontier_hist=None):
+        if self.prefetch:
+            self._prefetcher = AsyncPrefetcher(self.index.store)
+            self._prefetcher.start()
+        try:
+            return super()._run_frontier(
+                starts, max_length, stop_probability, rng, counters,
+                keep_hops, frontier_hist,
+            )
+        finally:
+            if self._prefetcher is not None:
+                self._prefetcher.close(counters)
+                self._prefetcher = None
+
+    # -- reporting -------------------------------------------------------------
+
+    def publish_telemetry(self, registry) -> None:
+        """Cache + prefetch + coalescing counters, resident footprint."""
+        self.index.store.publish_telemetry(registry)
+        registry.gauge(
+            "ooc.resident_bytes", "memory-resident trunk-boundary prefix bytes"
+        ).set(self.index.resident_nbytes())
+        registry.gauge("ooc.trunk_size", "configured trunk size").set(
+            self.trunk_size
+        )
+
+    def memory_report(self) -> MemoryReport:
+        # Skip BatchTeaEngine's HPAT breakdown: the index here is the
+        # disk-backed PAT, whose resident side is the boundary prefixes.
+        report = Engine.memory_report(self)
+        if self.index is not None:
+            report.add("resident_trunk_prefix", self.index.resident_nbytes())
+            if self.index.store.cache.enabled:
+                report.add("reentry_cache", self.index.store.cache.nbytes)
+        return report

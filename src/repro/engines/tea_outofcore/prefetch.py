@@ -1,0 +1,168 @@
+"""Async trunk prefetcher: overlap disk I/O with sampling compute.
+
+ThunderRW's lesson (VLDB '21) applied to the disk tier: the batched
+out-of-core engine knows, after advancing the frontier, which vertices
+the *next* iteration will sample — so the trunk ranges they will touch
+can be read while the current iteration's alias draws and β tests are
+still running on the main thread.
+
+One daemon worker thread serves a double-buffered request queue
+(``maxsize=2``: the in-service batch plus one queued behind it — deeper
+queues only grow the window for stale predictions). The worker touches
+nothing but the read-only memory-maps (:meth:`TrunkStore._load` after
+coalescing); every result is handed back to the sampling thread, which
+admits it into the cache at the next :meth:`drain`. The cache and all
+counters therefore stay single-threaded — the same discipline as the
+parallel executor's per-worker telemetry.
+
+Accounting is conservation-checked (tested, exported):
+``prefetch.issued == prefetch.hits + prefetch.wasted + in_flight`` —
+every submitted key ends in exactly one bucket: consumed by the sampler
+(hit), warmed but never used (wasted), or still queued when the run
+ended (in flight). Worker busy time is exported as
+``ooc.io_overlap_seconds``: I/O the walk did not wait for.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Iterable, Optional, Tuple
+
+from repro.core.outofcore import _REGION_WIDTH, TrunkStore, coalesce_runs
+from repro.sampling.counters import CostCounters
+
+#: Request-queue depth: the batch in service plus one behind it.
+QUEUE_DEPTH = 2
+
+Key = Tuple[str, int, int]
+
+
+class AsyncPrefetcher:
+    """Thread-based read-ahead for a :class:`TrunkStore`.
+
+    ``submit`` filters and enqueues one step's predicted ranges;
+    ``drain`` (sampling thread, non-blocking) admits finished blocks
+    into the cache pinned, so the coalesced miss reads of the very step
+    that needs them cannot evict them first. ``close`` joins the worker
+    and settles the conservation ledger on the store.
+    """
+
+    def __init__(self, store: TrunkStore):
+        self.store = store
+        self._requests: "queue.Queue" = queue.Queue(maxsize=QUEUE_DEPTH)
+        self._results: "queue.Queue" = queue.Queue()
+        self._outstanding: set = set()
+        self._in_flight = 0
+        self._busy_seconds = 0.0
+        self._stop = False
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._worker, name="tea-ooc-prefetch", daemon=True
+        )
+        self._thread.start()
+
+    # -- sampling-thread API ---------------------------------------------------
+
+    def submit(self, requests: Iterable[Key]) -> None:
+        """Enqueue one step's predictions, skipping anything already
+        resident, pending, or requested. A full queue drops the batch —
+        the walk is outrunning the disk and stale predictions would only
+        waste reads."""
+        seen = set()
+        kept = []
+        for key in requests:
+            if key in seen or key in self._outstanding:
+                continue
+            seen.add(key)
+            if key in self.store.cache or key in self.store._prefetch_pending:
+                continue
+            kept.append(key)
+        if not kept:
+            return
+        try:
+            self._requests.put_nowait(kept)
+        except queue.Full:
+            return
+        self._outstanding.update(kept)
+        self.store.note_prefetch_issued(len(kept))
+
+    def drain(self, counters: Optional[CostCounters] = None) -> None:
+        """Admit every finished block (non-blocking; sampling thread).
+
+        The prefetch runs are charged here — to the walk's own counters,
+        because they are real backing reads issued on its behalf.
+        """
+        while True:
+            try:
+                kind, payload = self._results.get_nowait()
+            except queue.Empty:
+                return
+            if kind == "skipped":
+                for key in payload:
+                    self._outstanding.discard(key)
+                    self._in_flight += 1
+                continue
+            for region, run_lo, run_hi, items in payload:
+                nbytes = (run_hi - run_lo) * _REGION_WIDTH[region]
+                if counters is not None:
+                    counters.record_io(nbytes)
+                self.store.coalesced_hist.observe(nbytes)
+                self.store.read_ops += 1
+                for key, value in items:
+                    self._outstanding.discard(key)
+                    self.store.admit_prefetched(key, value)
+
+    def close(self, counters: Optional[CostCounters] = None) -> None:
+        """Stop the worker, admit its last results, settle the ledger."""
+        if self._thread is None:
+            return
+        self._stop = True
+        self._requests.put(None)
+        self._thread.join()
+        self._thread = None
+        self.drain(counters)
+        # Anything still unaccounted was submitted but never produced.
+        in_flight = self._in_flight + len(self._outstanding)
+        self._outstanding.clear()
+        self._in_flight = 0
+        self.store.finalize_prefetch(in_flight, self._busy_seconds)
+
+    # -- worker thread ---------------------------------------------------------
+
+    def _worker(self) -> None:
+        while True:
+            batch = self._requests.get()
+            if batch is None:
+                return
+            if self._stop:
+                # The run is over: report the keys back unread so they
+                # are settled as in-flight, not silently dropped.
+                self._results.put(("skipped", batch))
+                continue
+            t0 = time.perf_counter()
+            out = []
+            for region in ("c", "pa"):
+                ranges = sorted(
+                    (lo, hi, (region, lo, hi))
+                    for reg, lo, hi in batch if reg == region
+                )
+                for run_lo, run_hi, members in coalesce_runs(ranges):
+                    big = self.store._load(region, run_lo, run_hi)
+                    items = []
+                    for key in members:
+                        _, lo, hi = key
+                        if region == "c":
+                            value = big[lo - run_lo : hi - run_lo].copy()
+                        else:
+                            value = (
+                                big[0][lo - run_lo : hi - run_lo].copy(),
+                                big[1][lo - run_lo : hi - run_lo].copy(),
+                            )
+                        items.append((key, value))
+                    out.append((region, run_lo, run_hi, items))
+            self._busy_seconds += time.perf_counter() - t0
+            self._results.put(("done", out))

@@ -27,6 +27,36 @@ from repro.walks.spec import WalkSpec
 DEFAULT_OOC_TRUNK_SIZE = 10
 
 
+def build_ooc_index(graph, spec, trunk_size, storage_dir, cache_bytes, tracer):
+    """Build and spill the PAT, returning the disk-backed index.
+
+    The shared preparation path of both out-of-core engines (scalar and
+    batched): candidate search, weights, PAT build, trunk spill to
+    ``storage_dir`` (a fresh temporary directory when ``None``). Returns
+    ``(index, candidate_sizes, tmpdir)`` — ``tmpdir`` is the owning
+    :class:`tempfile.TemporaryDirectory` handle or ``None``, which the
+    engine must keep alive for the store's lifetime.
+    """
+    with tracer.span("prepare.candidate_search"):
+        candidate_sizes = search_candidate_sets(graph)
+    with tracer.span("prepare.weights"):
+        weights = spec.weight_model.compute(graph)
+    with tracer.span("prepare.index_build", structure="pat",
+                     trunk_size=trunk_size):
+        pat = build_pat(graph, weights, trunk_size=trunk_size)
+    tmpdir = None
+    directory = storage_dir
+    if directory is None:
+        tmpdir = tempfile.TemporaryDirectory(prefix="tea-ooc-")
+        directory = tmpdir.name
+    with tracer.span("prepare.trunk_spill", cache_bytes=cache_bytes):
+        store = TrunkStore.persist(pat, directory, cache_bytes=cache_bytes).open()
+        index = OutOfCorePAT(pat, store)
+    # The full PAT arrays are now disk-resident; the in-memory copy dies
+    # with this frame.
+    return index, candidate_sizes, tmpdir
+
+
 class TeaOutOfCoreEngine(Engine):
     """PAT sampling against a :class:`TrunkStore` on disk."""
 
@@ -49,24 +79,10 @@ class TeaOutOfCoreEngine(Engine):
         self.index: Optional[OutOfCorePAT] = None
 
     def _prepare(self) -> None:
-        with self.tracer.span("prepare.candidate_search"):
-            self.candidate_sizes = search_candidate_sets(self.graph)
-        with self.tracer.span("prepare.weights"):
-            weights = self.spec.weight_model.compute(self.graph)
-        with self.tracer.span("prepare.index_build", structure="pat",
-                              trunk_size=self.trunk_size):
-            pat = build_pat(self.graph, weights, trunk_size=self.trunk_size)
-        directory = self._storage_dir
-        if directory is None:
-            self._tmpdir = tempfile.TemporaryDirectory(prefix="tea-ooc-")
-            directory = self._tmpdir.name
-        with self.tracer.span("prepare.trunk_spill", cache_bytes=self.cache_bytes):
-            store = TrunkStore.persist(
-                pat, directory, cache_bytes=self.cache_bytes
-            ).open()
-            self.index = OutOfCorePAT(pat, store)
-        # The full PAT arrays are now disk-resident; drop the in-memory copy.
-        del pat
+        self.index, self.candidate_sizes, self._tmpdir = build_ooc_index(
+            self.graph, self.spec, self.trunk_size,
+            self._storage_dir, self.cache_bytes, self.tracer,
+        )
 
     @property
     def cache_stats(self):

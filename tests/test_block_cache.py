@@ -98,6 +98,81 @@ class TestBlockCache:
         assert cache.get("a") is None
         assert cache.nbytes == 0
 
+    def test_admitted_blocks_are_read_only(self):
+        cache = BlockCache(1024)
+        cache.put("a", np.zeros(4))
+        block = cache.get("a")
+        with pytest.raises(ValueError):
+            block[0] = 1.0
+
+    def test_tuple_members_are_read_only(self):
+        cache = BlockCache(1024)
+        cache.put("t", (np.zeros(4), np.ones(4, dtype=np.int64)))
+        prob, alias = cache.get("t")
+        with pytest.raises(ValueError):
+            prob[0] = 1.0
+        with pytest.raises(ValueError):
+            alias[0] = 1
+
+    def test_scan_resistance(self):
+        """A twice-touched block survives a one-pass scan that would
+        flush a plain LRU of the same capacity."""
+        cache = BlockCache(4 * 64)
+        cache.put("hot", np.zeros(8))
+        cache.get("hot")  # second touch: promoted to protected
+        for i in range(16):  # scan 4x the capacity in one-touch blocks
+            cache.put(f"scan-{i}", np.zeros(8))
+        assert cache.get("hot") is not None
+        assert "scan-0" not in cache  # scan victims churned in probation
+
+    def test_promotion_counted(self):
+        cache = BlockCache(1024)
+        cache.put("a", np.zeros(8))
+        cache.get("a")
+        cache.get("a")
+        assert cache.stats.promotions == 1  # only the probation->protected move
+
+    def test_pinned_blocks_survive_eviction(self):
+        cache = BlockCache(2 * 64)
+        cache.put("pinned", np.zeros(8), pin=True)
+        for i in range(8):
+            cache.put(f"fill-{i}", np.zeros(8))
+        assert "pinned" in cache
+        cache.unpin("pinned")
+        for i in range(8):
+            cache.put(f"more-{i}", np.zeros(8))
+        assert "pinned" not in cache
+
+    def test_pinned_bytes_may_exceed_budget_transiently(self):
+        cache = BlockCache(64)
+        cache.put("a", np.zeros(8), pin=True)
+        cache.put("b", np.zeros(8), pin=True)
+        assert cache.nbytes == 128  # nothing evictable: budget overshoots
+        cache.unpin("a")
+        assert cache.nbytes == 64
+
+    def test_publish_includes_served_promotions_hit_rate(self):
+        from repro.telemetry import MetricsRegistry
+
+        cache = BlockCache(1024)
+        cache.put("a", np.zeros(8))
+        cache.get("a")
+        cache.get("a")
+        registry = MetricsRegistry()
+        cache.stats.publish(registry)
+        assert registry.counter_value("cache.bytes_served") == 128
+        assert registry.counter_value("cache.promotions") == 1
+        assert registry.gauge_value("cache.hit_rate") == 1.0
+
+    def test_oversized_put_rejected_without_side_effects(self):
+        cache = BlockCache(128)
+        cache.put("small", np.zeros(8))
+        cache.put("huge", np.zeros(1000))  # 8000 bytes > capacity
+        assert cache.get("huge") is None
+        assert cache.get("small") is not None  # nothing was evicted for it
+        assert cache.stats.bytes_in == 64
+        assert cache.stats.evictions == 0
+
 
 class TestOutOfCoreIntegration:
     @pytest.fixture
