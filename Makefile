@@ -2,12 +2,12 @@
 
 PYTHON ?= python
 
-.PHONY: install test stats-smoke scaling-smoke ooc-smoke bench bench-quick examples lint clean
+.PHONY: install test stats-smoke scaling-smoke ooc-smoke chaos-smoke bench bench-quick examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: stats-smoke scaling-smoke ooc-smoke
+test: stats-smoke scaling-smoke ooc-smoke chaos-smoke
 	$(PYTHON) -m pytest tests/
 
 # End-to-end telemetry smoke: run a tiny walk with --stats, write the
@@ -36,6 +36,14 @@ scaling-smoke:
 ooc-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.engines.tea_outofcore.smoke
 	@echo "ooc-smoke: out-of-core invariants hold"
+
+# Resilience chaos smoke: inject every failure mode (worker crash, hang,
+# transient I/O, trunk corruption, mid-batch streaming failure) and
+# assert the contracts: retries keep results bit-identical, degradation
+# is recorded, scrub locates corruption, rollbacks leave no residue.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.resilience.smoke
+	@echo "chaos-smoke: all failure modes handled"
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -8,6 +8,12 @@ Subcommands
                 or a summary.
 ``compare``   — run several engines on one dataset/application and print
                 the speedup table (a handheld Table 4 cell).
+``scrub``     — verify every checksum of a persisted out-of-core trunk
+                store and locate corrupt pages.
+
+Every :class:`~repro.exceptions.TeaError` raised by a subcommand exits
+cleanly (message on stderr, exit code 2) instead of dumping a
+traceback — operational failures are expected outcomes, not crashes.
 """
 
 from __future__ import annotations
@@ -33,6 +39,7 @@ from repro.engines.tea_outofcore import (
     DEFAULT_OOC_CACHE_BYTES,
     DEFAULT_OOC_TRUNK_SIZE,
 )
+from repro.exceptions import TeaError
 from repro.graph import io as graph_io
 from repro.graph.datasets import DATASETS, load_dataset
 from repro.graph.temporal_graph import TemporalGraph
@@ -92,8 +99,15 @@ def cmd_generate(args) -> int:
 
 
 def cmd_walk(args) -> int:
+    from repro.resilience import RetryPolicy, load_fault_injector
+
     graph = _load_graph(args)
     spec = APPLICATIONS[args.app]
+    # Resilience wiring: the injector is shared by every instrumented
+    # site of the chosen engine; the retry policy seeds its jitter from
+    # the run seed so backoff sequences reproduce too.
+    injector = load_fault_injector(args.fault_plan)
+    retry_policy = RetryPolicy(max_retries=args.retries, seed=args.seed)
     # --workers selects the chunk-parallel executor; it composes with
     # --chunk-size / --parallel-backend and overrides --engine (the
     # parallel engine runs the tea-batch kernel, so semantics match).
@@ -101,17 +115,25 @@ def cmd_walk(args) -> int:
         engine = ParallelBatchTeaEngine(
             graph, spec, workers=args.workers,
             chunk_size=args.chunk_size, backend=args.parallel_backend,
+            retries=args.retries, chunk_timeout=args.chunk_timeout,
+            fault_injector=injector,
         )
     elif args.engine == "tea-ooc":
         engine = TeaOutOfCoreEngine(
             graph, spec, trunk_size=args.ooc_trunk_size,
             cache_bytes=args.cache_bytes,
+            retry_policy=retry_policy,
+            verify_checksums=args.verify_checksums,
+            fault_injector=injector,
         )
     elif args.engine == "tea-ooc-batch":
         engine = BatchTeaOutOfCoreEngine(
             graph, spec, trunk_size=args.ooc_trunk_size,
             cache_bytes=args.cache_bytes,
             prefetch=args.prefetch == "on",
+            retry_policy=retry_policy,
+            verify_checksums=args.verify_checksums,
+            fault_injector=injector,
         )
     else:
         engine = ENGINES[args.engine](graph, spec)
@@ -290,6 +312,32 @@ def cmd_bench(args) -> int:
     return subprocess.call(cmd)
 
 
+def cmd_scrub(args) -> int:
+    """Verify a persisted trunk store's checksums end to end."""
+    from repro.core.outofcore import scrub_store
+
+    try:
+        report = scrub_store(args.directory)
+    except OSError as exc:
+        print(f"cannot open trunk store: {exc}", file=sys.stderr)
+        return 2
+    print(f"{report['directory']}: {report['pages_checked']} pages checked")
+    for rec in report["corrupt"]:
+        if rec.get("page") is None:
+            print(f"  {rec['file']}: {rec['reason']}")
+        else:
+            print(
+                f"  {rec['file']} page {rec['page']} "
+                f"(byte offset {rec['offset_bytes']}): "
+                f"expected {rec['expected']:#010x}, got {rec['actual']:#010x}"
+            )
+    if report["clean"]:
+        print("clean: all checksums match")
+        return 0
+    print(f"CORRUPT: {len(report['corrupt'])} problem(s) found")
+    return 1
+
+
 def cmd_compare(args) -> int:
     graph = _load_graph(args)
     spec = APPLICATIONS[args.app]
@@ -344,6 +392,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trunk size for the out-of-core PAT spill")
     p.add_argument("--prefetch", default="on", choices=["on", "off"],
                    help="async trunk prefetch for tea-ooc-batch")
+    p.add_argument("--retries", type=int, default=2, metavar="R",
+                   help="retry budget: transient I/O retries per read and "
+                        "re-executions per failed parallel chunk")
+    p.add_argument("--chunk-timeout", type=float, default=None, metavar="S",
+                   help="seconds before a parallel chunk is declared hung "
+                        "and requeued (default: no watchdog)")
+    p.add_argument("--verify-checksums", action="store_true",
+                   help="verify per-page CRC32 checksums on every "
+                        "out-of-core trunk read")
+    p.add_argument("--fault-plan", metavar="PLAN",
+                   help="chaos testing: JSON fault plan (inline or a file "
+                        "path) injected into the engine's risky layers")
     p.add_argument("--show-paths", type=int, default=0)
     p.add_argument("--stats", action="store_true",
                    help="print the full telemetry table instead of the summary")
@@ -400,6 +460,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(fn=cmd_pagerank)
 
+    p = sub.add_parser(
+        "scrub", help="verify checksums of a persisted trunk store"
+    )
+    p.add_argument("directory", help="trunk store directory (c.bin etc.)")
+    p.set_defaults(fn=cmd_scrub)
+
     p = sub.add_parser("compare", help="run several engines and tabulate")
     _add_graph_args(p)
     p.add_argument("--app", default="node2vec", choices=sorted(APPLICATIONS))
@@ -418,7 +484,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except TeaError as exc:
+        # Operational failures (bad fault plan, corrupt store, exhausted
+        # retry budget, ...) are expected outcomes of a CLI run: report
+        # them cleanly instead of dumping a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -263,19 +263,58 @@ class VertexIncrementalHPAT:
     def nbytes(self) -> int:
         return sum(b.nbytes() for b in self.blocks)
 
+    # -- atomicity ---------------------------------------------------------
+
+    def snapshot(self) -> tuple:
+        """O(num_blocks) state capture for transactional appends.
+
+        Cheap because :class:`_Block` instances are immutable once
+        built — ``append_batch`` only ever pops, merges into *new*
+        blocks, and inserts — so a shallow copy of the block list pins
+        the entire pre-batch structure.
+        """
+        return (
+            list(self.blocks), self.num_edges, self._t_ref, self._t_newest,
+            self.merged_edges,
+        )
+
+    def restore(self, state: tuple) -> None:
+        """Rewind to a :meth:`snapshot` (discards appended extents)."""
+        (self.blocks, self.num_edges, self._t_ref, self._t_newest,
+         self.merged_edges) = state
+
 
 class IncrementalHPAT:
-    """Graph-level streaming HPAT: one block forest per active vertex."""
+    """Graph-level streaming HPAT: one block forest per active vertex.
 
-    def __init__(self, weight_model: WeightModel, graph: Optional[TemporalGraph] = None):
+    ``apply_batch`` is **atomic**: either every edge of the batch is
+    indexed or none is. A failure mid-batch — a stream-order violation
+    in a later vertex group, or an injected ``streaming_apply`` fault —
+    rewinds every vertex already touched to its pre-batch snapshot and
+    re-raises, so a sampler never observes a half-applied batch.
+    """
+
+    def __init__(self, weight_model: WeightModel,
+                 graph: Optional[TemporalGraph] = None, fault_injector=None):
         self.weight_model = weight_model
         self.vertices: Dict[int, VertexIncrementalHPAT] = {}
         self.num_edges = 0
+        #: Optional :class:`repro.resilience.faults.FaultInjector`
+        #: evaluated at the ``streaming_apply`` site once per vertex
+        #: group, so plans can fail a batch mid-apply deterministically.
+        self.fault_injector = fault_injector
+        #: Batches rolled back by a mid-apply failure (telemetry).
+        self.rollbacks = 0
         if graph is not None and graph.num_edges:
             self.apply_batch(graph.to_stream())
 
     def apply_batch(self, batch: EdgeStream) -> None:
-        """Apply one time-ordered batch of new edges (paper's update unit)."""
+        """Apply one time-ordered batch of new edges (paper's update unit).
+
+        Atomic: validates and applies per vertex group, snapshotting
+        each touched forest first; any failure restores every snapshot
+        (and drops vertices created by this batch) before re-raising.
+        """
         if not len(batch):
             return
         if batch.weight is not None:
@@ -291,12 +330,30 @@ class IncrementalHPAT:
         boundaries = np.flatnonzero(np.diff(src)) + 1
         starts = np.concatenate([[0], boundaries])
         ends = np.concatenate([boundaries, [src.size]])
-        for lo, hi in zip(starts, ends):
-            v = int(src[lo])
-            vert = self.vertices.get(v)
-            if vert is None:
-                vert = self.vertices[v] = VertexIncrementalHPAT(self.weight_model)
-            vert.append_batch(dst[lo:hi], times[lo:hi])
+        # v -> pre-batch snapshot, or None when this batch created v.
+        touched: Dict[int, Optional[tuple]] = {}
+        try:
+            for lo, hi in zip(starts, ends):
+                if self.fault_injector is not None:
+                    self.fault_injector.check("streaming_apply")
+                v = int(src[lo])
+                vert = self.vertices.get(v)
+                if vert is None:
+                    touched[v] = None
+                    vert = self.vertices[v] = VertexIncrementalHPAT(
+                        self.weight_model
+                    )
+                else:
+                    touched[v] = vert.snapshot()
+                vert.append_batch(dst[lo:hi], times[lo:hi])
+        except BaseException:
+            for v, state in touched.items():
+                if state is None:
+                    self.vertices.pop(v, None)
+                else:
+                    self.vertices[v].restore(state)
+            self.rollbacks += 1
+            raise
         self.num_edges += len(batch)
 
     def candidate_count(self, v: int, t: Optional[float]) -> int:

@@ -22,14 +22,17 @@ benchmark reports a machine-independent I/O volume alongside wall time.
 
 from __future__ import annotations
 
+import json
 import os
+import threading
+import zlib
 from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.core.pat import PersistentAliasTable
-from repro.exceptions import EmptyCandidateSetError
+from repro.exceptions import ChecksumError, EmptyCandidateSetError
 from repro.sampling.alias import alias_draw
 from repro.sampling.counters import CostCounters
 from repro.sampling.prefix_sum import draw_in_range, its_search
@@ -39,6 +42,29 @@ PathLike = Union[str, os.PathLike]
 #: Logical bytes per entry of each store region: per-edge prefix sums
 #: ("c", one float64) and alias-table trunks ("pa", prob + alias).
 _REGION_WIDTH = {"c": 8, "pa": 16}
+
+#: Elements (all store files use 8-byte elements) per checksum page:
+#: 1024 elements = 8 KiB pages, fine-grained enough to localise a
+#: corrupt trunk, coarse enough that the manifest stays tiny.
+CHECKSUM_PAGE_ELEMS = 1024
+
+#: Bytes per element of every store file (float64 / int64 throughout).
+_ELEM_BYTES = 8
+
+_CHECKSUM_MANIFEST = "checksums.json"
+
+#: Files backing each logical region, in slice order.
+_REGION_FILES = {"c": ("c",), "pa": ("prob", "alias")}
+
+
+def _crc_pages(data: bytes, page_bytes: int) -> np.ndarray:
+    """CRC32 of each fixed-size page of ``data`` (last page may be short)."""
+    view = memoryview(data)
+    n = (len(view) + page_bytes - 1) // page_bytes
+    out = np.empty(max(n, 0), dtype=np.uint32)
+    for k in range(n):
+        out[k] = zlib.crc32(view[k * page_bytes : (k + 1) * page_bytes])
+    return out
 
 
 def coalesce_runs(ranges):
@@ -81,11 +107,25 @@ class TrunkStore:
     every counter is mutated from the sampling thread only.
     """
 
-    def __init__(self, directory: PathLike, cache_bytes: int = 0):
+    def __init__(self, directory: PathLike, cache_bytes: int = 0,
+                 retry_policy=None, verify_checksums: bool = False,
+                 fault_injector=None):
         self.directory = Path(directory)
         self._c: Optional[np.memmap] = None
         self._prob: Optional[np.memmap] = None
         self._alias: Optional[np.memmap] = None
+        #: Resilience wiring (see :mod:`repro.resilience`): transient
+        #: read failures retry under ``retry_policy``; when
+        #: ``verify_checksums`` every load is page-CRC-verified against
+        #: the persisted manifest; ``fault_injector`` hooks the
+        #: ``trunk_read`` site into every backing load.
+        self.retry_policy = retry_policy
+        self.verify_checksums = bool(verify_checksums)
+        self.fault_injector = fault_injector
+        self.io_retries = 0
+        self._retry_lock = threading.Lock()
+        self._crc: Optional[dict] = None
+        self._page_elems = CHECKSUM_PAGE_ELEMS
         # Paper §4.1's re-entry optimisation: reuse prior loaded data.
         from repro.core.block_cache import BlockCache
         from repro.telemetry import BYTES_BUCKETS, Histogram
@@ -116,21 +156,58 @@ class TrunkStore:
         self.prefetch_wasted = 0
         self.prefetch_in_flight = 0
         self.prefetch_overlap_seconds = 0.0
+        # Dropped submissions (queue full) and worker failures never
+        # enter the issued ledger; they get their own visible counters.
+        self.prefetch_dropped = 0
+        self.prefetch_failures = 0
 
     @classmethod
     def persist(cls, pat: PersistentAliasTable, directory: PathLike,
-                cache_bytes: int = 0) -> "TrunkStore":
-        store = cls(directory, cache_bytes=cache_bytes)
+                cache_bytes: int = 0, **kwargs) -> "TrunkStore":
+        store = cls(directory, cache_bytes=cache_bytes, **kwargs)
         store.directory.mkdir(parents=True, exist_ok=True)
-        pat.c.astype(np.float64).tofile(store.directory / "c.bin")
-        pat.prob.astype(np.float64).tofile(store.directory / "prob.bin")
-        pat.alias.astype(np.int64).tofile(store.directory / "alias.bin")
+        page_bytes = CHECKSUM_PAGE_ELEMS * _ELEM_BYTES
+        manifest = {
+            "version": 1,
+            "algorithm": "crc32",
+            "page_elems": CHECKSUM_PAGE_ELEMS,
+            "files": {},
+        }
+        arrays = {
+            "c": pat.c.astype(np.float64),
+            "prob": pat.prob.astype(np.float64),
+            "alias": pat.alias.astype(np.int64),
+        }
+        for name, arr in arrays.items():
+            arr.tofile(store.directory / f"{name}.bin")
+            # Per-page CRC32 sidecar: the integrity ground truth that
+            # verified reads and ``repro scrub`` check against.
+            _crc_pages(arr.tobytes(), page_bytes).tofile(
+                store.directory / f"{name}.crc"
+            )
+            manifest["files"][name] = int(arr.size)
+        (store.directory / _CHECKSUM_MANIFEST).write_text(json.dumps(manifest))
         return store
 
     def open(self) -> "TrunkStore":
         self._c = np.memmap(self.directory / "c.bin", dtype=np.float64, mode="r")
         self._prob = np.memmap(self.directory / "prob.bin", dtype=np.float64, mode="r")
         self._alias = np.memmap(self.directory / "alias.bin", dtype=np.int64, mode="r")
+        manifest_path = self.directory / _CHECKSUM_MANIFEST
+        if manifest_path.exists():
+            manifest = json.loads(manifest_path.read_text())
+            self._page_elems = int(manifest.get("page_elems", CHECKSUM_PAGE_ELEMS))
+            self._crc = {
+                name: np.fromfile(self.directory / f"{name}.crc", dtype=np.uint32)
+                for name in ("c", "prob", "alias")
+                if (self.directory / f"{name}.crc").exists()
+            }
+        if self.verify_checksums and not self._crc:
+            raise ChecksumError(
+                f"checksum verification requested but {self.directory} has "
+                f"no checksum manifest (store persisted by an older version?)",
+                path=manifest_path,
+            )
         return self
 
     def close(self) -> None:
@@ -144,17 +221,144 @@ class TrunkStore:
 
     # -- accounted reads ------------------------------------------------------
 
+    def _region_maps(self, region: str):
+        return (self._c,) if region == "c" else (self._prob, self._alias)
+
     def _load(self, region: str, lo: int, hi: int):
         """Copy a region slice out of the memory-maps (no accounting).
 
         Returns owned arrays, never memmap views: cached blocks must
         stay valid after :meth:`close` and must not pin the maps' pages.
         The prefetch worker calls this off-thread — it touches only the
-        read-only maps, never the cache or any counter.
+        read-only maps, never the cache or any counter (``io_retries``
+        is the one exception, incremented under its own lock).
+
+        Resilience wiring: transient failures (including injected
+        ``io_error`` faults) retry under :attr:`retry_policy`; when
+        :attr:`verify_checksums` is set the load is page-aligned and
+        every covered page's CRC32 is checked against the persisted
+        manifest, raising :class:`ChecksumError` on mismatch.
         """
-        if region == "c":
-            return np.array(self._c[lo:hi])
-        return (np.array(self._prob[lo:hi]), np.array(self._alias[lo:hi]))
+        if self.retry_policy is None:
+            return self._load_once(region, lo, hi)
+        return self.retry_policy.call(
+            self._load_once, region, lo, hi, on_retry=self._on_io_retry
+        )
+
+    def _on_io_retry(self, attempt: int, exc: BaseException) -> None:
+        with self._retry_lock:
+            self.io_retries += 1
+
+    def _load_once(self, region: str, lo: int, hi: int):
+        token = None
+        if self.fault_injector is not None:
+            token = self.fault_injector.check("trunk_read")
+        if not self.verify_checksums and token is None:
+            if region == "c":
+                return np.array(self._c[lo:hi])
+            return (np.array(self._prob[lo:hi]), np.array(self._alias[lo:hi]))
+        return self._load_checked(region, lo, hi, token)
+
+    def _load_checked(self, region: str, lo: int, hi: int, token):
+        """Verified (and/or fault-corrupted) load of one region slice.
+
+        When verifying, the read widens to page boundaries so whole
+        pages can be CRC-checked; injected corruption lands on the
+        loaded copy *before* verification, which is exactly how real
+        bit rot between persist and read presents.
+        """
+        names = _REGION_FILES[region]
+        page = self._page_elems
+        out = []
+        for which, (name, mm) in enumerate(zip(names, self._region_maps(region))):
+            if self.verify_checksums:
+                plo = (lo // page) * page
+                phi = min(((hi + page - 1) // page) * page, mm.size)
+            else:
+                plo, phi = lo, hi
+            span = np.array(mm[plo:phi])
+            if token is not None and which == 0 and span.size:
+                buf = span.view(np.uint8)
+                buf[token % buf.size] ^= np.uint8(1 << (token % 8))
+            if self.verify_checksums:
+                self._verify_span(name, plo, span)
+            out.append(np.array(span[lo - plo : hi - plo]))
+        return out[0] if region == "c" else tuple(out)
+
+    def _verify_span(self, name: str, plo: int, span: np.ndarray) -> None:
+        crc = (self._crc or {}).get(name)
+        path = self.directory / f"{name}.bin"
+        if crc is None:
+            raise ChecksumError(
+                f"no checksum sidecar for {path}", path=path
+            )
+        page_bytes = self._page_elems * _ELEM_BYTES
+        data = span.tobytes()
+        first_page = plo // self._page_elems
+        for k, actual in enumerate(_crc_pages(data, page_bytes)):
+            expected = int(crc[first_page + k])
+            if int(actual) != expected:
+                raise ChecksumError(
+                    f"checksum mismatch in {path} page {first_page + k} "
+                    f"(expected {expected:#010x}, got {int(actual):#010x})",
+                    path=path, page=first_page + k,
+                    expected=expected, actual=int(actual),
+                )
+
+    def scrub(self) -> dict:
+        """Verify every page of every store file against the manifest.
+
+        Returns a report dict with ``pages_checked``, ``corrupt`` (a
+        list of ``{file, page, offset_bytes, expected, actual}``
+        records), and ``clean``. Raises :class:`ChecksumError` only
+        when the store has no checksum manifest at all — page
+        mismatches are *reported*, not raised, so one scrub pass
+        locates every corrupt page.
+        """
+        opened_here = self._c is None
+        if opened_here:
+            self.open()
+        try:
+            if not self._crc:
+                raise ChecksumError(
+                    f"{self.directory} has no checksum manifest to scrub "
+                    f"against", path=self.directory / _CHECKSUM_MANIFEST,
+                )
+            page_bytes = self._page_elems * _ELEM_BYTES
+            report = {"directory": str(self.directory), "pages_checked": 0,
+                      "corrupt": [], "clean": True}
+            for name in ("c", "prob", "alias"):
+                mm = {"c": self._c, "prob": self._prob, "alias": self._alias}[name]
+                crc = self._crc.get(name)
+                if crc is None:
+                    report["corrupt"].append(
+                        {"file": f"{name}.bin", "page": None,
+                         "reason": "missing checksum sidecar"}
+                    )
+                    continue
+                actual = _crc_pages(np.asarray(mm).tobytes(), page_bytes)
+                report["pages_checked"] += int(actual.size)
+                if actual.size != crc.size:
+                    # A truncated (or grown) file is corruption too.
+                    report["corrupt"].append(
+                        {"file": f"{name}.bin", "page": None,
+                         "reason": f"page count {actual.size} != "
+                                   f"manifest {crc.size} (truncated file?)"}
+                    )
+                n = min(actual.size, crc.size)
+                for page in np.flatnonzero(actual[:n] != crc[:n]):
+                    report["corrupt"].append({
+                        "file": f"{name}.bin",
+                        "page": int(page),
+                        "offset_bytes": int(page) * page_bytes,
+                        "expected": int(crc[page]),
+                        "actual": int(actual[page]),
+                    })
+            report["clean"] = not report["corrupt"]
+            return report
+        finally:
+            if opened_here:
+                self.close()
 
     def _read_region(self, region: str, lo: int, hi: int,
                      counters: Optional[CostCounters]):
@@ -264,6 +468,16 @@ class TrunkStore:
         self.prefetch_enabled = True
         self.prefetch_issued += int(n)
 
+    def note_prefetch_dropped(self, n: int) -> None:
+        """A full request queue rejected ``n`` keys (never issued)."""
+        self.prefetch_enabled = True
+        self.prefetch_dropped += int(n)
+
+    def note_prefetch_failure(self) -> None:
+        """The prefetch worker raised; read-ahead is disabled for the run."""
+        self.prefetch_enabled = True
+        self.prefetch_failures += 1
+
     def begin_prefetch_generation(self) -> None:
         """Unpin pending blocks from earlier steps (missed their window).
 
@@ -321,6 +535,13 @@ class TrunkStore:
             growth=self.coalesced_hist.growth,
             buckets=len(self.coalesced_hist.bounds),
         ).merge_from(self.coalesced_hist)
+        if self.io_retries:
+            registry.counter(
+                "resilience.io_retries",
+                "transient trunk-store read failures retried",
+            ).inc(self.io_retries)
+        if self.fault_injector is not None:
+            self.fault_injector.publish(registry)
         if self.prefetch_enabled:
             registry.counter(
                 "prefetch.issued", "prefetch requests submitted"
@@ -331,6 +552,14 @@ class TrunkStore:
             registry.counter(
                 "prefetch.wasted", "prefetched blocks never consumed"
             ).inc(self.prefetch_wasted)
+            registry.counter(
+                "prefetch.dropped",
+                "prefetch submissions rejected by a full request queue",
+            ).inc(self.prefetch_dropped)
+            registry.counter(
+                "prefetch.failures",
+                "prefetch worker errors (read-ahead disabled, sync fallback)",
+            ).inc(self.prefetch_failures)
             registry.gauge(
                 "prefetch.in_flight", "requests still in flight at exit"
             ).set(self.prefetch_in_flight)
@@ -338,6 +567,16 @@ class TrunkStore:
                 "ooc.io_overlap_seconds",
                 "prefetch worker busy time overlapped with sampling",
             ).set(self.prefetch_overlap_seconds)
+
+
+def scrub_store(directory: PathLike) -> dict:
+    """Integrity-scan a persisted trunk store (the ``repro scrub`` core).
+
+    Opens the store read-only, verifies every page of every region file
+    against the persisted CRC32 manifest, and returns the report dict
+    of :meth:`TrunkStore.scrub`.
+    """
+    return TrunkStore(directory).scrub()
 
 
 class OutOfCorePAT:

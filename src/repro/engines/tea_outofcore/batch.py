@@ -173,6 +173,9 @@ class BatchTeaOutOfCoreEngine(BatchTeaEngine):
         storage_dir: Optional[str] = None,
         cache_bytes: int = DEFAULT_OOC_CACHE_BYTES,
         prefetch: bool = True,
+        retry_policy=None,
+        verify_checksums: bool = False,
+        fault_injector=None,
     ):
         super().__init__(graph, spec)
         self.trunk_size = int(trunk_size)
@@ -182,12 +185,18 @@ class BatchTeaOutOfCoreEngine(BatchTeaEngine):
         # Prefetch warms the cache; without one it has nowhere to put
         # the blocks, so it quietly turns itself off.
         self.prefetch = bool(prefetch) and self.cache_bytes > 0
+        self.retry_policy = retry_policy
+        self.verify_checksums = bool(verify_checksums)
+        self.fault_injector = fault_injector
         self._prefetcher: Optional[AsyncPrefetcher] = None
 
     def _prepare(self) -> None:
         self.index, self.candidate_sizes, self._tmpdir = build_ooc_index(
             self.graph, self.spec, self.trunk_size,
             self._storage_dir, self.cache_bytes, self.tracer,
+            retry_policy=self.retry_policy,
+            verify_checksums=self.verify_checksums,
+            fault_injector=self.fault_injector,
         )
         self.weights = None
         self._maybe_build_static_keys()
@@ -205,6 +214,13 @@ class BatchTeaOutOfCoreEngine(BatchTeaEngine):
             # Opportunistically admit whatever the worker finished, so
             # this round's read_batch sees the warmed blocks.
             self._prefetcher.drain(counters)
+            if self._prefetcher.failed:
+                # The worker died (checksum failure, exhausted retries,
+                # injected fault): settle its ledger and fall back to
+                # synchronous reads — a persistent error then surfaces
+                # on this thread instead of vanishing with the worker.
+                self._prefetcher.close(counters)
+                self._prefetcher = None
         return ooc_sample_batch(self.index, vs, ss, rng, counters)
 
     def _on_frontier_advance(self, vs: np.ndarray, ss: np.ndarray) -> None:

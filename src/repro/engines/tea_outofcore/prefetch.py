@@ -57,7 +57,17 @@ class AsyncPrefetcher:
         self._in_flight = 0
         self._busy_seconds = 0.0
         self._stop = False
+        # Set by the worker on an unhandled error (checksum failure,
+        # exhausted retries, injected fault): the engine observes it via
+        # :attr:`failed` and falls back to synchronous reads — a dead
+        # prefetcher must degrade, never vanish.
+        self._failed = False
         self._thread: Optional[threading.Thread] = None
+
+    @property
+    def failed(self) -> bool:
+        """True once the worker hit an unhandled error (fallback time)."""
+        return self._failed
 
     def start(self) -> None:
         self._thread = threading.Thread(
@@ -71,7 +81,10 @@ class AsyncPrefetcher:
         """Enqueue one step's predictions, skipping anything already
         resident, pending, or requested. A full queue drops the batch —
         the walk is outrunning the disk and stale predictions would only
-        waste reads."""
+        waste reads — but drops are *counted* (``prefetch.dropped``), so
+        the accounting stays conserved and the backpressure visible."""
+        if self._failed:
+            return
         seen = set()
         kept = []
         for key in requests:
@@ -86,6 +99,7 @@ class AsyncPrefetcher:
         try:
             self._requests.put_nowait(kept)
         except queue.Full:
+            self.store.note_prefetch_dropped(len(kept))
             return
         self._outstanding.update(kept)
         self.store.note_prefetch_issued(len(kept))
@@ -105,6 +119,18 @@ class AsyncPrefetcher:
                 for key in payload:
                     self._outstanding.discard(key)
                     self._in_flight += 1
+                continue
+            if kind == "failed":
+                # Worker error: settle the batch's keys as in-flight
+                # (issued, never produced) and record the failure. The
+                # engine sees :attr:`failed` and reads synchronously
+                # from here on — where the same error, if persistent,
+                # surfaces on the sampling thread instead of vanishing.
+                batch, _exc_text = payload
+                for key in batch:
+                    self._outstanding.discard(key)
+                    self._in_flight += 1
+                self.store.note_prefetch_failure()
                 continue
             for region, run_lo, run_hi, items in payload:
                 nbytes = (run_hi - run_lo) * _REGION_WIDTH[region]
@@ -138,31 +164,41 @@ class AsyncPrefetcher:
             batch = self._requests.get()
             if batch is None:
                 return
-            if self._stop:
-                # The run is over: report the keys back unread so they
-                # are settled as in-flight, not silently dropped.
+            if self._stop or self._failed:
+                # The run is over (or the worker already failed): report
+                # the keys back unread so they are settled as in-flight,
+                # not silently dropped.
                 self._results.put(("skipped", batch))
                 continue
-            t0 = time.perf_counter()
-            out = []
-            for region in ("c", "pa"):
-                ranges = sorted(
-                    (lo, hi, (region, lo, hi))
-                    for reg, lo, hi in batch if reg == region
-                )
-                for run_lo, run_hi, members in coalesce_runs(ranges):
-                    big = self.store._load(region, run_lo, run_hi)
-                    items = []
-                    for key in members:
-                        _, lo, hi = key
-                        if region == "c":
-                            value = big[lo - run_lo : hi - run_lo].copy()
-                        else:
-                            value = (
-                                big[0][lo - run_lo : hi - run_lo].copy(),
-                                big[1][lo - run_lo : hi - run_lo].copy(),
-                            )
-                        items.append((key, value))
-                    out.append((region, run_lo, run_hi, items))
-            self._busy_seconds += time.perf_counter() - t0
+            try:
+                injector = self.store.fault_injector
+                if injector is not None:
+                    injector.check("prefetch")
+                t0 = time.perf_counter()
+                out = []
+                for region in ("c", "pa"):
+                    ranges = sorted(
+                        (lo, hi, (region, lo, hi))
+                        for reg, lo, hi in batch if reg == region
+                    )
+                    for run_lo, run_hi, members in coalesce_runs(ranges):
+                        big = self.store._load(region, run_lo, run_hi)
+                        items = []
+                        for key in members:
+                            _, lo, hi = key
+                            if region == "c":
+                                value = big[lo - run_lo : hi - run_lo].copy()
+                            else:
+                                value = (
+                                    big[0][lo - run_lo : hi - run_lo].copy(),
+                                    big[1][lo - run_lo : hi - run_lo].copy(),
+                                )
+                            items.append((key, value))
+                        out.append((region, run_lo, run_hi, items))
+                self._busy_seconds += time.perf_counter() - t0
+            except Exception as exc:  # noqa: BLE001 — a dying worker
+                # thread is the silent-failure mode this guards against.
+                self._failed = True
+                self._results.put(("failed", (batch, repr(exc))))
+                continue
             self._results.put(("done", out))

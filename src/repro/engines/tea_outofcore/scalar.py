@@ -27,7 +27,9 @@ from repro.walks.spec import WalkSpec
 DEFAULT_OOC_TRUNK_SIZE = 10
 
 
-def build_ooc_index(graph, spec, trunk_size, storage_dir, cache_bytes, tracer):
+def build_ooc_index(graph, spec, trunk_size, storage_dir, cache_bytes, tracer,
+                    retry_policy=None, verify_checksums=False,
+                    fault_injector=None):
     """Build and spill the PAT, returning the disk-backed index.
 
     The shared preparation path of both out-of-core engines (scalar and
@@ -36,6 +38,11 @@ def build_ooc_index(graph, spec, trunk_size, storage_dir, cache_bytes, tracer):
     ``(index, candidate_sizes, tmpdir)`` — ``tmpdir`` is the owning
     :class:`tempfile.TemporaryDirectory` handle or ``None``, which the
     engine must keep alive for the store's lifetime.
+
+    ``retry_policy`` / ``verify_checksums`` / ``fault_injector`` wire
+    the resilience layer into the store's read path (see
+    :mod:`repro.resilience`); persist always writes the per-page CRC32
+    manifest, so verification is a pure read-side choice.
     """
     with tracer.span("prepare.candidate_search"):
         candidate_sizes = search_candidate_sets(graph)
@@ -50,7 +57,11 @@ def build_ooc_index(graph, spec, trunk_size, storage_dir, cache_bytes, tracer):
         tmpdir = tempfile.TemporaryDirectory(prefix="tea-ooc-")
         directory = tmpdir.name
     with tracer.span("prepare.trunk_spill", cache_bytes=cache_bytes):
-        store = TrunkStore.persist(pat, directory, cache_bytes=cache_bytes).open()
+        store = TrunkStore.persist(
+            pat, directory, cache_bytes=cache_bytes,
+            retry_policy=retry_policy, verify_checksums=verify_checksums,
+            fault_injector=fault_injector,
+        ).open()
         index = OutOfCorePAT(pat, store)
     # The full PAT arrays are now disk-resident; the in-memory copy dies
     # with this frame.
@@ -70,18 +81,27 @@ class TeaOutOfCoreEngine(Engine):
         trunk_size: int = DEFAULT_OOC_TRUNK_SIZE,
         storage_dir: Optional[str] = None,
         cache_bytes: int = 0,
+        retry_policy=None,
+        verify_checksums: bool = False,
+        fault_injector=None,
     ):
         super().__init__(graph, spec)
         self.trunk_size = int(trunk_size)
         self._storage_dir = storage_dir
         self._tmpdir = None
         self.cache_bytes = int(cache_bytes)
+        self.retry_policy = retry_policy
+        self.verify_checksums = bool(verify_checksums)
+        self.fault_injector = fault_injector
         self.index: Optional[OutOfCorePAT] = None
 
     def _prepare(self) -> None:
         self.index, self.candidate_sizes, self._tmpdir = build_ooc_index(
             self.graph, self.spec, self.trunk_size,
             self._storage_dir, self.cache_bytes, self.tracer,
+            retry_policy=self.retry_policy,
+            verify_checksums=self.verify_checksums,
+            fault_injector=self.fault_injector,
         )
 
     @property

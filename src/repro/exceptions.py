@@ -66,3 +66,57 @@ class SamplingBudgetExceeded(TeaError):
     cap trials to keep experiments bounded; by default they fall back to a
     full scan, but the strict mode raises this instead.
     """
+
+
+class TransientIOError(TeaError):
+    """A backing-store read failed in a way worth retrying.
+
+    Raised for transient disk faults (and by the fault injector's
+    ``io_error`` kind). :class:`repro.resilience.retry.RetryPolicy`
+    classifies this — and :class:`OSError` with a transient ``errno`` —
+    as retryable; everything else is fatal on first occurrence.
+    """
+
+
+class ChecksumError(TeaError):
+    """A persisted trunk page failed its CRC32 integrity check.
+
+    Attributes
+    ----------
+    path:
+        The store file holding the corrupt page.
+    page:
+        Zero-based page index within that file.
+    expected / actual:
+        The stored and recomputed CRC32 values (``None`` when unknown,
+        e.g. a missing checksum manifest).
+    """
+
+    def __init__(self, message: str, path=None, page=None,
+                 expected=None, actual=None):
+        self.path = str(path) if path is not None else None
+        self.page = page
+        self.expected = expected
+        self.actual = actual
+        super().__init__(message)
+
+
+class WorkerCrashError(TeaError):
+    """A parallel chunk worker crashed (or hung) past its retry budget.
+
+    Attributes
+    ----------
+    chunk_id:
+        The chunk whose execution could not be completed.
+    attempts:
+        Attempts made before giving up.
+    """
+
+    def __init__(self, message: str, chunk_id=None, attempts=None):
+        self.chunk_id = chunk_id
+        self.attempts = attempts
+        super().__init__(message)
+
+
+class FaultPlanError(TeaError):
+    """A declarative fault plan is malformed (unknown site/kind, bad JSON)."""

@@ -32,14 +32,20 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, List, Optional
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.persist import hpat_array_catalogue
 from repro.engines.base import EngineResult, Workload
 from repro.engines.batch import BatchTeaEngine, FrontierResult
+from repro.exceptions import WorkerCrashError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.metrics.timing import PhaseTimer
 from repro.parallel.chunks import ChunkPlan, default_chunk_size, plan_chunks
@@ -58,6 +64,12 @@ from repro.walks.spec import WalkSpec
 
 BACKENDS = ("auto", "process", "thread", "serial")
 SHARE_MODES = ("auto", "shm", "inherit")
+
+#: Task tuple the supervisor tracks: ``(chunk_id, lo, hi)``.
+Task = Tuple[int, int, int]
+
+#: Default per-chunk retry budget (additional attempts after the first).
+DEFAULT_CHUNK_RETRIES = 2
 
 
 def _fork_available() -> bool:
@@ -94,6 +106,9 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         chunk_size: Optional[int] = None,
         backend: str = "auto",
         share_mode: str = "auto",
+        retries: int = DEFAULT_CHUNK_RETRIES,
+        chunk_timeout: Optional[float] = None,
+        fault_injector=None,
     ):
         super().__init__(graph, spec)
         if backend not in BACKENDS:
@@ -108,10 +123,27 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         self.chunk_size = int(chunk_size) if chunk_size else None
         self.backend = backend
         self.share_mode = share_mode
+        #: Per-chunk retry budget: a chunk may fail (crash, hang, broken
+        #: pool) this many times beyond its first attempt before the run
+        #: aborts with :class:`WorkerCrashError`.
+        self.retries = int(retries)
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        #: Seconds a single chunk may run before the supervisor declares
+        #: it hung (``None`` disables the watchdog). Applies to the
+        #: process and thread backends' future waits.
+        self.chunk_timeout = chunk_timeout
+        #: Optional :class:`repro.resilience.faults.FaultInjector`
+        #: threaded into the worker context (``chunk`` site).
+        self.fault_injector = fault_injector
         #: How the last run actually shared arrays / executed (for
         #: reports and tests): set by :meth:`run`.
         self.last_backend: Optional[str] = None
         self.last_share_mode: Optional[str] = None
+        #: Supervision ledger of the last run: ``chunk_retries`` (chunk
+        #: executions repeated after a failure) and ``degraded`` (the
+        #: backends fallen back to, in order).
+        self.last_events: Dict[str, object] = {"chunk_retries": 0, "degraded": []}
 
     # -- context -----------------------------------------------------------
 
@@ -165,72 +197,201 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
             keep_hops=keep_hops,
             aux_max=aux.max_size if aux is not None else -1,
             arrays=self._shared_arrays(),
+            injector=self.fault_injector,
         )
 
     # -- execution ---------------------------------------------------------
+    #
+    # The supervised executor. One attempt = one pool (or inline pass)
+    # over the currently-pending chunks; the supervisor classifies every
+    # failed chunk as "crash" (the future raised), "hang" (the per-chunk
+    # timeout expired), or "broken" (the pool itself died, e.g. a worker
+    # process exited hard) and requeues it under the retry budget.
+    # "hang"/"broken" also degrade the backend one level down the chain
+    # process -> thread -> serial: a pool that killed or lost a worker
+    # is not trusted with the retry. Determinism survives all of this —
+    # a chunk's randomness is keyed by its planned seed, never by the
+    # attempt or the backend that finally ran it.
 
-    def _run_pool(
-        self, pool: Executor, tasks, via_process: bool, ctx: WorkerContext
-    ) -> List[ChunkResult]:
-        futures = []
+    def _degradation_chain(self, backend: str) -> List[str]:
+        chain = ["process", "thread", "serial"]
+        return chain[chain.index(backend):] if backend in chain else ["serial"]
+
+    def _collect(self, futures):
+        """Wait on ``(future, task)`` pairs; classify failures.
+
+        Returns ``(done, failed, pool_hurt)`` where ``done`` maps
+        chunk_id -> ChunkResult, ``failed`` lists
+        ``(task, reason, exc)``, and ``pool_hurt`` means the pool hung
+        or broke (shutdown must not block on it).
+        """
+        done: Dict[int, ChunkResult] = {}
+        failed = []
+        broken = hung = False
+        for fut, task in futures:
+            cid = task[0]
+            try:
+                if broken:
+                    # A broken pool poisons every unfinished future with
+                    # BrokenExecutor; salvage the ones that completed.
+                    done[cid] = fut.result(timeout=0)
+                else:
+                    done[cid] = fut.result(timeout=self.chunk_timeout)
+            except FuturesTimeoutError as exc:
+                hung = True
+                fut.cancel()
+                failed.append((task, "hang", exc))
+            except BrokenExecutor as exc:
+                broken = True
+                failed.append((task, "broken", exc))
+            except Exception as exc:  # noqa: BLE001 — worker raised
+                failed.append((task, "crash", exc))
+        return done, failed, broken or hung
+
+    def _attempt_serial(self, tasks: List[Task], ctx: WorkerContext, attempts):
+        done: Dict[int, ChunkResult] = {}
+        failed = []
         for chunk_id, lo, hi in tasks:
-            enqueue_ts = time.monotonic()
-            if via_process:
-                futures.append(
-                    pool.submit(_process_chunk, chunk_id, lo, hi, enqueue_ts)
+            try:
+                done[chunk_id] = execute_chunk(
+                    self, ctx, chunk_id, lo, hi, time.monotonic(),
+                    attempt=attempts[chunk_id],
                 )
-            else:
-                futures.append(
-                    pool.submit(execute_chunk, self, ctx, chunk_id, lo, hi, enqueue_ts)
+            except Exception as exc:  # noqa: BLE001
+                failed.append(((chunk_id, lo, hi), "crash", exc))
+        return done, failed
+
+    def _attempt_thread(
+        self, tasks: List[Task], ctx: WorkerContext, workers_used: int, attempts
+    ):
+        pool = ThreadPoolExecutor(
+            max_workers=workers_used, thread_name_prefix="walk"
+        )
+        pool_hurt = True
+        try:
+            futures = [
+                (
+                    pool.submit(
+                        execute_chunk, self, ctx, chunk_id, lo, hi,
+                        time.monotonic(), attempts[chunk_id],
+                    ),
+                    (chunk_id, lo, hi),
                 )
-        # Collect in submit order == chunk order: the fold below is then
-        # deterministic no matter which worker finished first.
-        return [f.result() for f in futures]
+                for chunk_id, lo, hi in tasks
+            ]
+            done, failed, pool_hurt = self._collect(futures)
+        finally:
+            # A hung thread cannot be killed: abandon the pool (daemonic
+            # join happens at interpreter exit) rather than deadlock.
+            pool.shutdown(wait=not pool_hurt, cancel_futures=True)
+        return done, failed
+
+    def _attempt_process(
+        self, tasks: List[Task], ctx: WorkerContext, workers_used: int, attempts
+    ):
+        pool = ProcessPoolExecutor(
+            max_workers=workers_used,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=_process_init,
+            initargs=(ctx,),
+        )
+        pool_hurt = True
+        try:
+            futures = []
+            unsubmitted = []
+            for chunk_id, lo, hi in tasks:
+                try:
+                    futures.append((
+                        pool.submit(
+                            _process_chunk, chunk_id, lo, hi,
+                            time.monotonic(), attempts[chunk_id],
+                        ),
+                        (chunk_id, lo, hi),
+                    ))
+                except BrokenExecutor as exc:
+                    # A worker died while we were still submitting:
+                    # everything not yet in flight fails as "broken".
+                    unsubmitted.append(((chunk_id, lo, hi), "broken", exc))
+            done, failed, pool_hurt = self._collect(futures)
+            failed.extend(unsubmitted)
+        finally:
+            pool.shutdown(wait=not pool_hurt, cancel_futures=True)
+        return done, failed
 
     def _execute_chunks(
         self, plan: ChunkPlan, ctx: WorkerContext, backend: str, workers_used: int
     ) -> List[ChunkResult]:
-        tasks = [
+        pending: List[Task] = [
             (chunk_id, *plan.chunk(chunk_id)) for chunk_id in range(plan.num_chunks)
         ]
         if backend == "serial" or workers_used <= 1:
-            self.last_share_mode = "local"
-            now = time.monotonic()
-            return [
-                execute_chunk(self, ctx, chunk_id, lo, hi, now)
-                for chunk_id, lo, hi in tasks
-            ]
-        if backend == "thread":
-            self.last_share_mode = "local"
-            with ThreadPoolExecutor(
-                max_workers=workers_used, thread_name_prefix="walk"
-            ) as pool:
-                return self._run_pool(pool, tasks, via_process=False, ctx=ctx)
+            chain = ["serial"]
+        else:
+            chain = self._degradation_chain(backend)
 
         # Process backend: export the image to shared memory when asked;
         # otherwise (or on export failure) the pre-fork context's arrays
-        # reach children copy-on-write, which is equally zero-copy.
+        # reach children copy-on-write, which is equally zero-copy. The
+        # image outlives any degradation — thread/serial retries read
+        # the shm views just as well.
         inherit_arrays = ctx.arrays
         image = None
-        if self.share_mode in ("auto", "shm"):
+        if chain[0] == "process" and self.share_mode in ("auto", "shm"):
             image = export_or_none(ctx.arrays)
-        if image is not None:
-            ctx.arrays = image.arrays()
-            self.last_share_mode = "shm"
-        else:
-            self.last_share_mode = "cow"
+            if image is not None:
+                ctx.arrays = image.arrays()
+
+        attempts = {task[0]: 0 for task in pending}
+        results: Dict[int, ChunkResult] = {}
+        level = 0
         try:
-            with ProcessPoolExecutor(
-                max_workers=workers_used,
-                mp_context=multiprocessing.get_context("fork"),
-                initializer=_process_init,
-                initargs=(ctx,),
-            ) as pool:
-                return self._run_pool(pool, tasks, via_process=True, ctx=ctx)
+            while pending:
+                active = chain[level]
+                self.last_backend = active
+                if active == "process":
+                    self.last_share_mode = "shm" if image is not None else "cow"
+                    done, failed = self._attempt_process(
+                        pending, ctx, workers_used, attempts
+                    )
+                elif active == "thread":
+                    if image is None:
+                        self.last_share_mode = "local"
+                    done, failed = self._attempt_thread(
+                        pending, ctx, workers_used, attempts
+                    )
+                else:
+                    if image is None:
+                        self.last_share_mode = "local"
+                    done, failed = self._attempt_serial(pending, ctx, attempts)
+                results.update(done)
+                if not failed:
+                    break
+                degrade = False
+                pending = []
+                for task, reason, exc in failed:
+                    cid = task[0]
+                    attempts[cid] += 1
+                    if attempts[cid] > self.retries:
+                        raise WorkerCrashError(
+                            f"chunk {cid} failed {attempts[cid]} times "
+                            f"(last failure: {reason}); retry budget "
+                            f"({self.retries}) exhausted",
+                            chunk_id=cid, attempts=attempts[cid],
+                        ) from exc
+                    self.last_events["chunk_retries"] += 1
+                    pending.append(task)
+                    if reason in ("hang", "broken"):
+                        degrade = True
+                if degrade and level < len(chain) - 1:
+                    level += 1
+                    self.last_events["degraded"].append(chain[level])
         finally:
             if image is not None:
                 ctx.arrays = inherit_arrays  # release shm-backed views
                 image.dispose()
+        # Chunk order, regardless of which attempt produced each result:
+        # the fold below is then deterministic.
+        return [results[cid] for cid in sorted(results)]
 
     # -- run ---------------------------------------------------------------
 
@@ -253,6 +414,7 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         workers_used = max(1, min(self.workers, plan.num_chunks))
         backend = self._resolve_backend(workers_used)
         self.last_backend = backend
+        self.last_events = {"chunk_retries": 0, "degraded": []}
         ctx = self._build_context(plan, workload, keep_hops)
 
         with timer.phase("walk"), tracer.span(
@@ -261,6 +423,8 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         ) as walk_span:
             results = self._execute_chunks(plan, ctx, backend, workers_used)
             walk_span.set("share_mode", self.last_share_mode)
+            if self.last_events["degraded"]:
+                walk_span.set("degraded_to", self.last_backend)
             for res in results:
                 walk_span.children.extend(res.spans)
 
@@ -332,3 +496,15 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         )
         for steps in per_worker.values():
             steps_hist.observe(steps)
+        # Supervision ledger: always exported so dashboards can alert on
+        # transitions from zero, not on metric appearance.
+        registry.counter(
+            "parallel.chunk_retries",
+            "chunk executions repeated after a crash/hang/broken pool",
+        ).inc(int(self.last_events["chunk_retries"]))
+        registry.counter(
+            "resilience.degraded",
+            "backend degradations (process->thread->serial) this run",
+        ).inc(len(self.last_events["degraded"]))
+        if self.fault_injector is not None:
+            self.fault_injector.publish(registry)

@@ -56,6 +56,11 @@ class WorkerContext:
     keep_hops: bool
     aux_max: int
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Optional :class:`repro.resilience.faults.FaultInjector` evaluated
+    #: at the ``chunk`` site with key ``(chunk_id, attempt)`` — chaos
+    #: plans crash/hang specific chunk attempts deterministically, in
+    #: whichever backend (fork inherits it, threads share it).
+    injector: object = None
 
     def build_engine(self) -> BatchTeaEngine:
         """Assemble a private engine over the shared arrays.
@@ -126,6 +131,7 @@ def execute_chunk(
     lo: int,
     hi: int,
     enqueue_ts: float,
+    attempt: int = 0,
 ) -> ChunkResult:
     """Walk chunk ``chunk_id`` (``starts[lo:hi]``) to completion.
 
@@ -133,9 +139,16 @@ def execute_chunk(
     generator seeded from the chunk plan; telemetry goes to private
     per-chunk instances. ``enqueue_ts`` (``time.monotonic`` at submit)
     yields the queue-wait share the scaling report tracks.
+
+    ``attempt`` is the supervisor's retry ordinal: it keys fault
+    injection only — the chunk's randomness still comes exclusively
+    from its planned seed, so a retried chunk reproduces its exact
+    paths (bit-determinism survives crashes).
     """
     t0 = time.monotonic()
     queue_wait = max(0.0, t0 - enqueue_ts)
+    if ctx.injector is not None:
+        ctx.injector.check("chunk", key=(chunk_id, attempt))
     rng = np.random.default_rng(int(ctx.seeds[chunk_id]))
     counters = CostCounters()
     registry = MetricsRegistry()
@@ -200,6 +213,7 @@ def _process_init(ctx: WorkerContext) -> None:
     _ENGINE = ctx.build_engine()
 
 
-def _process_chunk(chunk_id: int, lo: int, hi: int, enqueue_ts: float) -> ChunkResult:
+def _process_chunk(chunk_id: int, lo: int, hi: int, enqueue_ts: float,
+                   attempt: int = 0) -> ChunkResult:
     assert _ENGINE is not None and _CONTEXT is not None, "worker not initialised"
-    return execute_chunk(_ENGINE, _CONTEXT, chunk_id, lo, hi, enqueue_ts)
+    return execute_chunk(_ENGINE, _CONTEXT, chunk_id, lo, hi, enqueue_ts, attempt)

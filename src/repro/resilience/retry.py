@@ -1,0 +1,126 @@
+"""Retry with exception classification, budget, and seeded backoff.
+
+The out-of-core read path is the only layer of the engine that touches
+hardware which fails transiently (disk, network filesystems). A
+:class:`RetryPolicy` wraps those reads: transient failures are retried
+under a budget with exponential backoff and *seeded* jitter — the
+jitter sequence is reproducible, like every other random stream in the
+library — while fatal errors (corruption, programming errors) surface
+immediately.
+
+Classification is deliberately conservative: only
+:class:`~repro.exceptions.TransientIOError` and :class:`OSError` with a
+known-transient ``errno`` are retried. A
+:class:`~repro.exceptions.ChecksumError` is *never* transient —
+re-reading a corrupt page returns the same corrupt bytes.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+import time
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.exceptions import TransientIOError
+
+#: ``errno`` values worth retrying: interrupted, busy, out-of-resources,
+#: and plain I/O errors (the classic flaky-disk signature).
+TRANSIENT_ERRNOS = frozenset({
+    errno.EIO, errno.EAGAIN, errno.EBUSY, errno.EINTR,
+    errno.ENOBUFS, errno.ETIMEDOUT,
+})
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Default exception classifier: retry-worthy or fatal."""
+    if isinstance(exc, TransientIOError):
+        return True
+    if isinstance(exc, OSError):
+        return exc.errno in TRANSIENT_ERRNOS
+    return False
+
+
+class RetryPolicy:
+    """Bounded retry: classify, back off with seeded jitter, give up.
+
+    Parameters
+    ----------
+    max_retries:
+        Additional attempts after the first failure (0 disables retry).
+    base_delay / multiplier / max_delay:
+        Exponential backoff: attempt ``k`` sleeps
+        ``min(max_delay, base_delay * multiplier**k)`` scaled by jitter.
+    jitter:
+        Uniform multiplicative jitter fraction in ``[0, jitter]`` drawn
+        from a generator seeded with ``seed`` (deterministic sequence).
+    classify:
+        Predicate deciding whether an exception is transient.
+    sleep:
+        Injection point for tests (defaults to :func:`time.sleep`).
+    """
+
+    def __init__(
+        self,
+        max_retries: int = 3,
+        base_delay: float = 0.005,
+        multiplier: float = 2.0,
+        max_delay: float = 0.5,
+        jitter: float = 0.25,
+        seed: int = 0,
+        classify: Callable[[BaseException], bool] = is_transient,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        self.max_retries = int(max_retries)
+        self.base_delay = float(base_delay)
+        self.multiplier = float(multiplier)
+        self.max_delay = float(max_delay)
+        self.jitter = float(jitter)
+        self.seed = int(seed)
+        self.classify = classify
+        self.sleep = sleep
+        self._rng = np.random.default_rng(self.seed)
+        self._lock = threading.Lock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def delay(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        base = min(self.max_delay, self.base_delay * self.multiplier**attempt)
+        if self.jitter <= 0:
+            return base
+        with self._lock:
+            u = float(self._rng.random())
+        return base * (1.0 + self.jitter * u)
+
+    def call(self, fn: Callable, *args,
+             on_retry: Optional[Callable[[int, BaseException], None]] = None,
+             **kwargs):
+        """Invoke ``fn`` with bounded retry on transient failures.
+
+        ``on_retry(attempt, exc)`` fires before each backoff sleep —
+        the store uses it to count ``resilience.io_retries``. The final
+        failure (budget exhausted or fatal class) propagates unchanged.
+        """
+        attempt = 0
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except BaseException as exc:
+                if attempt >= self.max_retries or not self.classify(exc):
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(self.delay(attempt))
+                attempt += 1

@@ -1,0 +1,309 @@
+"""Chaos smoke: every resilience failure mode, end to end, in seconds.
+
+``python -m repro.resilience.smoke`` runs the gate the Makefile wires
+into ``make test`` (``chaos-smoke``). Each scenario injects one failure
+mode through :class:`~repro.resilience.faults.FaultInjector` and
+asserts the engine's *contract* under it:
+
+* **crash** — a process worker dies hard (``os._exit``) on one chunk;
+  the supervisor requeues it and the run completes **bit-identical** to
+  the fault-free run;
+* **hang** — a worker sleeps past the chunk timeout; the supervisor
+  degrades the backend one level and still produces the bit-identical
+  result, recording ``resilience.degraded``;
+* **transient I/O** — trunk reads fail with
+  :class:`~repro.exceptions.TransientIOError` twice; the retry policy
+  backs off, succeeds, and the walk matches the fault-free run;
+* **corruption** — a flipped bit in a persisted trunk page is caught by
+  checksum-verified reads (:class:`~repro.exceptions.ChecksumError`)
+  and located by :func:`~repro.core.outofcore.scrub_store`;
+* **rollback** — a fault mid ``apply_batch`` leaves the incremental
+  HPAT exactly at its pre-batch state, and the retried batch lands
+  identically to a never-faulted ingest.
+
+All injections are seeded/selector-driven — the smoke is deterministic
+apart from scheduling, and runs on the ``tiny`` synthetic dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.engines.base import Workload
+from repro.exceptions import ChecksumError, TransientIOError
+from repro.resilience import FaultInjector, RetryPolicy
+
+#: Chunk timeout for the hang scenario: far above a healthy tiny-graph
+#: chunk (~ms), far below the injected hang.
+HANG_TIMEOUT = 0.25
+HANG_SECONDS = 1.0
+
+
+def _hops(result):
+    return [w.hops for w in result.paths]
+
+
+def _smoke_graph():
+    from repro.graph.datasets import load_dataset
+
+    return load_dataset("tiny", seed=7)
+
+
+def _smoke_spec():
+    from repro.walks.apps import exponential_walk
+
+    return exponential_walk(scale=2.0)
+
+
+def crash_scenario(verbose: bool) -> dict:
+    """(a) Crashed worker: chunks requeued, result bit-identical."""
+    from repro.parallel.engine import ParallelBatchTeaEngine
+
+    graph, spec = _smoke_graph(), _smoke_spec()
+    workload = Workload(walks_per_vertex=1, max_length=15)
+
+    def engine(injector):
+        return ParallelBatchTeaEngine(
+            graph, spec, workers=2, chunk_size=16, backend="process",
+            retries=2, fault_injector=injector,
+        )
+
+    baseline = engine(None).run(workload, seed=0)
+    injector = FaultInjector.from_plan({"rules": [
+        {"site": "chunk", "kind": "worker_crash",
+         "chunks": [1], "attempts": [0]},
+    ]})
+    chaotic = engine(injector)
+    result = chaotic.run(workload, seed=0)
+    assert _hops(result) == _hops(baseline), (
+        "crash scenario: retried run diverged from the fault-free run"
+    )
+    retries = chaotic.last_events["chunk_retries"]
+    assert retries >= 1, "crash scenario: no chunk was retried"
+    return {"crash_chunk_retries": int(retries),
+            "crash_final_backend": chaotic.last_backend}
+
+
+def hang_scenario(verbose: bool) -> dict:
+    """(b) Hung worker: timeout trips, backend degrades, result holds."""
+    from repro.parallel.engine import ParallelBatchTeaEngine
+
+    graph, spec = _smoke_graph(), _smoke_spec()
+    workload = Workload(walks_per_vertex=1, max_length=15)
+
+    def engine(injector):
+        return ParallelBatchTeaEngine(
+            graph, spec, workers=2, chunk_size=16, backend="thread",
+            retries=2, chunk_timeout=HANG_TIMEOUT, fault_injector=injector,
+        )
+
+    baseline = engine(None).run(workload, seed=0)
+    injector = FaultInjector.from_plan({"rules": [
+        {"site": "chunk", "kind": "worker_hang",
+         "chunks": [0], "attempts": [0], "seconds": HANG_SECONDS},
+    ]})
+    chaotic = engine(injector)
+    result = chaotic.run(workload, seed=0)
+    assert _hops(result) == _hops(baseline), (
+        "hang scenario: degraded run diverged from the fault-free run"
+    )
+    degraded = chaotic.last_events["degraded"]
+    assert degraded, "hang scenario: timeout did not degrade the backend"
+    metric = result.registry.counter(
+        "resilience.degraded",
+        "backend degradations (process->thread->serial) this run",
+    ).value
+    assert metric >= 1, "hang scenario: resilience.degraded not recorded"
+    return {"hang_degraded_to": degraded[-1],
+            "hang_chunk_retries": int(chaotic.last_events["chunk_retries"])}
+
+
+def transient_io_scenario(verbose: bool) -> dict:
+    """(c) Transient trunk-read errors retried with backoff, then succeed."""
+    from repro.engines.tea_outofcore import TeaOutOfCoreEngine
+
+    graph, spec = _smoke_graph(), _smoke_spec()
+    workload = Workload(walks_per_vertex=1, max_length=15)
+
+    baseline = TeaOutOfCoreEngine(graph, spec).run(workload, seed=0)
+    injector = FaultInjector.from_plan({"rules": [
+        {"site": "trunk_read", "kind": "io_error", "max_triggers": 2},
+    ]})
+    policy = RetryPolicy(max_retries=3, base_delay=0.001, seed=0)
+    chaotic = TeaOutOfCoreEngine(
+        graph, spec, retry_policy=policy, fault_injector=injector,
+    )
+    result = chaotic.run(workload, seed=0)
+    assert _hops(result) == _hops(baseline), (
+        "transient-io scenario: retried run diverged from the fault-free run"
+    )
+    retries = chaotic.index.store.io_retries
+    assert retries >= 1, "transient-io scenario: no retry happened"
+    assert injector.total_fired == 2, (
+        f"transient-io scenario: expected 2 injected faults, "
+        f"got {injector.total_fired}"
+    )
+    return {"io_retries": int(retries)}
+
+
+def corruption_scenario(verbose: bool) -> dict:
+    """(d) A flipped bit on disk: verified reads raise, scrub locates it."""
+    from repro.core.outofcore import TrunkStore, scrub_store
+    from repro.engines.tea_outofcore import TeaOutOfCoreEngine
+
+    graph, spec = _smoke_graph(), _smoke_spec()
+    workload = Workload(walks_per_vertex=1, max_length=10)
+    with tempfile.TemporaryDirectory(prefix="tea-chaos-") as tmp:
+        engine = TeaOutOfCoreEngine(graph, spec, storage_dir=tmp)
+        engine.run(workload, seed=0)
+        engine.index.store.close()
+
+        target = Path(tmp) / "prob.bin"
+        flip_offset = min(4096, target.stat().st_size // 2)
+        with open(target, "r+b") as fh:
+            fh.seek(flip_offset)
+            byte = fh.read(1)
+            fh.seek(flip_offset)
+            fh.write(bytes([byte[0] ^ 0x01]))
+
+        report = scrub_store(tmp)
+        assert not report["clean"], "corruption scenario: scrub missed the flip"
+        located = [
+            r for r in report["corrupt"]
+            if r["file"] == "prob.bin" and r.get("page") is not None
+            and r["offset_bytes"] <= flip_offset
+            < r["offset_bytes"] + 8192
+        ]
+        assert located, (
+            f"corruption scenario: scrub did not locate the corrupt page "
+            f"(flip at byte {flip_offset}, report {report['corrupt']})"
+        )
+
+        store = TrunkStore(tmp, verify_checksums=True).open()
+        try:
+            elem = flip_offset // 8
+            try:
+                store._load("pa", elem, elem + 1)
+            except ChecksumError:
+                pass
+            else:
+                raise AssertionError(
+                    "corruption scenario: verified read did not raise "
+                    "ChecksumError on the corrupt page"
+                )
+        finally:
+            store.close()
+        return {"corrupt_pages_located": len(located),
+                "scrub_pages_checked": int(report["pages_checked"])}
+
+
+def rollback_scenario(verbose: bool) -> dict:
+    """(e) Mid-batch streaming failure: index rewinds to pre-batch state."""
+    from repro.graph.edge_stream import EdgeStream
+    from repro.streaming.batch import StreamingTeaEngine
+
+    def batches():
+        first = EdgeStream([0, 1, 2, 0], [1, 2, 0, 2], [1.0, 2.0, 3.0, 4.0])
+        second = EdgeStream([0, 1, 3, 2], [3, 0, 1, 1], [5.0, 6.0, 7.0, 8.0])
+        return first, second
+
+    spec = _smoke_spec()
+    first, second = batches()
+    engine = StreamingTeaEngine(spec)
+    engine.apply_batch(first)
+    before = {
+        v: tuple(a.copy() for a in vert.edges_desc())
+        for v, vert in engine.index.vertices.items()
+    }
+    edges_before = engine.num_edges
+
+    # Fault on the second vertex group of the second batch (the apply
+    # site has already been called 0 times — batch 1 ran uninjected).
+    engine.index.fault_injector = FaultInjector.from_plan({"rules": [
+        {"site": "streaming_apply", "kind": "io_error", "calls": [1]},
+    ]})
+    try:
+        engine.apply_batch(second)
+    except TransientIOError:
+        pass
+    else:
+        raise AssertionError("rollback scenario: injected fault did not fire")
+
+    assert engine.num_edges == edges_before, (
+        "rollback scenario: num_edges changed despite the rollback"
+    )
+    assert set(engine.index.vertices) == set(before), (
+        "rollback scenario: vertex set changed despite the rollback"
+    )
+    for v, (dst, times, weights) in before.items():
+        got = engine.index.vertices[v].edges_desc()
+        assert (
+            np.array_equal(got[0], dst)
+            and np.array_equal(got[1], times)
+            and np.array_equal(got[2], weights)
+        ), f"rollback scenario: vertex {v} state changed despite the rollback"
+    rollbacks = engine.index.rollbacks
+    assert rollbacks == 1, (
+        f"rollback scenario: expected 1 rollback, got {rollbacks}"
+    )
+
+    # Retrying the batch after clearing the fault must land exactly as a
+    # never-faulted ingest: atomicity means the failure left no residue.
+    engine.index.fault_injector = None
+    engine.apply_batch(second)
+    reference = StreamingTeaEngine(spec)
+    ref_first, ref_second = batches()
+    reference.apply_batch(ref_first)
+    reference.apply_batch(ref_second)
+    assert set(engine.index.vertices) == set(reference.index.vertices)
+    for v, vert in reference.index.vertices.items():
+        ref = vert.edges_desc()
+        got = engine.index.vertices[v].edges_desc()
+        assert all(np.array_equal(g, r) for g, r in zip(got, ref)), (
+            f"rollback scenario: retried ingest diverged at vertex {v}"
+        )
+    return {"rollbacks": int(rollbacks),
+            "edges_after_retry": int(engine.num_edges)}
+
+
+SCENARIOS = (
+    ("crash", crash_scenario),
+    ("hang", hang_scenario),
+    ("transient_io", transient_io_scenario),
+    ("corruption", corruption_scenario),
+    ("rollback", rollback_scenario),
+)
+
+
+def chaos_smoke(verbose: bool = True) -> dict:
+    """Run every scenario; raises ``AssertionError`` on violation."""
+    summary: dict = {}
+    for name, fn in SCENARIOS:
+        summary.update(fn(verbose))
+        if verbose:
+            print(f"  {name}: ok")
+    if verbose:
+        print("chaos smoke (tiny)")
+        for key, value in summary.items():
+            print(f"  {key}: {value}")
+    return summary
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="resilience chaos smoke: inject every failure mode"
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    chaos_smoke(verbose=not args.quiet)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

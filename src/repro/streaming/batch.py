@@ -36,14 +36,16 @@ class StreamingTeaEngine:
     streaming evaluation (Figure 13d) uses the weight-only applications.
     """
 
-    def __init__(self, spec: WalkSpec, registry: Optional[MetricsRegistry] = None):
+    def __init__(self, spec: WalkSpec, registry: Optional[MetricsRegistry] = None,
+                 fault_injector=None):
         if spec.has_dynamic_parameter:
             raise NotSupportedError(
                 "streaming mode supports weight-only applications "
                 "(no Dynamic_parameter)"
             )
         self.spec = spec
-        self.index = IncrementalHPAT(spec.weight_model)
+        self.index = IncrementalHPAT(spec.weight_model,
+                                     fault_injector=fault_injector)
         self.counters = CostCounters()
         # Ingestion telemetry accumulates here; walk-side counters join
         # it on telemetry_snapshot() so repeated snapshots never
@@ -53,9 +55,22 @@ class StreamingTeaEngine:
     # -- ingestion ---------------------------------------------------------
 
     def apply_batch(self, batch: EdgeStream) -> None:
-        """Ingest one time-ordered batch of new edges."""
+        """Ingest one time-ordered batch of new edges.
+
+        Atomic (see :meth:`IncrementalHPAT.apply_batch`): on a mid-batch
+        failure the index is left exactly as before the call; the
+        rollback is counted in ``resilience.rollbacks`` and the error
+        re-raised for the caller to retry or drop the batch.
+        """
         t0 = time.perf_counter()
-        self.index.apply_batch(batch)
+        try:
+            self.index.apply_batch(batch)
+        except BaseException:
+            self.registry.counter(
+                "resilience.rollbacks",
+                "streaming batches rolled back by mid-apply failures",
+            ).inc()
+            raise
         elapsed = time.perf_counter() - t0
         self.registry.counter("streaming.batches", "update batches applied").inc()
         self.registry.counter("streaming.edges", "edges ingested").inc(len(batch))

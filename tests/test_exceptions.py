@@ -3,12 +3,16 @@
 import pytest
 
 from repro.exceptions import (
+    ChecksumError,
     EmptyCandidateSetError,
+    FaultPlanError,
     GraphFormatError,
     NotSupportedError,
     SamplingBudgetExceeded,
     SimulatedOOM,
     TeaError,
+    TransientIOError,
+    WorkerCrashError,
 )
 
 
@@ -20,6 +24,10 @@ class TestHierarchy:
             EmptyCandidateSetError,
             NotSupportedError,
             SamplingBudgetExceeded,
+            TransientIOError,
+            ChecksumError,
+            WorkerCrashError,
+            FaultPlanError,
         ],
     )
     def test_all_derive_from_tea_error(self, exc):
@@ -32,3 +40,17 @@ class TestHierarchy:
         assert err.budget_bytes == 1_000
         assert "test structure" in str(err)
         assert "10,000" in str(err)
+
+    def test_checksum_error_fields(self):
+        err = ChecksumError(
+            "mismatch", path="x/c.bin", page=3, expected=1, actual=2
+        )
+        assert err.path == "x/c.bin"
+        assert err.page == 3
+        assert err.expected == 1
+        assert err.actual == 2
+
+    def test_worker_crash_error_fields(self):
+        err = WorkerCrashError("chunk died", chunk_id=5, attempts=3)
+        assert err.chunk_id == 5
+        assert err.attempts == 3
