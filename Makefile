@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: install test stats-smoke scaling-smoke ooc-smoke chaos-smoke bench bench-quick examples lint clean
+.PHONY: install test stats-smoke scaling-smoke ooc-smoke chaos-smoke \
+        telemetry-smoke bench-history-smoke lint-clocks \
+        bench bench-quick examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: stats-smoke scaling-smoke ooc-smoke chaos-smoke
-	$(PYTHON) -m pytest tests/
+test: lint-clocks stats-smoke scaling-smoke ooc-smoke chaos-smoke \
+      telemetry-smoke bench-history-smoke
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # End-to-end telemetry smoke: run a tiny walk with --stats, write the
 # JSON run report, then replay it (the replay validates the schema and
@@ -44,6 +47,26 @@ ooc-smoke:
 chaos-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.resilience.smoke
 	@echo "chaos-smoke: all failure modes handled"
+
+# Observability smoke: profiled root phase times within 10% of wall with
+# <5% self-measured overhead, collapsed stacks parse, and a 4-worker
+# process-backend run whose events all share one run_id (including at
+# least one event shipped back from a worker process).
+telemetry-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.telemetry.smoke
+	@echo "telemetry-smoke: profiler + event-log invariants hold"
+
+# Bench-history smoke: two synthetic runs in a temp store; compare must
+# flag an injected 20% walk_s regression with exit 1 and pass a clean
+# re-run with exit 0.
+bench-history-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.benchhistory.smoke
+	@echo "bench-history-smoke: regression gate behaves"
+
+# Clock discipline: engine code must take time from
+# repro.telemetry.clock, never raw time.time()/perf_counter().
+lint-clocks:
+	$(PYTHON) tools/lint_clocks.py
 
 test-output:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

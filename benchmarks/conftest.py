@@ -17,11 +17,13 @@ Environment knobs:
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 import pytest
 
+from repro.benchhistory import append_record, make_record
 from repro.graph.datasets import EVALUATION_DATASETS, load_dataset
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
@@ -49,3 +51,28 @@ def write_result(name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     print(f"\n===== {name} =====\n{text}")
+
+
+def write_json_result(name: str, payload: dict) -> Path:
+    """Persist a machine-readable experiment artifact under bench_results/.
+
+    JSON is the normal form: ``repro bench compare`` and external
+    tooling consume these, while ``write_result`` keeps the
+    human-readable table alongside.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def record_history(bench: str, metrics: dict, **meta) -> None:
+    """Append one normalized record to ``bench_results/history/``.
+
+    Swallows nothing: a malformed metric dict fails the bench (loudly)
+    rather than silently skipping the history append.
+    """
+    append_record(
+        make_record(bench, metrics, meta=meta or None),
+        history_dir=RESULTS_DIR / "history",
+    )

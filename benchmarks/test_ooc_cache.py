@@ -26,6 +26,7 @@ from benchmarks.conftest import (
     BENCH_R,
     BENCH_SCALE,
     RESULTS_DIR,
+    record_history,
 )
 from repro.engines import (
     BatchTeaOutOfCoreEngine,
@@ -143,3 +144,15 @@ def test_ooc_cache_sweep(benchmark, datasets, tmp_path):
         )
     print("walk speedup batch/scalar: "
           + "  ".join(f"{k}={v:.2f}x" for k, v in speedups.items()))
+    # History: the headline numbers `repro bench compare` gates on.
+    headline = by_key[("tea-ooc-batch", "cache-4MiB", False)]
+    record_history(
+        "ooc_cache",
+        {
+            "speedup_cache_4MiB": speedups["cache-4MiB"],
+            "batch_walk_s": headline["walk_seconds"],
+            "batch_read_ops": float(headline["read_ops"]),
+            "cache_hit_ratio": headline["cache_hit_rate"],
+        },
+        dataset="growth", scale=BENCH_SCALE, trunk_size=TRUNK_SIZE,
+    )

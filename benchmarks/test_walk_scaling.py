@@ -19,7 +19,12 @@ than scaling; the determinism assertion is the portable invariant.
 
 import pytest
 
-from benchmarks.conftest import BENCH_R, BENCH_SCALE, write_result
+from benchmarks.conftest import (
+    BENCH_R,
+    BENCH_SCALE,
+    record_history,
+    write_json_result,
+)
 from repro.engines.base import Workload
 from repro.graph.datasets import load_dataset
 from repro.parallel.scaling import format_scaling_table, run_scaling
@@ -65,11 +70,27 @@ def report():
     # Determinism: one chunk plan -> identical sampled steps everywhere.
     steps = {row.steps for row in rows}
     assert len(steps) == 1, f"steps varied across worker counts: {steps}"
-    text = format_scaling_table(
-        rows,
-        title=(
-            "Parallel walk executor strong scaling "
-            f"(twitter@{0.5 * BENCH_SCALE:g}, node2vec, R={BENCH_R}, L=80)"
-        ),
+    title = (
+        "Parallel walk executor strong scaling "
+        f"(twitter@{0.5 * BENCH_SCALE:g}, node2vec, R={BENCH_R}, L=80)"
     )
-    write_result("walk_scaling", text)
+    text = format_scaling_table(rows, title=title)
+    print(f"\n===== walk_scaling =====\n{text}")
+    # Machine-readable normal form (the .txt artifact is retired): the
+    # sweep rows verbatim, plus the rendered table for human diffing.
+    write_json_result("walk_scaling", {
+        "title": title,
+        "worker_counts": list(WORKER_COUNTS),
+        "rows": [row.snapshot() for row in rows],
+        "table": text,
+    })
+    # History: flatten the curve into one record so `repro bench
+    # compare` can gate regressions on any point of it.
+    metrics = {}
+    for row in rows:
+        metrics[f"walk_s_w{row.workers}"] = row.walk_seconds
+        metrics[f"speedup_w{row.workers}"] = row.speedup
+    record_history(
+        "walk_scaling", metrics,
+        dataset="twitter", scale=0.5 * BENCH_SCALE, r=BENCH_R, length=80,
+    )

@@ -17,7 +17,7 @@ from repro import (
     load_dataset,
     temporal_node2vec,
 )
-from repro.metrics.memory import format_bytes
+from repro.telemetry import format_bytes
 
 
 def main() -> None:

@@ -11,7 +11,7 @@ import math
 from typing import Dict, Iterable, List, Mapping, Sequence
 
 from repro.bench.runner import ExperimentRow
-from repro.metrics.memory import format_bytes
+from repro.telemetry import format_bytes
 
 
 def _fmt(value: float, digits: int = 3) -> str:

@@ -1,0 +1,310 @@
+"""Bench-history store: append-only JSONL records + regression gating.
+
+Benchmarks are only useful over time: a single ``bench_results/*.json``
+snapshot says how fast this commit is, not whether it is *slower than
+last week*. This package gives every benchmark a durable timeline:
+
+* :func:`make_record` / :func:`append_record` — normalise one run into
+  a schema-versioned record (git sha, UTC timestamp, machine
+  fingerprint, flat numeric metrics) and append it to
+  ``bench_results/history/<bench>.jsonl``.
+* :func:`compare` — gate on regressions: the latest record against a
+  baseline (previous record by default), per-metric relative deltas
+  with direction-aware semantics (``*_s``/``*seconds``/latency are
+  lower-better; ``speedup``/``*_per_sec``/throughput are
+  higher-better). Exceeding the threshold in the bad direction is a
+  regression; the CLI maps that to exit code 1.
+* :func:`format_history` — the ``repro bench history`` trend table.
+
+Records from different machines are still appended to one file — the
+fingerprint travels with each record so ``compare`` can warn when the
+baseline was produced on different hardware instead of silently
+cross-comparing hosts.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import os
+import platform
+import subprocess
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.clock import wall as _wall
+
+#: Version stamp on every history record; bump on layout changes.
+HISTORY_SCHEMA = "tea-repro/bench-history/v1"
+
+#: Default relative-change gate for ``compare`` (10%).
+DEFAULT_THRESHOLD = 0.10
+
+#: Default location benchmarks append into, relative to the repo root.
+DEFAULT_HISTORY_DIR = Path("bench_results") / "history"
+
+# Substrings that classify a metric's good direction. Checked in order;
+# higher-better wins ties ("speedup_s" would be pathological anyway).
+_HIGHER_BETTER = ("speedup", "per_sec", "throughput", "rate", "hit_ratio", "ops")
+_LOWER_BETTER = ("seconds", "_s", "time", "latency", "wall", "overhead", "bytes",
+                 "faults", "miss")
+
+
+def metric_direction(name: str) -> str:
+    """``"higher"`` / ``"lower"`` (better) for a metric name; default lower.
+
+    Benchmarks overwhelmingly report durations, so unknown names are
+    treated as lower-better — a false "regression" on an exotic metric
+    is louder and safer than a silently ignored slowdown.
+    """
+    low = name.lower()
+    for token in _HIGHER_BETTER:
+        if token in low:
+            return "higher"
+    for token in _LOWER_BETTER:
+        if low.endswith(token) or token in low:
+            return "lower"
+    return "lower"
+
+
+def git_sha(cwd: Optional[Path] = None) -> str:
+    """The current commit sha, or ``"unknown"`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(cwd) if cwd else None,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def machine_fingerprint() -> Dict[str, object]:
+    """A stable description of the host, stored with every record."""
+    return {
+        "hostname": platform.node(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count() or 0,
+    }
+
+
+def make_record(
+    bench: str,
+    metrics: Dict[str, float],
+    meta: Optional[dict] = None,
+    sha: Optional[str] = None,
+) -> dict:
+    """Normalise one benchmark run into a history record.
+
+    ``metrics`` must be a flat name→number mapping; non-numeric values
+    are rejected here rather than poisoning later comparisons.
+    """
+    clean: Dict[str, float] = {}
+    for name, value in metrics.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeError(f"metric {name!r} is not numeric: {value!r}")
+        clean[name] = float(value)
+    record = {
+        "schema": HISTORY_SCHEMA,
+        "bench": bench,
+        "ts": _wall(),
+        "sha": sha if sha is not None else git_sha(),
+        "machine": machine_fingerprint(),
+        "metrics": clean,
+    }
+    if meta:
+        record["meta"] = dict(meta)
+    return record
+
+
+def history_path(bench: str, history_dir=DEFAULT_HISTORY_DIR) -> Path:
+    return Path(history_dir) / f"{bench}.jsonl"
+
+
+def append_record(record: dict, history_dir=DEFAULT_HISTORY_DIR) -> Path:
+    """Append one record to its bench's JSONL file; returns the path."""
+    path = history_path(record["bench"], history_dir)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+def load_history(bench: str, history_dir=DEFAULT_HISTORY_DIR) -> List[dict]:
+    """All records for ``bench``, oldest first; [] when none recorded.
+
+    Unparseable or wrong-schema lines are skipped (the store is
+    append-only and survives partial writes from killed runs).
+    """
+    path = history_path(bench, history_dir)
+    if not path.exists():
+        return []
+    records: List[dict] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                doc = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(doc, dict) and doc.get("schema") == HISTORY_SCHEMA:
+                records.append(doc)
+    records.sort(key=lambda r: r.get("ts", 0.0))
+    return records
+
+
+# ---------------------------------------------------------------------------
+# Comparison / regression gating
+# ---------------------------------------------------------------------------
+
+def compare_records(
+    baseline: dict,
+    candidate: dict,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[dict], List[str]]:
+    """Per-metric deltas between two records.
+
+    Returns ``(rows, warnings)``; each row is ``{metric, baseline,
+    candidate, change, direction, verdict}`` where ``change`` is the
+    signed relative delta and ``verdict`` one of ``regression`` /
+    ``improvement`` / ``ok``. Metrics present on only one side produce a
+    warning, not a failure — benchmarks grow columns over time.
+    """
+    rows: List[dict] = []
+    warnings: List[str] = []
+    base_metrics = baseline.get("metrics", {})
+    cand_metrics = candidate.get("metrics", {})
+    if baseline.get("machine") != candidate.get("machine"):
+        warnings.append(
+            "baseline and candidate were recorded on different machines; "
+            "relative deltas may reflect hardware, not code"
+        )
+    for name in sorted(set(base_metrics) | set(cand_metrics)):
+        if name not in base_metrics or name not in cand_metrics:
+            warnings.append(f"metric {name!r} present in only one record; skipped")
+            continue
+        base, cand = base_metrics[name], cand_metrics[name]
+        direction = metric_direction(name)
+        if base == 0:
+            change = 0.0 if cand == 0 else float("inf")
+        else:
+            change = (cand - base) / abs(base)
+        worse = change > threshold if direction == "lower" else change < -threshold
+        better = change < -threshold if direction == "lower" else change > threshold
+        verdict = "regression" if worse else ("improvement" if better else "ok")
+        rows.append({
+            "metric": name,
+            "baseline": base,
+            "candidate": cand,
+            "change": change,
+            "direction": direction,
+            "verdict": verdict,
+        })
+    return rows, warnings
+
+
+def compare(
+    bench: str,
+    history_dir=DEFAULT_HISTORY_DIR,
+    baseline_index: Optional[int] = None,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> dict:
+    """Gate the latest record against a baseline from the same history.
+
+    ``baseline_index`` selects the baseline record (negative indices
+    count from the end; default ``-2``, the previous run). Returns a
+    result document with ``ok`` (False on any regression), the row
+    table, and warnings; raises ``ValueError`` with a clear message
+    when there are not enough records to compare.
+    """
+    records = load_history(bench, history_dir)
+    if len(records) < 2:
+        raise ValueError(
+            f"bench {bench!r} has {len(records)} history record(s) in "
+            f"{history_path(bench, history_dir)}; need at least 2 to compare"
+        )
+    candidate = records[-1]
+    idx = -2 if baseline_index is None else baseline_index
+    try:
+        baseline = records[idx]
+    except IndexError:
+        raise ValueError(
+            f"baseline index {idx} out of range for {len(records)} records"
+        )
+    if baseline is candidate:
+        raise ValueError("baseline and candidate are the same record")
+    rows, warnings = compare_records(baseline, candidate, threshold)
+    regressions = [r for r in rows if r["verdict"] == "regression"]
+    return {
+        "bench": bench,
+        "ok": not regressions,
+        "threshold": threshold,
+        "baseline_sha": baseline.get("sha"),
+        "candidate_sha": candidate.get("sha"),
+        "rows": rows,
+        "regressions": [r["metric"] for r in regressions],
+        "warnings": warnings,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def format_compare(result: dict) -> str:
+    """Human rendering of a :func:`compare` result."""
+    lines = [
+        f"bench {result['bench']}: baseline {str(result['baseline_sha'])[:10]} "
+        f"vs candidate {str(result['candidate_sha'])[:10]} "
+        f"(threshold {result['threshold'] * 100:.0f}%)",
+        f"{'metric':<32} {'baseline':>12} {'candidate':>12} {'change':>9}  verdict",
+    ]
+    for row in result["rows"]:
+        change = row["change"]
+        change_s = "inf" if change == float("inf") else f"{change * 100:+.1f}%"
+        lines.append(
+            f"{row['metric']:<32} {row['baseline']:>12.6g} "
+            f"{row['candidate']:>12.6g} {change_s:>9}  {row['verdict']}"
+        )
+    for warning in result["warnings"]:
+        lines.append(f"warning: {warning}")
+    lines.append(
+        "PASS: no regressions" if result["ok"]
+        else "FAIL: regression in " + ", ".join(result["regressions"])
+    )
+    return "\n".join(lines)
+
+
+def format_history(
+    records: Sequence[dict],
+    metrics: Optional[Sequence[str]] = None,
+    limit: int = 10,
+) -> str:
+    """Trend table over the last ``limit`` records, one row per run."""
+    if not records:
+        return "(no history)"
+    tail = list(records)[-limit:]
+    if metrics is None:
+        names = sorted({m for r in tail for m in r.get("metrics", {})})
+    else:
+        names = list(metrics)
+    header = f"{'when (utc)':<20} {'sha':<10}" + "".join(
+        f" {n[-18:]:>18}" for n in names
+    )
+    lines = [header]
+    for rec in tail:
+        when = datetime.datetime.utcfromtimestamp(
+            rec.get("ts", 0.0)
+        ).strftime("%Y-%m-%d %H:%M:%S")
+        row = f"{when:<20} {str(rec.get('sha', '?'))[:10]:<10}"
+        for name in names:
+            value = rec.get("metrics", {}).get(name)
+            row += f" {value:>18.6g}" if value is not None else f" {'-':>18}"
+        lines.append(row)
+    return "\n".join(lines)

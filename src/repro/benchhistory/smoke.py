@@ -1,0 +1,107 @@
+"""Bench-history smoke: record → inject regression → gate must trip.
+
+``python -m repro.benchhistory.smoke`` is the Makefile's
+``bench-history-smoke`` gate. Against a throwaway history directory it:
+
+1. records a baseline synthetic run (``walk_s=1.0, speedup=2.0``) and a
+   candidate with a 20% slowdown, then asserts ``repro bench compare``
+   (driven in-process through the real CLI ``main``) exits **1** and
+   names the regressed metric;
+2. records a clean re-run at baseline speed and asserts the same
+   compare now exits **0** (latest-vs-previous is an improvement);
+3. sanity-checks the trend table (``repro bench history``) renders all
+   three records and that direction heuristics classify ``walk_s`` as
+   lower-better and ``speedup`` as higher-better.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import sys
+import tempfile
+from typing import Optional, Sequence
+
+from repro import benchhistory
+
+
+def _cli(argv) -> int:
+    """Run the real CLI entry in-process, swallowing its stdout."""
+    from repro.cli import main as cli_main
+
+    with contextlib.redirect_stdout(io.StringIO()):
+        return cli_main(argv)
+
+
+def _record(bench: str, history_dir: str, metrics: dict) -> None:
+    code = _cli([
+        "bench", "record", "--bench", bench,
+        "--history-dir", history_dir,
+        "--metrics", json.dumps(metrics),
+    ])
+    assert code == 0, f"bench record failed with exit code {code}"
+
+
+def history_smoke(verbose: bool = True) -> dict:
+    assert benchhistory.metric_direction("walk_s") == "lower"
+    assert benchhistory.metric_direction("speedup") == "higher"
+
+    with tempfile.TemporaryDirectory(prefix="tea-benchhist-") as tmp:
+        bench = "smoke_synthetic"
+        _record(bench, tmp, {"walk_s": 1.0, "speedup": 2.0})
+        _record(bench, tmp, {"walk_s": 1.2, "speedup": 2.0})  # 20% slower
+
+        code = _cli(["bench", "compare", "--bench", bench,
+                     "--history-dir", tmp, "--threshold", "0.10"])
+        assert code == 1, (
+            f"compare must exit 1 on a 20% walk_s regression, got {code}"
+        )
+        result = benchhistory.compare(bench, tmp, threshold=0.10)
+        assert result["regressions"] == ["walk_s"], (
+            f"expected walk_s flagged, got {result['regressions']}"
+        )
+
+        # A clean re-run at baseline speed: latest vs previous is now an
+        # improvement, so the gate opens again.
+        _record(bench, tmp, {"walk_s": 1.0, "speedup": 2.0})
+        code = _cli(["bench", "compare", "--bench", bench,
+                     "--history-dir", tmp, "--threshold", "0.10"])
+        assert code == 0, f"compare must exit 0 on a clean re-run, got {code}"
+
+        # Explicit --baseline pinning: newest run vs the original
+        # baseline (index 0) is also clean.
+        code = _cli(["bench", "compare", "--bench", bench,
+                     "--history-dir", tmp, "--baseline", "0"])
+        assert code == 0, f"pinned-baseline compare must exit 0, got {code}"
+
+        records = benchhistory.load_history(bench, tmp)
+        assert len(records) == 3
+        trend = benchhistory.format_history(records)
+        assert trend.count("\n") == 3, f"trend table malformed:\n{trend}"
+
+        code = _cli(["bench", "history", "--bench", bench,
+                     "--history-dir", tmp])
+        assert code == 0, f"bench history failed with exit code {code}"
+
+    if verbose:
+        print("bench-history smoke")
+        print("  regression gate: 20% walk_s slowdown -> exit 1")
+        print("  clean re-run -> exit 0")
+        print("  trend table renders 3 records")
+    return {"records": 3, "regression_metric": "walk_s"}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="bench-history smoke: regression gate must trip"
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    history_smoke(verbose=not args.quiet)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

@@ -39,6 +39,7 @@ from repro.engines.tea_outofcore import (
     DEFAULT_OOC_CACHE_BYTES,
     DEFAULT_OOC_TRUNK_SIZE,
 )
+from repro.benchhistory import DEFAULT_HISTORY_DIR, DEFAULT_THRESHOLD
 from repro.exceptions import TeaError
 from repro.graph import io as graph_io
 from repro.graph.datasets import DATASETS, load_dataset
@@ -143,22 +144,48 @@ def cmd_walk(args) -> int:
         max_walks=args.max_walks,
     )
     from repro.telemetry import (
+        EventLog,
         MetricsRegistry,
+        PhaseProfiler,
         Tracer,
         format_stats_table,
         to_prometheus,
         write_run_report,
     )
+    from repro.telemetry import events as telemetry_events
+    from repro.telemetry.clock import now as _now
 
     registry = MetricsRegistry()
     tracer = Tracer(enabled=True, walk_sample_every=args.trace_sample)
-    result = engine.run(workload, seed=args.seed, registry=registry, tracer=tracer)
-    report = result.run_report(meta={"dataset": args.dataset or args.input})
+    # One event log per run, installed process-wide so every
+    # instrumented layer (and forked pool workers) stamps the same
+    # run_id. Installed even without --events-out: the run report's
+    # meta carries the run_id either way.
+    event_log = EventLog()
+    previous_log = telemetry_events.install(event_log)
+    profiling = bool(args.profile or args.profile_out)
+    profiler = PhaseProfiler() if profiling else None
+    if profiler is not None:
+        engine.profiler = profiler
+    try:
+        wall_start = _now()
+        result = engine.run(
+            workload, seed=args.seed, registry=registry, tracer=tracer
+        )
+        wall_seconds = _now() - wall_start
+    finally:
+        telemetry_events.install(previous_log)
+    report = result.run_report(meta={
+        "dataset": args.dataset or args.input,
+        "run_id": event_log.run_id,
+    })
     if args.stats:
         print(format_stats_table(report))
     else:
         for key, value in result.summary().items():
             print(f"{key}: {value}")
+    if profiler is not None:
+        print(profiler.format_table(wall_seconds=wall_seconds))
     try:
         if args.trace_out:
             write_run_report(args.trace_out, report)
@@ -167,6 +194,14 @@ def cmd_walk(args) -> int:
             with open(args.prom_out, "w") as fh:
                 fh.write(to_prometheus(registry))
             print(f"prometheus exposition -> {args.prom_out}")
+        if args.profile_out:
+            with open(args.profile_out, "w") as fh:
+                fh.write(profiler.collapsed_stacks())
+            print(f"collapsed stacks -> {args.profile_out}")
+        if args.events_out:
+            count = event_log.write(args.events_out)
+            print(f"event log ({count} events, run {event_log.run_id}) "
+                  f"-> {args.events_out}")
     except OSError as exc:
         print(f"cannot write telemetry output: {exc}", file=sys.stderr)
         return 1
@@ -297,10 +332,82 @@ BENCH_TARGETS = {
 }
 
 
+def _bench_record(args) -> int:
+    """``bench record``: append one normalized record to the history."""
+    import json
+
+    from repro import benchhistory
+
+    if not args.bench:
+        print("bench record requires --bench NAME", file=sys.stderr)
+        return 2
+    if not args.metrics:
+        print("bench record requires --metrics JSON", file=sys.stderr)
+        return 2
+    try:
+        metrics = json.loads(args.metrics)
+    except ValueError as exc:
+        print(f"--metrics is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(metrics, dict):
+        print("--metrics must be a JSON object of name -> number",
+              file=sys.stderr)
+        return 2
+    try:
+        record = benchhistory.make_record(args.bench, metrics)
+    except TypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = benchhistory.append_record(record, args.history_dir)
+    print(f"recorded {len(metrics)} metric(s) for {args.bench} -> {path}")
+    return 0
+
+
+def _bench_history(args) -> int:
+    """``bench history``: print the trend table for one benchmark."""
+    from repro import benchhistory
+
+    if not args.bench:
+        print("bench history requires --bench NAME", file=sys.stderr)
+        return 2
+    records = benchhistory.load_history(args.bench, args.history_dir)
+    if not records:
+        print(f"no history for {args.bench!r} in {args.history_dir}")
+        return 1
+    print(benchhistory.format_history(records, limit=args.limit))
+    return 0
+
+
+def _bench_compare(args) -> int:
+    """``bench compare``: regression-gate latest vs baseline (exit 1)."""
+    from repro import benchhistory
+
+    if not args.bench:
+        print("bench compare requires --bench NAME", file=sys.stderr)
+        return 2
+    try:
+        result = benchhistory.compare(
+            args.bench, args.history_dir,
+            baseline_index=args.baseline, threshold=args.threshold,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(benchhistory.format_compare(result))
+    return 0 if result["ok"] else 1
+
+
 def cmd_bench(args) -> int:
-    """Run one named paper experiment via pytest-benchmark."""
+    """Run one named paper experiment, or a bench-history verb."""
     import subprocess
     from pathlib import Path
+
+    if args.experiment == "record":
+        return _bench_record(args)
+    if args.experiment == "history":
+        return _bench_history(args)
+    if args.experiment == "compare":
+        return _bench_compare(args)
 
     bench_dir = Path(__file__).resolve().parent.parent.parent / "benchmarks"
     target = bench_dir / BENCH_TARGETS[args.experiment]
@@ -413,10 +520,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace 1 in N walks with per-step spans (0 disables)")
     p.add_argument("--prom-out", metavar="PATH",
                    help="write Prometheus text exposition here")
+    p.add_argument("--profile", action="store_true",
+                   help="phase-profile the run and print the cost table "
+                        "(gather/draw/scatter, ooc read/decode/cache, ...)")
+    p.add_argument("--profile-out", metavar="PATH",
+                   help="write flamegraph-compatible collapsed stacks here "
+                        "(implies --profile)")
+    p.add_argument("--events-out", metavar="PATH",
+                   help="write the structured JSONL event log here "
+                        "(retries, degradations, evictions, ... with run_id)")
     p.set_defaults(fn=cmd_walk)
 
-    p = sub.add_parser("bench", help="run one paper experiment")
-    p.add_argument("experiment", choices=sorted(BENCH_TARGETS))
+    p = sub.add_parser("bench", help="run one paper experiment or query history")
+    p.add_argument("experiment",
+                   choices=sorted(BENCH_TARGETS) + ["record", "history", "compare"],
+                   help="a paper experiment to run, or a history verb: "
+                        "record (append --metrics JSON), history (trend "
+                        "table), compare (regression gate, exit 1)")
+    p.add_argument("--bench", metavar="NAME",
+                   help="benchmark name for record/history/compare")
+    p.add_argument("--metrics", metavar="JSON",
+                   help="flat JSON object of metric -> number (record)")
+    p.add_argument("--history-dir", default=str(DEFAULT_HISTORY_DIR),
+                   metavar="DIR",
+                   help="bench-history store (default bench_results/history)")
+    p.add_argument("--baseline", type=int, default=None, metavar="I",
+                   help="history record index to compare against "
+                        "(default -2: the previous run; negatives count "
+                        "from the end)")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   metavar="F",
+                   help="relative regression gate for compare (default 0.10)")
+    p.add_argument("--limit", type=int, default=10,
+                   help="rows in the history trend table")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("corpus", help="generate a walk corpus to disk")

@@ -34,6 +34,8 @@ from typing import Callable, Hashable, Optional
 
 import numpy as np
 
+from repro.telemetry import events
+
 #: Fraction of the byte budget the protected segment may occupy. The
 #: remainder is probation head-room for not-yet-promoted admissions
 #: (classic SLRU sizing; 0.8 keeps hot reuse dominant without starving
@@ -181,6 +183,7 @@ class BlockCache:
         self._protected[key] = entry
         self._protected_bytes += entry.nbytes
         self.stats.promotions += 1
+        events.emit("cache.promoted", key=str(key), nbytes=int(entry.nbytes))
         self._demote_overflow()
         self.stats.hits += 1
         self.stats.bytes_served += entry.nbytes
@@ -275,6 +278,7 @@ class BlockCache:
                 self._protected_bytes -= entry.nbytes
             self.stats.evictions += 1
             self.stats.bytes_evicted += entry.nbytes
+            events.emit("cache.evicted", key=str(key), nbytes=int(entry.nbytes))
             if self.on_evict is not None:
                 self.on_evict(key)
 

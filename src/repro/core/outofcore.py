@@ -36,6 +36,7 @@ from repro.exceptions import ChecksumError, EmptyCandidateSetError
 from repro.sampling.alias import alias_draw
 from repro.sampling.counters import CostCounters
 from repro.sampling.prefix_sum import draw_in_range, its_search
+from repro.telemetry import events
 
 PathLike = Union[str, os.PathLike]
 
@@ -131,6 +132,14 @@ class TrunkStore:
         from repro.telemetry import BYTES_BUCKETS, Histogram
 
         self.cache = BlockCache(cache_bytes, on_evict=self._on_evict)
+        # Phase attribution (ooc.cache / ooc.read / ooc.decode): NULL by
+        # default; the owning engine routes its run profiler here. Only
+        # the sampling thread's accounted reads charge phases — the
+        # prefetch worker calls _load directly and stays profiler-free
+        # (the profiler stack is single-threaded by design).
+        from repro.telemetry import NULL_PROFILER
+
+        self.profiler = NULL_PROFILER
         # Standalone histogram of bytes per trunk load (cache misses
         # only); merged into a run's registry by publish_telemetry.
         self.read_bytes_hist = Histogram(
@@ -248,6 +257,8 @@ class TrunkStore:
     def _on_io_retry(self, attempt: int, exc: BaseException) -> None:
         with self._retry_lock:
             self.io_retries += 1
+        events.emit("io.retry", site="trunk_read", attempt=int(attempt),
+                    error=type(exc).__name__)
 
     def _load_once(self, region: str, lo: int, hi: int):
         token = None
@@ -364,16 +375,18 @@ class TrunkStore:
                      counters: Optional[CostCounters]):
         """One accounted read: cache consult, then a charged miss load."""
         key = (region, lo, hi)
-        cached = self.cache.get(key)
-        if cached is not None:
-            self._note_consumed(key)
-            return cached
+        with self.profiler.phase("ooc.cache"):
+            cached = self.cache.get(key)
+            if cached is not None:
+                self._note_consumed(key)
+                return cached
         nbytes = (hi - lo) * _REGION_WIDTH[region]
         if counters is not None:
             counters.record_io(nbytes)
         self.read_bytes_hist.observe(nbytes)
         self.read_ops += 1
-        block = self._load(region, lo, hi)
+        with self.profiler.phase("ooc.read"):
+            block = self._load(region, lo, hi)
         self.cache.put(key, block)
         return block
 
@@ -415,15 +428,17 @@ class TrunkStore:
         missing = []
         cache_get = self.cache.get
         note = self._note_consumed if self._prefetch_pending else None
-        for j, (lo, hi) in enumerate(zip(uniq_lo, uniq_hi)):
-            key = (region, lo, hi)
-            cached = cache_get(key)
-            if cached is not None:
-                if note is not None:
-                    note(key)
-                blocks[j] = cached
-            else:
-                missing.append(j)
+        profiler = self.profiler
+        with profiler.phase("ooc.cache"):
+            for j, (lo, hi) in enumerate(zip(uniq_lo, uniq_hi)):
+                key = (region, lo, hi)
+                cached = cache_get(key)
+                if cached is not None:
+                    if note is not None:
+                        note(key)
+                    blocks[j] = cached
+                else:
+                    missing.append(j)
         for run in coalesce_runs(
             [(uniq_lo[j], uniq_hi[j], j) for j in missing]
         ):
@@ -433,19 +448,21 @@ class TrunkStore:
                 counters.record_io(nbytes)
             self.coalesced_hist.observe(nbytes)
             self.read_ops += 1
-            big = self._load(region, run_lo, run_hi)
-            for j in members:
-                lo, hi = uniq_lo[j], uniq_hi[j]
-                if region == "c":
-                    block = np.array(big[lo - run_lo : hi - run_lo])
-                else:
-                    block = (
-                        np.array(big[0][lo - run_lo : hi - run_lo]),
-                        np.array(big[1][lo - run_lo : hi - run_lo]),
-                    )
-                self.read_bytes_hist.observe((hi - lo) * width)
-                self.cache.put((region, lo, hi), block)
-                blocks[j] = block
+            with profiler.phase("ooc.read"):
+                big = self._load(region, run_lo, run_hi)
+            with profiler.phase("ooc.decode"):
+                for j in members:
+                    lo, hi = uniq_lo[j], uniq_hi[j]
+                    if region == "c":
+                        block = np.array(big[lo - run_lo : hi - run_lo])
+                    else:
+                        block = (
+                            np.array(big[0][lo - run_lo : hi - run_lo]),
+                            np.array(big[1][lo - run_lo : hi - run_lo]),
+                        )
+                    self.read_bytes_hist.observe((hi - lo) * width)
+                    self.cache.put((region, lo, hi), block)
+                    blocks[j] = block
         return blocks, inverse
 
     # -- prefetch bookkeeping --------------------------------------------------
@@ -472,11 +489,13 @@ class TrunkStore:
         """A full request queue rejected ``n`` keys (never issued)."""
         self.prefetch_enabled = True
         self.prefetch_dropped += int(n)
+        events.emit("prefetch.dropped", count=int(n))
 
     def note_prefetch_failure(self) -> None:
         """The prefetch worker raised; read-ahead is disabled for the run."""
         self.prefetch_enabled = True
         self.prefetch_failures += 1
+        events.emit("prefetch.failure")
 
     def begin_prefetch_generation(self) -> None:
         """Unpin pending blocks from earlier steps (missed their window).

@@ -35,8 +35,7 @@ from repro.core import builder
 from repro.distributed.partition import PARTITIONERS, edge_cut, partition_load
 from repro.engines.base import Workload
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.memory import MemoryReport
-from repro.metrics.timing import PhaseTimer
+from repro.telemetry import MemoryReport, PhaseTimer
 from repro.rng import RngLike, make_rng, spawn
 from repro.sampling.counters import CostCounters
 from repro.telemetry import MetricsRegistry, Tracer

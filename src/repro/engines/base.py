@@ -23,7 +23,6 @@ the paper's experiments do. Two loop behaviours differ by engine flag:
 from __future__ import annotations
 
 import abc
-import time
 from collections import Counter as _LengthCounter
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -31,17 +30,20 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.memory import MemoryReport
-from repro.metrics.timing import PhaseTimer
 from repro.rng import RngLike, make_rng
 from repro.sampling.counters import CostCounters
 from repro.telemetry import (
     LATENCY_BUCKETS,
+    MemoryReport,
     MetricsRegistry,
+    NULL_PROFILER,
     NULL_TRACER,
+    PhaseTimer,
     Tracer,
     build_run_report,
 )
+from repro.telemetry.clock import now as _now
+from repro.telemetry.events import current_run_id
 from repro.walks.spec import WalkSpec
 from repro.walks.walker import Walker, WalkPath
 
@@ -104,6 +106,7 @@ class EngineResult:
     time_divisor: float = 1.0
     registry: Optional[MetricsRegistry] = None
     trace: Optional[Tracer] = None
+    run_id: Optional[str] = None
 
     @property
     def num_walks(self) -> int:
@@ -150,6 +153,8 @@ class EngineResult:
             "workload": self.workload,
             "time_divisor": self.time_divisor,
         }
+        if self.run_id is not None:
+            base["run_id"] = self.run_id
         if meta:
             base.update(meta)
         registry = self.registry if self.registry is not None else MetricsRegistry()
@@ -173,6 +178,11 @@ class Engine(abc.ABC):
         # Active tracer: run() installs the caller's before preparing, so
         # _prepare implementations can emit child spans via self.tracer.
         self.tracer: Tracer = NULL_TRACER
+        # Phase profiler: NULL by default (no per-phase cost). The CLI's
+        # --profile attaches a real PhaseProfiler before run(); hot
+        # loops receive it explicitly (never via self mid-run — the
+        # thread backend shares one engine across workers).
+        self.profiler = NULL_PROFILER
 
     # -- subclass interface -------------------------------------------------
 
@@ -359,7 +369,7 @@ class Engine(abc.ABC):
         while walker.num_edges < max_length and s > 0:
             if stop_probability and rng.random() < stop_probability:
                 break
-            step_t0 = time.perf_counter()
+            step_t0 = _now()
             counters.record_step()
             t = walker.current_time
             accepted: Optional[Tuple[int, int, float]] = None
@@ -389,7 +399,7 @@ class Engine(abc.ABC):
             walker.advance(v2, t2)
             s = self._next_candidates(pos, v2, t2, counters)
             v = v2
-            step_hist.observe(time.perf_counter() - step_t0)
+            step_hist.observe(_now() - step_t0)
             trials_hist.observe(trials)
         trace_span.set("length", walker.num_edges)
         trace_span.set("end_vertex", v)
@@ -421,8 +431,10 @@ class Engine(abc.ABC):
         registry = registry if registry is not None else MetricsRegistry()
         tracer = tracer if tracer is not None else Tracer(enabled=True)
         self.tracer = tracer
+        profiler = self.profiler
         timer = PhaseTimer()
-        with timer.phase("prepare"), tracer.span("prepare", engine=self.name):
+        with timer.phase("prepare"), tracer.span("prepare", engine=self.name), \
+                profiler.phase("prepare"):
             self.prepare()
         rng = make_rng(seed)
         counters = CostCounters()
@@ -442,7 +454,7 @@ class Engine(abc.ABC):
         lengths_append = lengths.append
         with timer.phase("walk"), tracer.span(
             "walk", engine=self.name, walks=int(starts.size)
-        ):
+        ), profiler.phase("walk"):
             if sample_every:
                 for walk_index, u in enumerate(starts):
                     if walk_index % sample_every == 0:
@@ -479,13 +491,14 @@ class Engine(abc.ABC):
                             paths.append(finished)
                         if sink is not None:
                             sink.append(finished)
-        for length, n in _LengthCounter(lengths).items():
-            walk_length_hist.observe_n(length, n)
-        memory = self.memory_report()
-        counters.publish(registry)
-        registry.counter("walk.walks", "walks executed").inc(int(starts.size))
-        registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
-        self.publish_telemetry(registry)
+        with profiler.phase("finalize"):
+            for length, n in _LengthCounter(lengths).items():
+                walk_length_hist.observe_n(length, n)
+            memory = self.memory_report()
+            counters.publish(registry)
+            registry.counter("walk.walks", "walks executed").inc(int(starts.size))
+            registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
+            self.publish_telemetry(registry)
         return EngineResult(
             engine=self.name,
             spec=self.spec.describe(),
@@ -497,4 +510,5 @@ class Engine(abc.ABC):
             time_divisor=self.time_divisor,
             registry=registry,
             trace=tracer,
+            run_id=current_run_id(),
         )

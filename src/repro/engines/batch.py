@@ -31,11 +31,16 @@ import numpy as np
 from repro.core import builder
 from repro.engines.base import Engine, EngineResult, Workload
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.memory import MemoryReport
-from repro.metrics.timing import PhaseTimer
 from repro.rng import RngLike, make_rng
 from repro.sampling.counters import CostCounters
-from repro.telemetry import MetricsRegistry, Tracer
+from repro.telemetry import (
+    MemoryReport,
+    MetricsRegistry,
+    NULL_PROFILER,
+    PhaseTimer,
+    Tracer,
+)
+from repro.telemetry.events import current_run_id
 from repro.walks.spec import WalkSpec
 from repro.walks.walker import WalkPath
 
@@ -236,6 +241,7 @@ class BatchTeaEngine(Engine):
         from repro.telemetry import NULL_TRACER
 
         engine.tracer = NULL_TRACER
+        engine.profiler = NULL_PROFILER
         engine._static_keys = static_keys
         engine._static_ready = static_keys is not None
         return engine
@@ -295,6 +301,7 @@ class BatchTeaEngine(Engine):
         counters: CostCounters,
         keep_hops: bool,
         frontier_hist=None,
+        profiler=None,
     ) -> FrontierResult:
         """Advance every walk in ``starts`` to completion, vectorised.
 
@@ -304,7 +311,14 @@ class BatchTeaEngine(Engine):
         Hops land in columnar ``(num, max_length)`` arrays — all lanes
         active at iteration ``k`` have taken ``k`` hops, so recording is
         one scatter per iteration instead of a Python append per lane.
+
+        ``profiler`` is passed explicitly (never read from ``self`` here)
+        because the thread backend shares one engine instance across
+        worker threads — each chunk profiles into its own instance.
+        Phase cost is charged per frontier *iteration*, not per step, so
+        the bookkeeping stays far under the <5% overhead budget.
         """
+        prof = profiler if profiler is not None else NULL_PROFILER
         g = self.graph
         beta = self.spec.dynamic_parameter
         beta_max = beta.beta_max if beta is not None else 1.0
@@ -324,69 +338,72 @@ class BatchTeaEngine(Engine):
         lanes = np.flatnonzero(active)
         iteration = 0
         while lanes.size:
-            if frontier_hist is not None:
-                frontier_hist.observe(lanes.size)
-            if stop_probability:
-                survive = rng.random(lanes.size) >= stop_probability
-                lanes = lanes[survive]
-                if not lanes.size:
-                    break
-            counters.steps += lanes.size
-            vs = cur[lanes]
-            ss = s[lanes]
-            pending = np.arange(lanes.size)
-            idx_out = np.empty(lanes.size, dtype=np.int64)
-            for _ in range(_MAX_BETA_ROUNDS):
-                draw = self._sample_batch(vs[pending], ss[pending], rng, counters)
-                idx_out[pending] = draw
-                if beta is None:
-                    pending = pending[:0]
-                    break
-                pos_try = g.indptr[vs[pending]] + draw
-                cand = g.nbr[pos_try]
-                pv = prev[lanes][pending]
-                has_prev = pv >= 0
-                b = np.full(pending.size, beta_max)
-                if has_prev.any():
-                    if self._static_ready:
-                        b[has_prev] = self._beta_batch(pv[has_prev], cand[has_prev])
-                    else:  # custom Dynamic_parameter: scalar evaluation
-                        b[has_prev] = np.fromiter(
-                            (beta(g, int(p), int(c))
-                             for p, c in zip(pv[has_prev], cand[has_prev])),
-                            dtype=np.float64,
-                        )
-                accept = rng.random(pending.size) * beta_max <= b
-                counters.rejection_trials += pending.size
-                counters.edges_evaluated += pending.size
-                counters.rejected += int((~accept).sum())
-                pending = pending[~accept]
-                if not pending.size:
-                    break
-            # Rare lanes that exhausted the rejection budget fall back
-            # to the exact β-adjusted scan (same as the scalar loop).
-            for lane_pos in pending:
-                pv = prev[lanes][lane_pos]
-                idx_out[lane_pos] = self._beta_exact_draw(
-                    int(vs[lane_pos]), int(ss[lane_pos]),
-                    None if pv < 0 else int(pv), beta, rng, counters,
-                )
-            pos = g.indptr[vs] + idx_out
-            nxt = g.nbr[pos].astype(np.int64)
-            t_next = g.etime[pos]
-            s_next = self.candidate_sizes[pos].astype(np.int64)
-            if keep_hops:
-                hop_vertex[lanes, iteration] = nxt
-                hop_time[lanes, iteration] = t_next
-            prev[lanes] = cur[lanes]
-            cur[lanes] = nxt
-            s[lanes] = s_next
-            steps_left[lanes] -= 1
-            still = (s_next > 0) & (steps_left[lanes] > 0)
-            lanes = lanes[still]
-            if lanes.size:
-                self._on_frontier_advance(cur[lanes], s[lanes])
-            iteration += 1
+            with prof.phase("gather"):
+                if frontier_hist is not None:
+                    frontier_hist.observe(lanes.size)
+                if stop_probability:
+                    survive = rng.random(lanes.size) >= stop_probability
+                    lanes = lanes[survive]
+                    if not lanes.size:
+                        break
+                counters.steps += lanes.size
+                vs = cur[lanes]
+                ss = s[lanes]
+                pending = np.arange(lanes.size)
+                idx_out = np.empty(lanes.size, dtype=np.int64)
+            with prof.phase("draw"):
+                for _ in range(_MAX_BETA_ROUNDS):
+                    draw = self._sample_batch(vs[pending], ss[pending], rng, counters)
+                    idx_out[pending] = draw
+                    if beta is None:
+                        pending = pending[:0]
+                        break
+                    pos_try = g.indptr[vs[pending]] + draw
+                    cand = g.nbr[pos_try]
+                    pv = prev[lanes][pending]
+                    has_prev = pv >= 0
+                    b = np.full(pending.size, beta_max)
+                    if has_prev.any():
+                        if self._static_ready:
+                            b[has_prev] = self._beta_batch(pv[has_prev], cand[has_prev])
+                        else:  # custom Dynamic_parameter: scalar evaluation
+                            b[has_prev] = np.fromiter(
+                                (beta(g, int(p), int(c))
+                                 for p, c in zip(pv[has_prev], cand[has_prev])),
+                                dtype=np.float64,
+                            )
+                    accept = rng.random(pending.size) * beta_max <= b
+                    counters.rejection_trials += pending.size
+                    counters.edges_evaluated += pending.size
+                    counters.rejected += int((~accept).sum())
+                    pending = pending[~accept]
+                    if not pending.size:
+                        break
+                # Rare lanes that exhausted the rejection budget fall back
+                # to the exact β-adjusted scan (same as the scalar loop).
+                for lane_pos in pending:
+                    pv = prev[lanes][lane_pos]
+                    idx_out[lane_pos] = self._beta_exact_draw(
+                        int(vs[lane_pos]), int(ss[lane_pos]),
+                        None if pv < 0 else int(pv), beta, rng, counters,
+                    )
+            with prof.phase("scatter"):
+                pos = g.indptr[vs] + idx_out
+                nxt = g.nbr[pos].astype(np.int64)
+                t_next = g.etime[pos]
+                s_next = self.candidate_sizes[pos].astype(np.int64)
+                if keep_hops:
+                    hop_vertex[lanes, iteration] = nxt
+                    hop_time[lanes, iteration] = t_next
+                prev[lanes] = cur[lanes]
+                cur[lanes] = nxt
+                s[lanes] = s_next
+                steps_left[lanes] -= 1
+                still = (s_next > 0) & (steps_left[lanes] > 0)
+                lanes = lanes[still]
+                if lanes.size:
+                    self._on_frontier_advance(cur[lanes], s[lanes])
+                iteration += 1
 
         return FrontierResult(
             starts=starts,
@@ -404,8 +421,10 @@ class BatchTeaEngine(Engine):
         registry = registry if registry is not None else MetricsRegistry()
         tracer = tracer if tracer is not None else Tracer(enabled=True)
         self.tracer = tracer
+        profiler = self.profiler
         timer = PhaseTimer()
-        with timer.phase("prepare"), tracer.span("prepare", engine=self.name):
+        with timer.phase("prepare"), tracer.span("prepare", engine=self.name), \
+                profiler.phase("prepare"):
             self.prepare()
         rng = make_rng(seed)
         counters = CostCounters()
@@ -417,21 +436,23 @@ class BatchTeaEngine(Engine):
 
         with timer.phase("walk"), tracer.span(
             "walk", engine=self.name, walks=int(starts.size)
-        ):
+        ), profiler.phase("walk"):
             result = self._run_frontier(
                 starts, workload.max_length, workload.stop_probability,
                 rng, counters, keep_hops, frontier_hist,
+                profiler=profiler if profiler.enabled else None,
             )
 
-        result.observe_lengths(
-            registry.histogram("walk.length", "edges per completed walk")
-        )
-        paths = result.materialise_paths(record_paths=record_paths, sink=sink)
-        memory = self.memory_report()
-        counters.publish(registry)
-        registry.counter("walk.walks", "walks executed").inc(int(starts.size))
-        registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
-        self.publish_telemetry(registry)
+        with profiler.phase("finalize"):
+            result.observe_lengths(
+                registry.histogram("walk.length", "edges per completed walk")
+            )
+            paths = result.materialise_paths(record_paths=record_paths, sink=sink)
+            memory = self.memory_report()
+            counters.publish(registry)
+            registry.counter("walk.walks", "walks executed").inc(int(starts.size))
+            registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
+            self.publish_telemetry(registry)
         return EngineResult(
             engine=self.name,
             spec=self.spec.describe(),
@@ -442,6 +463,7 @@ class BatchTeaEngine(Engine):
             memory=memory,
             registry=registry,
             trace=tracer,
+            run_id=current_run_id(),
         )
 
     def memory_report(self) -> MemoryReport:

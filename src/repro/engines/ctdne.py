@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro.engines.base import Engine
 from repro.exceptions import EmptyCandidateSetError
-from repro.metrics.memory import MemoryReport
+from repro.telemetry import MemoryReport
 
 
 class CtdneEngine(Engine):

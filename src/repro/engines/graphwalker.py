@@ -29,7 +29,7 @@ import numpy as np
 from repro.core.builder import build_prefix_array
 from repro.engines.base import Engine
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.memory import MemoryReport
+from repro.telemetry import MemoryReport
 from repro.sampling.counters import CostCounters
 from repro.sampling.fullscan import full_scan_sample
 from repro.sampling.prefix_sum import build_prefix_sums, draw_in_range, its_search

@@ -31,7 +31,7 @@ from repro.core.builder import build_prefix_array
 from repro.engines.base import Engine
 from repro.exceptions import SamplingBudgetExceeded
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.memory import MemoryReport
+from repro.telemetry import MemoryReport
 from repro.sampling.prefix_sum import build_prefix_sums, draw_in_range, its_search
 from repro.walks.spec import WalkSpec
 

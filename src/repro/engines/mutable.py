@@ -16,7 +16,7 @@ from repro.core import builder
 from repro.core.deletions import TombstoneHPAT
 from repro.engines.base import Engine
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.memory import MemoryReport
+from repro.telemetry import MemoryReport
 from repro.walks.spec import WalkSpec
 
 

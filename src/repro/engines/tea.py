@@ -31,7 +31,7 @@ from repro.core.alias_index import DEFAULT_BUDGET_BYTES, FullAliasIndex
 from repro.core.weights import WeightModel
 from repro.engines.base import Engine
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.memory import MemoryReport
+from repro.telemetry import MemoryReport
 from repro.sampling.counters import CostCounters
 from repro.walks.spec import WalkSpec
 

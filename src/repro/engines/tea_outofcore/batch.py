@@ -38,7 +38,7 @@ from repro.engines.tea_outofcore.scalar import (
     build_ooc_index,
 )
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.memory import MemoryReport
+from repro.telemetry import MemoryReport
 from repro.sampling.counters import CostCounters
 from repro.walks.spec import WalkSpec
 
@@ -198,6 +198,9 @@ class BatchTeaOutOfCoreEngine(BatchTeaEngine):
             verify_checksums=self.verify_checksums,
             fault_injector=self.fault_injector,
         )
+        # The store charges its read/decode/cache time to the engine's
+        # profiler (NULL by default; the walk phase swaps in the chunk's).
+        self.index.store.profiler = self.profiler
         self.weights = None
         self._maybe_build_static_keys()
 
@@ -211,9 +214,11 @@ class BatchTeaOutOfCoreEngine(BatchTeaEngine):
 
     def _sample_batch(self, vs, ss, rng, counters):
         if self._prefetcher is not None:
-            # Opportunistically admit whatever the worker finished, so
-            # this round's read_batch sees the warmed blocks.
-            self._prefetcher.drain(counters)
+            # Settle outstanding predictions before sampling: they were
+            # issued for exactly this round's read_batch, so waiting the
+            # residual I/O turns them into cache hits instead of racing
+            # the synchronous reads for the same ranges.
+            self._prefetcher.drain(counters, wait=True)
             if self._prefetcher.failed:
                 # The worker died (checksum failure, exhausted retries,
                 # injected fault): settle its ledger and fall back to
@@ -266,16 +271,25 @@ class BatchTeaOutOfCoreEngine(BatchTeaEngine):
         self._prefetcher.submit(requests)
 
     def _run_frontier(self, starts, max_length, stop_probability, rng,
-                      counters, keep_hops, frontier_hist=None):
+                      counters, keep_hops, frontier_hist=None,
+                      profiler=None):
         if self.prefetch:
             self._prefetcher = AsyncPrefetcher(self.index.store)
             self._prefetcher.start()
+        # Route the store's ooc.* phases to this kernel's profiler. The
+        # prefetch worker thread never touches it: _load runs there with
+        # the store's NULL default, only synchronous reads are charged.
+        store = self.index.store
+        prev_profiler = store.profiler
+        if profiler is not None:
+            store.profiler = profiler
         try:
             return super()._run_frontier(
                 starts, max_length, stop_probability, rng, counters,
-                keep_hops, frontier_hist,
+                keep_hops, frontier_hist, profiler=profiler,
             )
         finally:
+            store.profiler = prev_profiler
             if self._prefetcher is not None:
                 self._prefetcher.close(counters)
                 self._prefetcher = None

@@ -27,11 +27,11 @@ from __future__ import annotations
 
 import queue
 import threading
-import time
 from typing import Iterable, Optional, Tuple
 
 from repro.core.outofcore import _REGION_WIDTH, TrunkStore, coalesce_runs
 from repro.sampling.counters import CostCounters
+from repro.telemetry.clock import now as _clock_now
 
 #: Request-queue depth: the batch in service plus one behind it.
 QUEUE_DEPTH = 2
@@ -104,17 +104,43 @@ class AsyncPrefetcher:
         self._outstanding.update(kept)
         self.store.note_prefetch_issued(len(kept))
 
-    def drain(self, counters: Optional[CostCounters] = None) -> None:
-        """Admit every finished block (non-blocking; sampling thread).
+    def drain(
+        self,
+        counters: Optional[CostCounters] = None,
+        wait: bool = False,
+        timeout: float = 5.0,
+    ) -> None:
+        """Admit every finished block (sampling thread).
+
+        Non-blocking by default. With ``wait=True`` the drain blocks
+        (bounded by ``timeout``) until every outstanding key has
+        settled: the submissions were predicted for the very next
+        ``read_batch``, which would otherwise re-read the same trunk
+        ranges synchronously while the worker's late results arrive as
+        wasted duplicates. Waiting out the residual I/O makes the
+        hit/wasted split a property of the access pattern, not of
+        thread scheduling — the overlap win (the worker started during
+        the previous step's compute) is kept either way.
 
         The prefetch runs are charged here — to the walk's own counters,
         because they are real backing reads issued on its behalf.
         """
+        deadline = (_clock_now() + timeout) if wait else 0.0
         while True:
             try:
                 kind, payload = self._results.get_nowait()
             except queue.Empty:
-                return
+                if not wait or not self._outstanding or self._failed:
+                    return
+                remaining = deadline - _clock_now()
+                if remaining <= 0:
+                    return
+                try:
+                    kind, payload = self._results.get(
+                        timeout=min(remaining, 0.05)
+                    )
+                except queue.Empty:
+                    continue
             if kind == "skipped":
                 for key in payload:
                     self._outstanding.discard(key)
@@ -174,7 +200,7 @@ class AsyncPrefetcher:
                 injector = self.store.fault_injector
                 if injector is not None:
                     injector.check("prefetch")
-                t0 = time.perf_counter()
+                t0 = _clock_now()
                 out = []
                 for region in ("c", "pa"):
                     ranges = sorted(
@@ -195,7 +221,7 @@ class AsyncPrefetcher:
                                 )
                             items.append((key, value))
                         out.append((region, run_lo, run_hi, items))
-                self._busy_seconds += time.perf_counter() - t0
+                self._busy_seconds += _clock_now() - t0
             except Exception as exc:  # noqa: BLE001 — a dying worker
                 # thread is the silent-failure mode this guards against.
                 self._failed = True

@@ -21,7 +21,7 @@ from repro.core.builder import build_pat, search_candidate_sets
 from repro.core.outofcore import OutOfCorePAT, TrunkStore
 from repro.engines.base import Engine
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.memory import MemoryReport
+from repro.telemetry import MemoryReport
 from repro.walks.spec import WalkSpec
 
 DEFAULT_OOC_TRUNK_SIZE = 10
@@ -103,6 +103,8 @@ class TeaOutOfCoreEngine(Engine):
             verify_checksums=self.verify_checksums,
             fault_injector=self.fault_injector,
         )
+        # Store reads charge their ooc.* phases to the engine profiler.
+        self.index.store.profiler = self.profiler
 
     @property
     def cache_stats(self):

@@ -1,6 +1,22 @@
-"""Measurement utilities: byte accounting and phase timers."""
+"""Deprecated shim: ``repro.metrics`` moved into ``repro.telemetry``.
 
-from repro.metrics.memory import MemoryReport, format_bytes
-from repro.metrics.timing import PhaseTimer
+The pre-telemetry measurement package (byte accounting, phase timers)
+is consolidated into :mod:`repro.telemetry` so one layer owns every
+metric API. These re-exports keep old imports working; new code should
+import :class:`~repro.telemetry.memory.MemoryReport`,
+:func:`~repro.telemetry.memory.format_bytes`, and
+:class:`~repro.telemetry.timing.PhaseTimer` from ``repro.telemetry``.
+"""
+
+import warnings
+
+from repro.telemetry.memory import MemoryReport, format_bytes
+from repro.telemetry.timing import PhaseTimer
+
+warnings.warn(
+    "repro.metrics is deprecated; import from repro.telemetry instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["MemoryReport", "format_bytes", "PhaseTimer"]

@@ -1,50 +1,18 @@
-"""Structure-level memory accounting (Figures 9 and 12b).
+"""Deprecated shim: moved to :mod:`repro.telemetry.memory`."""
 
-The paper compares engines by the bytes their sampling structures occupy.
-We account bytes exactly (numpy ``nbytes`` of every array a structure
-owns) rather than sampling process RSS, which in Python is dominated by
-interpreter noise. :class:`MemoryReport` is a named bag of components
-that engines fill in and benchmarks print.
-"""
+import warnings
 
-from __future__ import annotations
+from repro.telemetry.memory import (  # noqa: F401 — re-exports
+    MemoryReport,
+    RusageSample,
+    format_bytes,
+    sample_rusage,
+)
 
-from dataclasses import dataclass, field
-from typing import Dict
+warnings.warn(
+    "repro.metrics.memory is deprecated; use repro.telemetry.memory",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-
-def format_bytes(n: int) -> str:
-    """Human-readable bytes (KiB/MiB/GiB)."""
-    value = float(n)
-    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
-        if value < 1024.0 or unit == "TiB":
-            return f"{value:.2f} {unit}" if unit != "B" else f"{int(value)} B"
-        value /= 1024.0
-    return f"{value:.2f} TiB"
-
-
-@dataclass
-class MemoryReport:
-    """Per-component byte counts for one engine configuration."""
-
-    components: Dict[str, int] = field(default_factory=dict)
-
-    def add(self, name: str, nbytes: int) -> "MemoryReport":
-        self.components[name] = self.components.get(name, 0) + int(nbytes)
-        return self
-
-    @property
-    def total(self) -> int:
-        return sum(self.components.values())
-
-    def fraction(self, name: str) -> float:
-        """Share of the total held by one component (e.g. the paper's
-        observation that the HPAT index is 82.5%–91.2% of TEA's memory)."""
-        total = self.total
-        return self.components.get(name, 0) / total if total else 0.0
-
-    def pretty(self) -> str:
-        lines = [f"total: {format_bytes(self.total)}"]
-        for name, nbytes in sorted(self.components.items(), key=lambda kv: -kv[1]):
-            lines.append(f"  {name}: {format_bytes(nbytes)}")
-        return "\n".join(lines)
+__all__ = ["MemoryReport", "RusageSample", "format_bytes", "sample_rusage"]

@@ -1,67 +1,13 @@
-"""Tiny phase timer used by engines and benchmarks.
+"""Deprecated shim: moved to :mod:`repro.telemetry.timing`."""
 
-.. deprecated::
-    ``PhaseTimer`` is superseded by :class:`repro.telemetry.Tracer`,
-    whose nested spans carry parent/child structure, attributes, and
-    per-walk sampling. The timer remains for back-compat callers (the
-    ``EngineResult.timer`` field and the Figure 11/13 benchmarks read
-    it), and engines keep filling it alongside spans.
-"""
+import warnings
 
-from __future__ import annotations
+from repro.telemetry.timing import PhaseTimer  # noqa: F401 — re-export
 
-import time
-from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, Iterator
+warnings.warn(
+    "repro.metrics.timing is deprecated; use repro.telemetry.timing",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
-
-@dataclass
-class PhaseTimer:
-    """Accumulates wall-clock seconds per named phase.
-
-    Re-entering a phase name *while it is still open* (nested use) is
-    counted once, against the outermost entry: historically the inner
-    ``with`` double-counted the overlapped wall time, so a nested
-    ``phase("walk")`` inside ``phase("walk")`` reported up to 2× the
-    elapsed seconds. Sequential re-entry still accumulates.
-
-    Deprecated in favour of :class:`repro.telemetry.Tracer` spans (see
-    the module note); kept for back-compat callers.
-
-    >>> timer = PhaseTimer()
-    >>> with timer.phase("preprocess"):
-    ...     pass
-    >>> "preprocess" in timer.seconds
-    True
-    """
-
-    seconds: Dict[str, float] = field(default_factory=dict)
-    _depth: Dict[str, int] = field(default_factory=dict, repr=False, compare=False)
-    _open_since: Dict[str, float] = field(default_factory=dict, repr=False, compare=False)
-
-    @contextmanager
-    def phase(self, name: str) -> Iterator[None]:
-        depth = self._depth.get(name, 0)
-        if depth == 0:
-            self._open_since[name] = time.perf_counter()
-        self._depth[name] = depth + 1
-        try:
-            yield
-        finally:
-            remaining = self._depth[name] - 1
-            self._depth[name] = remaining
-            if remaining == 0:
-                start = self._open_since.pop(name)
-                self.seconds[name] = self.seconds.get(name, 0.0) + (
-                    time.perf_counter() - start
-                )
-
-    @property
-    def total(self) -> float:
-        return sum(self.seconds.values())
-
-    def snapshot(self) -> Dict[str, float]:
-        out = dict(self.seconds)
-        out["total"] = self.total
-        return out
+__all__ = ["PhaseTimer"]

@@ -47,7 +47,6 @@ from repro.engines.base import EngineResult, Workload
 from repro.engines.batch import BatchTeaEngine, FrontierResult
 from repro.exceptions import WorkerCrashError
 from repro.graph.temporal_graph import TemporalGraph
-from repro.metrics.timing import PhaseTimer
 from repro.parallel.chunks import ChunkPlan, default_chunk_size, plan_chunks
 from repro.parallel.sharing import export_or_none
 from repro.parallel.worker import (
@@ -59,7 +58,14 @@ from repro.parallel.worker import (
 )
 from repro.rng import RngLike, make_rng
 from repro.sampling.counters import CostCounters
-from repro.telemetry import LATENCY_BUCKETS, MetricsRegistry, Tracer
+from repro.telemetry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    PhaseTimer,
+    Tracer,
+    events,
+)
+from repro.telemetry.events import current_run_id
 from repro.walks.spec import WalkSpec
 
 BACKENDS = ("auto", "process", "thread", "serial")
@@ -198,6 +204,8 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
             aux_max=aux.max_size if aux is not None else -1,
             arrays=self._shared_arrays(),
             injector=self.fault_injector,
+            run_id=current_run_id(),
+            profile=self.profiler.enabled,
         )
 
     # -- execution ---------------------------------------------------------
@@ -379,12 +387,20 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
                             chunk_id=cid, attempts=attempts[cid],
                         ) from exc
                     self.last_events["chunk_retries"] += 1
+                    events.emit(
+                        "chunk.retry", chunk_id=cid, attempt=attempts[cid],
+                        reason=reason, error=type(exc).__name__,
+                    )
                     pending.append(task)
                     if reason in ("hang", "broken"):
                         degrade = True
                 if degrade and level < len(chain) - 1:
                     level += 1
                     self.last_events["degraded"].append(chain[level])
+                    events.emit(
+                        "backend.degraded",
+                        from_backend=chain[level - 1], to_backend=chain[level],
+                    )
         finally:
             if image is not None:
                 ctx.arrays = inherit_arrays  # release shm-backed views
@@ -402,8 +418,10 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         registry = registry if registry is not None else MetricsRegistry()
         tracer = tracer if tracer is not None else Tracer(enabled=True)
         self.tracer = tracer
+        profiler = self.profiler
         timer = PhaseTimer()
-        with timer.phase("prepare"), tracer.span("prepare", engine=self.name):
+        with timer.phase("prepare"), tracer.span("prepare", engine=self.name), \
+                profiler.phase("prepare"):
             self.prepare()
         rng = make_rng(seed)
         starts = workload.resolve_starts(self.graph.num_vertices, rng).astype(np.int64)
@@ -420,7 +438,7 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         with timer.phase("walk"), tracer.span(
             "walk", engine=self.name, walks=int(starts.size),
             workers=workers_used, chunks=plan.num_chunks, backend=backend,
-        ) as walk_span:
+        ) as walk_span, profiler.phase("walk"):
             results = self._execute_chunks(plan, ctx, backend, workers_used)
             walk_span.set("share_mode", self.last_share_mode)
             if self.last_events["degraded"]:
@@ -428,35 +446,67 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
             for res in results:
                 walk_span.children.extend(res.spans)
 
+        # Adopt events shipped back from forked process workers (thread
+        # and serial chunks emitted into the shared parent log already).
+        parent_log = events.current()
+        if parent_log is not None:
+            for res in results:
+                if res.events:
+                    parent_log.extend(res.events)
+
+        # Absorb per-chunk profiles under the walk phase. Chunks ran
+        # concurrently, so their summed inclusive time can exceed the
+        # walk frame's wall time — subtract each chunk's root inclusive
+        # from walk's *self* so the supervision overhead stays honest
+        # (rendering clamps a negative remainder at zero).
+        if profiler.enabled:
+            total_queue_wait = 0.0
+            for res in results:
+                total_queue_wait += res.queue_wait_seconds
+                snap = res.profile
+                if not snap:
+                    continue
+                profiler.absorb(snap, prefix=("walk",))
+                chunk_root = sum(
+                    cell["inclusive_s"]
+                    for joined, cell in snap.get("phases", {}).items()
+                    if ";" not in joined
+                )
+                profiler.add_seconds(("walk",), 0.0, calls=0,
+                                     self_seconds=-chunk_root)
+            profiler.add_seconds(("walk", "queue_wait"), total_queue_wait,
+                                 calls=len(results))
+
         # Fold at the barrier, in chunk order: counters, registries,
         # lengths, paths. Merge is associative, so this equals any
         # completion order — but a fixed order keeps reports stable.
-        counters = CostCounters.merge_all(res.counters for res in results)
-        for res in results:
-            registry.merge(res.registry)
+        with profiler.phase("fold"):
+            counters = CostCounters.merge_all(res.counters for res in results)
+            for res in results:
+                registry.merge(res.registry)
 
-        lengths = (
-            np.concatenate([res.lengths for res in results])
-            if results else np.zeros(0, dtype=np.int64)
-        )
-        FrontierResult(starts=starts, lengths=lengths).observe_lengths(
-            registry.histogram("walk.length", "edges per completed walk")
-        )
-        paths = []
-        for res in results:
-            lo, hi = plan.chunk(res.chunk_id)
-            chunk = FrontierResult(
-                starts=plan.starts[lo:hi], lengths=res.lengths,
-                hop_vertex=res.hop_vertex, hop_time=res.hop_time,
+            lengths = (
+                np.concatenate([res.lengths for res in results])
+                if results else np.zeros(0, dtype=np.int64)
             )
-            paths.extend(chunk.materialise_paths(record_paths=record_paths, sink=sink))
+            FrontierResult(starts=starts, lengths=lengths).observe_lengths(
+                registry.histogram("walk.length", "edges per completed walk")
+            )
+            paths = []
+            for res in results:
+                lo, hi = plan.chunk(res.chunk_id)
+                chunk = FrontierResult(
+                    starts=plan.starts[lo:hi], lengths=res.lengths,
+                    hop_vertex=res.hop_vertex, hop_time=res.hop_time,
+                )
+                paths.extend(chunk.materialise_paths(record_paths=record_paths, sink=sink))
 
-        self._publish_parallel_metrics(registry, results, workers_used, plan)
-        memory = self.memory_report()
-        counters.publish(registry)
-        registry.counter("walk.walks", "walks executed").inc(int(starts.size))
-        registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
-        self.publish_telemetry(registry)
+            self._publish_parallel_metrics(registry, results, workers_used, plan)
+            memory = self.memory_report()
+            counters.publish(registry)
+            registry.counter("walk.walks", "walks executed").inc(int(starts.size))
+            registry.gauge("memory.bytes", "engine structure bytes").set(memory.total)
+            self.publish_telemetry(registry)
         return EngineResult(
             engine=self.name,
             spec=self.spec.describe(),
@@ -467,6 +517,7 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
             memory=memory,
             registry=registry,
             trace=tracer,
+            run_id=current_run_id(),
         )
 
     def _publish_parallel_metrics(

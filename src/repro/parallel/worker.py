@@ -18,9 +18,9 @@ independent of which worker ran it.
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -32,7 +32,16 @@ from repro.core.persist import HPAT_ARRAY_FIELDS
 from repro.engines.batch import BatchTeaEngine, FrontierResult
 from repro.graph.temporal_graph import TemporalGraph
 from repro.sampling.counters import CostCounters
-from repro.telemetry import LATENCY_BUCKETS, MetricsRegistry, Span, Tracer
+from repro.telemetry import (
+    LATENCY_BUCKETS,
+    EventLog,
+    MetricsRegistry,
+    PhaseProfiler,
+    Span,
+    Tracer,
+    events,
+)
+from repro.telemetry.clock import monotonic as _monotonic
 from repro.walks.spec import WalkSpec
 
 
@@ -61,6 +70,13 @@ class WorkerContext:
     #: plans crash/hang specific chunk attempts deterministically, in
     #: whichever backend (fork inherits it, threads share it).
     injector: object = None
+    #: Run correlation id: process workers install an
+    #: :class:`~repro.telemetry.EventLog` with this id at pool init, so
+    #: worker-side events carry the same ``run_id`` as the parent's.
+    run_id: Optional[str] = None
+    #: When set, every chunk profiles its frontier phases into a
+    #: private :class:`PhaseProfiler` shipped back on the result.
+    profile: bool = False
 
     def build_engine(self) -> BatchTeaEngine:
         """Assemble a private engine over the shared arrays.
@@ -110,6 +126,13 @@ class ChunkResult:
     queue_wait_seconds: float
     wall_seconds: float
     worker_label: str
+    #: Events recorded *during this chunk* in a forked process worker,
+    #: shipped back for the engine to fold into the parent's log.
+    #: Thread/serial chunks leave this empty — they append into the
+    #: shared parent log directly.
+    events: List[dict] = field(default_factory=list)
+    #: Per-chunk profiler snapshot (``WorkerContext.profile`` only).
+    profile: Optional[dict] = None
 
     @property
     def total_steps(self) -> int:
@@ -145,14 +168,25 @@ def execute_chunk(
     from its planned seed, so a retried chunk reproduces its exact
     paths (bit-determinism survives crashes).
     """
-    t0 = time.monotonic()
+    t0 = _monotonic()
     queue_wait = max(0.0, t0 - enqueue_ts)
+    # Event shipping: thread/serial chunks emit straight into the
+    # parent's installed log; a forked process worker emits into its own
+    # (inherited or pool-init-installed) log and ships only the events
+    # recorded during this chunk back on the result.
+    log = events.current()
+    in_child = multiprocessing.parent_process() is not None
+    event_mark = len(log) if (log is not None and in_child) else 0
     if ctx.injector is not None:
         ctx.injector.check("chunk", key=(chunk_id, attempt))
     rng = np.random.default_rng(int(ctx.seeds[chunk_id]))
     counters = CostCounters()
     registry = MetricsRegistry()
     tracer = Tracer(enabled=True)
+    # Per-chunk profiler, same discipline as registry/tracer: private to
+    # the chunk, folded by the engine at the barrier. calibrate=False —
+    # the per-event cost is measured once per process and cached.
+    profiler = PhaseProfiler(calibrate=False) if ctx.profile else None
     frontier_hist = registry.histogram(
         "batch.frontier_size", "active walkers per frontier iteration"
     )
@@ -160,10 +194,18 @@ def execute_chunk(
     with tracer.span(
         "walk.chunk", chunk=chunk_id, walks=hi - lo, worker=label
     ) as span:
-        result: FrontierResult = engine._run_frontier(
-            ctx.starts[lo:hi], ctx.max_length, ctx.stop_probability,
-            rng, counters, ctx.keep_hops, frontier_hist,
-        )
+        if profiler is not None:
+            with profiler.phase("chunk_exec"):
+                result: FrontierResult = engine._run_frontier(
+                    ctx.starts[lo:hi], ctx.max_length, ctx.stop_probability,
+                    rng, counters, ctx.keep_hops, frontier_hist,
+                    profiler=profiler,
+                )
+        else:
+            result = engine._run_frontier(
+                ctx.starts[lo:hi], ctx.max_length, ctx.stop_probability,
+                rng, counters, ctx.keep_hops, frontier_hist,
+            )
         span.set("steps", result.total_steps)
         span.set("queue_wait_seconds", round(queue_wait, 6))
     registry.histogram(
@@ -171,6 +213,11 @@ def execute_chunk(
         "delay between chunk enqueue and execution start",
         **LATENCY_BUCKETS,
     ).observe(queue_wait)
+    events.emit(
+        "chunk.exec", chunk_id=int(chunk_id), attempt=int(attempt),
+        worker=label, walks=int(hi - lo), steps=int(result.total_steps),
+        queue_wait_seconds=round(queue_wait, 6),
+    )
 
     hop_vertex = hop_time = None
     if result.hop_vertex is not None:
@@ -190,8 +237,11 @@ def execute_chunk(
         registry=registry,
         spans=tracer.roots,
         queue_wait_seconds=queue_wait,
-        wall_seconds=time.monotonic() - t0,
+        wall_seconds=_monotonic() - t0,
         worker_label=label,
+        events=(list(log.events[event_mark:])
+                if (log is not None and in_child) else []),
+        profile=profiler.snapshot() if profiler is not None else None,
     )
 
 
@@ -211,6 +261,11 @@ def _process_init(ctx: WorkerContext) -> None:
     global _ENGINE, _CONTEXT
     _CONTEXT = ctx
     _ENGINE = ctx.build_engine()
+    if ctx.run_id is not None:
+        # Fresh, empty log stamped with the parent's run_id: chunk
+        # executions mark/ship against it regardless of what (or
+        # whether) the fork inherited.
+        events.install(EventLog(run_id=ctx.run_id))
 
 
 def _process_chunk(chunk_id: int, lo: int, hi: int, enqueue_ts: float,

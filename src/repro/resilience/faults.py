@@ -53,6 +53,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.exceptions import FaultPlanError, TransientIOError, WorkerCrashError
+from repro.telemetry import events
 
 SITES = ("trunk_read", "prefetch", "chunk", "streaming_apply")
 KINDS = ("io_error", "slow_read", "corrupt_block", "worker_crash", "worker_hang")
@@ -242,6 +243,15 @@ class FaultInjector:
                         self.fired.get((site, rule.kind), 0) + 1
                     )
                     hits.append(rule)
+        # Emitted after the lock is released: the event log is not
+        # shared with the injector's lock discipline, and a slow sink
+        # must never extend the critical section.
+        for rule in hits:
+            events.emit(
+                "fault.injected", site=site, fault_kind=rule.kind,
+                call_index=int(call_index),
+                key=None if key is None else str(key),
+            )
         corrupt_token: Optional[int] = None
         raise_io = False
         crash = False

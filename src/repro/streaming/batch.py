@@ -22,7 +22,7 @@ from repro.exceptions import NotSupportedError
 from repro.graph.edge_stream import EdgeStream
 from repro.rng import RngLike, make_rng
 from repro.sampling.counters import CostCounters
-from repro.telemetry import LATENCY_BUCKETS, MetricsRegistry
+from repro.telemetry import LATENCY_BUCKETS, MetricsRegistry, events
 from repro.walks.spec import WalkSpec
 from repro.walks.walker import Walker, WalkPath
 
@@ -65,11 +65,13 @@ class StreamingTeaEngine:
         t0 = time.perf_counter()
         try:
             self.index.apply_batch(batch)
-        except BaseException:
+        except BaseException as exc:
             self.registry.counter(
                 "resilience.rollbacks",
                 "streaming batches rolled back by mid-apply failures",
             ).inc()
+            events.emit("streaming.rollback", edges=len(batch),
+                        error=type(exc).__name__)
             raise
         elapsed = time.perf_counter() - t0
         self.registry.counter("streaming.batches", "update batches applied").inc()

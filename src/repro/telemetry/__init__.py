@@ -1,13 +1,22 @@
-"""Unified telemetry: metrics registry, nested spans, exporters.
+"""Unified telemetry: metrics, spans, profiler, events, exporters.
 
 One layer every engine, sampler, cache, and streaming batch reports
-into (see ``docs/observability.md`` for the metric catalogue and span
-taxonomy):
+into (see ``docs/observability.md`` for the metric catalogue, span
+taxonomy, profiler phases, and event-log schema):
 
 * :class:`MetricsRegistry` — named counters, gauges, log-scale
   histograms; cheap enough for per-step use, mergeable across workers;
 * :class:`Tracer` / :class:`Span` — nested phase tracing with a 1-in-N
   per-walk sampling rate (the structured successor to ``PhaseTimer``);
+* :class:`PhaseProfiler` (:mod:`repro.telemetry.profile`) — per-phase
+  cost attribution for hot loops, with self-timed overhead and
+  collapsed-stack / phase-table output;
+* :class:`EventLog` (:mod:`repro.telemetry.events`) — structured JSONL
+  timeline with a per-run ``run_id`` propagated into pool workers;
+* :mod:`repro.telemetry.clock` — the sanctioned engine time source
+  (enforced by ``tools/lint_clocks.py``);
+* :class:`MemoryReport` / :class:`PhaseTimer` — byte accounting and
+  the legacy phase timer, consolidated here from ``repro.metrics``;
 * exporters — Prometheus text exposition, schema-versioned JSON run
   reports, and the ``--stats`` human table.
 """
@@ -21,6 +30,15 @@ from repro.telemetry.registry import (
     MetricsRegistry,
 )
 from repro.telemetry.spans import NULL_TRACER, Span, Tracer
+from repro.telemetry.events import EventLog, new_run_id
+from repro.telemetry.memory import (
+    MemoryReport,
+    RusageSample,
+    format_bytes,
+    sample_rusage,
+)
+from repro.telemetry.profile import NULL_PROFILER, PhaseProfiler
+from repro.telemetry.timing import PhaseTimer
 from repro.telemetry.exporters import (
     REPORT_SCHEMA,
     build_run_report,
@@ -35,18 +53,27 @@ from repro.telemetry.exporters import (
 __all__ = [
     "BYTES_BUCKETS",
     "Counter",
+    "EventLog",
     "Gauge",
     "Histogram",
     "LATENCY_BUCKETS",
+    "MemoryReport",
     "MetricsRegistry",
+    "NULL_PROFILER",
     "NULL_TRACER",
+    "PhaseProfiler",
+    "PhaseTimer",
     "REPORT_SCHEMA",
+    "RusageSample",
     "Span",
     "Tracer",
     "build_run_report",
+    "format_bytes",
     "format_stats_table",
     "load_run_report",
+    "new_run_id",
     "parse_prometheus",
+    "sample_rusage",
     "to_prometheus",
     "validate_run_report",
     "write_run_report",

@@ -20,6 +20,7 @@ validates to an empty error list or names every violation.
 from __future__ import annotations
 
 import json
+import math
 import re
 from typing import Dict, List, Optional
 
@@ -37,10 +38,42 @@ def _prom_name(name: str, prefix: str = "tea") -> str:
     return f"{prefix}_{flat}" if prefix else flat
 
 
+class _NameTable:
+    """Collision-proof sanitized names: ``cache.hits`` and ``cache hits``
+    both flatten to ``tea_cache_hits``, so the second (and later) takers
+    get a deterministic ``_2``/``_3`` suffix instead of silently merging
+    two different metrics into one exposition series."""
+
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self._taken: Dict[str, int] = {}
+
+    def assign(self, raw_name: str) -> str:
+        base = _prom_name(raw_name, self.prefix)
+        n = self._taken.get(base)
+        if n is None:
+            self._taken[base] = 1
+            return base
+        while True:
+            n += 1
+            candidate = f"{base}_{n}"
+            if candidate not in self._taken:
+                break
+        self._taken[base] = n
+        self._taken[candidate] = 1
+        return candidate
+
+
 def _prom_value(value) -> str:
+    # Prometheus text format spells special values +Inf / -Inf / NaN
+    # (repr would give 'inf', which scrapers reject).
     if value is None:
         return "NaN"
     if isinstance(value, float):
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if math.isnan(value):
+            return "NaN"
         return repr(value)
     return str(value)
 
@@ -52,20 +85,21 @@ def _prom_value(value) -> str:
 def to_prometheus(registry: MetricsRegistry, prefix: str = "tea") -> str:
     """Render the registry in Prometheus text exposition format."""
     lines: List[str] = []
+    names = _NameTable(prefix)
     for c in registry.counters():
-        name = _prom_name(c.name, prefix)
+        name = names.assign(c.name)
         if c.help:
             lines.append(f"# HELP {name} {c.help}")
         lines.append(f"# TYPE {name} counter")
         lines.append(f"{name} {_prom_value(c.value)}")
     for g in registry.gauges():
-        name = _prom_name(g.name, prefix)
+        name = names.assign(g.name)
         if g.help:
             lines.append(f"# HELP {name} {g.help}")
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_prom_value(g.value)}")
     for h in registry.histograms():
-        name = _prom_name(h.name, prefix)
+        name = names.assign(h.name)
         if h.help:
             lines.append(f"# HELP {name} {h.help}")
         lines.append(f"# TYPE {name} histogram")

@@ -1,0 +1,311 @@
+"""Low-overhead phase profiler with self-timed overhead accounting.
+
+The registry counts *what* happened and spans record *sampled* walks;
+this module answers the remaining question — **where did the wall time
+go** — with per-phase cost attribution cheap enough to leave on for a
+whole run:
+
+* :class:`PhaseProfiler` maintains a stack of named phases; each
+  ``with profiler.phase("gather")`` charges its inclusive and self
+  (exclusive) seconds to the full stack path, flamegraph-style.
+* The profiler times itself: a calibration loop at construction
+  measures the per-phase bookkeeping cost on this host, and
+  ``overhead_seconds`` reports ``events × per-event cost`` as part of
+  every snapshot — the measurement error is itself measured.
+* :func:`~repro.telemetry.memory.sample_rusage` readings bracket the
+  profile, so page-fault and RSS deltas sit next to the phase table
+  (I/O-bound phases show up as major faults, the ThunderRW discipline).
+* Output renders two ways: a phase table (inclusive / self / calls /
+  share of root time) and collapsed-stack text (``a;b;c <µs>`` per
+  line) that any flamegraph tool ingests directly.
+
+Like the tracer, a profiler is **single-threaded by design** — one
+stack. Parallel workers each profile their own chunk and the engine
+absorbs the snapshots under a prefix at the join barrier
+(:meth:`PhaseProfiler.absorb`), the same per-worker discipline as the
+metrics registry. :data:`NULL_PROFILER` is the shared off switch: its
+``phase()`` returns a no-op context manager, costing one attribute
+check and one method call per instrumented site.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.clock import now as _now
+from repro.telemetry.memory import sample_rusage
+
+#: Enter/exit cycles the construction-time calibration loop runs to
+#: estimate per-event bookkeeping cost. 256 pairs cost ~100 µs once.
+CALIBRATION_EVENTS = 256
+
+#: Phase paths are stored as tuples of names; rendered joined by ";"
+#: (the collapsed-stack separator flamegraph tools expect).
+PathKey = Tuple[str, ...]
+
+
+class _NullPhase:
+    """Reusable no-op context manager handed out by the null profiler."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class NullProfiler:
+    """Disabled profiler: every call is a cheap no-op.
+
+    Shared as :data:`NULL_PROFILER` — it holds no state, so one
+    instance can serve every engine simultaneously.
+    """
+
+    __slots__ = ()
+    enabled = False
+
+    def phase(self, name: str):
+        return _NULL_PHASE
+
+    def add_seconds(self, path, seconds: float, calls: int = 1,
+                    self_seconds: Optional[float] = None) -> None:
+        pass
+
+    def absorb(self, snapshot, prefix=()) -> None:
+        pass
+
+
+NULL_PROFILER = NullProfiler()
+
+
+class _Frame:
+    """One open phase: context manager that charges its path on exit."""
+
+    __slots__ = ("profiler", "path", "start", "child_seconds")
+
+    def __init__(self, profiler: "PhaseProfiler", path: PathKey):
+        self.profiler = profiler
+        self.path = path
+        self.start = 0.0
+        self.child_seconds = 0.0
+
+    def __enter__(self):
+        self.profiler._stack.append(self)
+        self.start = _now()
+        return self
+
+    def __exit__(self, *exc):
+        end = _now()
+        prof = self.profiler
+        prof._stack.pop()
+        inclusive = end - self.start
+        prof._charge(self.path, inclusive, inclusive - self.child_seconds)
+        if prof._stack:
+            prof._stack[-1].child_seconds += inclusive
+        return False
+
+
+class PhaseProfiler:
+    """Stack-based hierarchical phase profiler.
+
+    ``phases`` maps a path tuple to ``[calls, inclusive_s, self_s]``.
+    Self time can go *negative* for synthetic parents whose absorbed
+    children overlap in real time (parallel chunk execution folded
+    under one ``walk`` phase); rendering clamps it at zero.
+    """
+
+    enabled = True
+
+    def __init__(self, calibrate: bool = True):
+        self.phases: Dict[PathKey, List[float]] = {}
+        self.events = 0
+        self._stack: List[_Frame] = []
+        self.rusage_start = sample_rusage()
+        #: Seconds of profiler bookkeeping per phase() enter/exit pair,
+        #: measured on this host at construction (0.0 when skipped).
+        self.per_event_seconds = (
+            _calibrate_per_event() if calibrate else _cached_per_event()
+        )
+
+    # -- recording ---------------------------------------------------------
+
+    def phase(self, name: str) -> _Frame:
+        """Open a phase; use as ``with profiler.phase("gather"):``."""
+        if self._stack:
+            path = self._stack[-1].path + (name,)
+        else:
+            path = (name,)
+        return _Frame(self, path)
+
+    def _charge(self, path: PathKey, inclusive: float, self_seconds: float) -> None:
+        self.events += 1
+        cell = self.phases.get(path)
+        if cell is None:
+            self.phases[path] = [1, inclusive, self_seconds]
+        else:
+            cell[0] += 1
+            cell[1] += inclusive
+            cell[2] += self_seconds
+
+    def add_seconds(self, path, seconds: float, calls: int = 1,
+                    self_seconds: Optional[float] = None) -> None:
+        """Charge externally-measured time to ``path`` (synthetic phase).
+
+        The parallel engine uses this for per-chunk queue waits and
+        worker wall time it measured at the barrier rather than inline.
+        ``self_seconds`` defaults to ``seconds`` (a leaf); pass 0.0 when
+        absorbed children already account for the interior.
+        """
+        key = tuple(path) if not isinstance(path, tuple) else path
+        own = seconds if self_seconds is None else self_seconds
+        cell = self.phases.get(key)
+        if cell is None:
+            self.phases[key] = [calls, seconds, own]
+        else:
+            cell[0] += calls
+            cell[1] += seconds
+            cell[2] += own
+
+    def absorb(self, snapshot: Optional[dict], prefix=()) -> None:
+        """Fold a worker profiler's :meth:`snapshot` in under ``prefix``.
+
+        Associative like the registry merge: per-chunk profiles from
+        any completion order fold to the same totals.
+        """
+        if not snapshot:
+            return
+        prefix = tuple(prefix)
+        for joined, cell in snapshot.get("phases", {}).items():
+            key = prefix + tuple(joined.split(";"))
+            self.add_seconds(
+                key, cell["inclusive_s"], calls=cell["calls"],
+                self_seconds=cell["self_s"],
+            )
+        self.events += int(snapshot.get("events", 0))
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def overhead_seconds(self) -> float:
+        """Estimated profiler bookkeeping cost included in this profile."""
+        return self.events * self.per_event_seconds
+
+    def root_seconds(self) -> float:
+        """Sum of inclusive time over root phases (≈ profiled wall time)."""
+        return sum(
+            cell[1] for path, cell in self.phases.items() if len(path) == 1
+        )
+
+    def phase_seconds(self, name: str) -> float:
+        """Inclusive seconds of every path ending in ``name``."""
+        return sum(
+            cell[1] for path, cell in self.phases.items() if path[-1] == name
+        )
+
+    def snapshot(self) -> dict:
+        """JSON/pickle-ready form (ships from workers, feeds reports)."""
+        rusage_end = sample_rusage()
+        doc = {
+            "phases": {
+                ";".join(path): {
+                    "calls": int(cell[0]),
+                    "inclusive_s": cell[1],
+                    "self_s": cell[2],
+                }
+                for path, cell in sorted(self.phases.items())
+            },
+            "events": self.events,
+            "overhead_seconds": self.overhead_seconds,
+        }
+        if self.rusage_start is not None and rusage_end is not None:
+            doc["rusage"] = rusage_end.delta(self.rusage_start)
+        return doc
+
+    # -- rendering ---------------------------------------------------------
+
+    def collapsed_stacks(self) -> str:
+        """Flamegraph-compatible collapsed-stack text (self time, µs).
+
+        One line per path: ``root;child;leaf <count>`` where the count
+        is integer microseconds of *self* time (clamped at zero — see
+        the class note on synthetic parents).
+        """
+        lines = []
+        for path, cell in sorted(self.phases.items()):
+            micros = int(round(max(cell[2], 0.0) * 1e6))
+            lines.append(f"{';'.join(path)} {micros}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def format_table(self, wall_seconds: Optional[float] = None) -> str:
+        """Human phase table: inclusive/self/calls/share, plus footers
+        for coverage (vs ``wall_seconds``), overhead, and rusage."""
+        total = self.root_seconds()
+        lines = [
+            f"{'phase':<40} {'calls':>8} {'incl_s':>10} {'self_s':>10} {'share':>7}"
+        ]
+        for path, cell in sorted(self.phases.items()):
+            label = "  " * (len(path) - 1) + path[-1]
+            share = (cell[1] / total * 100.0) if total else 0.0
+            lines.append(
+                f"{label:<40} {int(cell[0]):>8} {cell[1]:>10.4f} "
+                f"{max(cell[2], 0.0):>10.4f} {share:>6.1f}%"
+            )
+        lines.append(
+            f"profiled: {total:.4f}s over {self.events} phase events; "
+            f"estimated profiler overhead {self.overhead_seconds * 1e3:.3f} ms"
+        )
+        if wall_seconds:
+            lines.append(
+                f"coverage: {total / wall_seconds * 100.0:.1f}% of "
+                f"{wall_seconds:.4f}s wall"
+            )
+        rusage_end = sample_rusage()
+        if self.rusage_start is not None and rusage_end is not None:
+            d = rusage_end.delta(self.rusage_start)
+            lines.append(
+                f"rusage: maxrss={d['max_rss_bytes'] // 1024} KiB "
+                f"majflt={d['major_faults']} minflt={d['minor_faults']} "
+                f"utime={d['utime_seconds']:.3f}s stime={d['stime_seconds']:.3f}s"
+            )
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Overhead calibration
+# ---------------------------------------------------------------------------
+
+_PER_EVENT_CACHE: Optional[float] = None
+
+
+def _calibrate_per_event() -> float:
+    """Measure this host's per-phase bookkeeping cost (cached).
+
+    Runs a throwaway profiler through ``CALIBRATION_EVENTS`` enter/exit
+    pairs and divides. Cached per process so per-chunk worker profilers
+    (``calibrate=False`` + :func:`_cached_per_event`) and repeated CLI
+    runs never pay it twice.
+    """
+    global _PER_EVENT_CACHE
+    if _PER_EVENT_CACHE is None:
+        probe = PhaseProfiler.__new__(PhaseProfiler)
+        probe.phases = {}
+        probe.events = 0
+        probe._stack = []
+        probe.rusage_start = None
+        probe.per_event_seconds = 0.0
+        t0 = _now()
+        for _ in range(CALIBRATION_EVENTS):
+            with probe.phase("calibrate"):
+                pass
+        _PER_EVENT_CACHE = (_now() - t0) / CALIBRATION_EVENTS
+    return _PER_EVENT_CACHE
+
+
+def _cached_per_event() -> float:
+    """The already-calibrated per-event cost, or 0.0 if never measured."""
+    return _PER_EVENT_CACHE or 0.0

@@ -1,0 +1,153 @@
+"""Telemetry smoke: profiler accounting and event-log correlation gates.
+
+``python -m repro.telemetry.smoke`` is the Makefile's
+``telemetry-smoke`` gate (ISSUE 6 acceptance criteria, executable):
+
+* **Profiler coverage** — a profiled batch run's root phase times must
+  sum to within 10% of the measured wall time, and the profiler's
+  self-measured overhead must stay under 5% of wall.
+* **Collapsed stacks** — the flamegraph output parses (``path <µs>``
+  per line, non-negative integer counts) and covers the table's phases.
+* **Event-log correlation** — a 4-worker process-backend parallel run
+  must produce events that all carry the same ``run_id``, including at
+  least one event recorded *inside a worker process* (different pid).
+* **JSONL round-trip** — written event files read back identically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.engines.base import Workload
+from repro.telemetry import EventLog, PhaseProfiler, events
+from repro.telemetry.clock import now as _now
+
+
+def _smoke_graph():
+    from repro.graph.datasets import load_dataset
+
+    return load_dataset("tiny", seed=7)
+
+
+def _smoke_spec():
+    from repro.walks.apps import APPLICATIONS
+
+    return APPLICATIONS["exponential"]
+
+
+def profiler_smoke(verbose: bool) -> dict:
+    """Coverage within 10% of wall, overhead under 5%, stacks parse."""
+    from repro.engines.batch import BatchTeaEngine
+
+    engine = BatchTeaEngine(_smoke_graph(), _smoke_spec())
+    engine.profiler = profiler = PhaseProfiler()
+    workload = Workload(walks_per_vertex=4, max_length=40)
+    t0 = _now()
+    engine.run(workload, seed=0)
+    wall = _now() - t0
+
+    covered = profiler.root_seconds()
+    assert abs(covered - wall) <= 0.10 * wall, (
+        f"profiled root time {covered:.4f}s is not within 10% of "
+        f"{wall:.4f}s wall"
+    )
+    overhead = profiler.overhead_seconds
+    assert overhead < 0.05 * wall, (
+        f"profiler overhead {overhead * 1e3:.3f} ms exceeds 5% of "
+        f"{wall * 1e3:.3f} ms wall"
+    )
+    for name in ("gather", "draw", "scatter"):
+        assert profiler.phase_seconds(name) > 0.0, (
+            f"hot-loop phase {name!r} was never charged"
+        )
+
+    stacks = profiler.collapsed_stacks()
+    lines = [ln for ln in stacks.splitlines() if ln]
+    assert len(lines) >= len(profiler.phases), "collapsed output incomplete"
+    for line in lines:
+        path, _, micros = line.rpartition(" ")
+        assert path and int(micros) >= 0, f"malformed stack line: {line!r}"
+    table = profiler.format_table(wall_seconds=wall)
+    assert "coverage:" in table and "overhead" in table
+    return {
+        "wall_s": round(wall, 4),
+        "coverage_pct": round(covered / wall * 100.0, 1),
+        "overhead_pct": round(overhead / wall * 100.0, 2),
+    }
+
+
+def events_smoke(verbose: bool) -> dict:
+    """4-worker run: one run_id everywhere, >=1 worker-process event."""
+    from repro.parallel.engine import ParallelBatchTeaEngine
+
+    engine = ParallelBatchTeaEngine(
+        _smoke_graph(), _smoke_spec(), workers=4, chunk_size=8,
+        backend="process",
+    )
+    log = EventLog()
+    previous = events.install(log)
+    try:
+        engine.run(Workload(walks_per_vertex=2, max_length=20), seed=0)
+    finally:
+        events.install(previous)
+
+    assert log.events, "parallel run emitted no events"
+    run_ids = {e["run_id"] for e in log.events}
+    assert run_ids == {log.run_id}, (
+        f"expected one run_id {log.run_id!r}, saw {run_ids}"
+    )
+    kinds = set(log.kinds())
+    assert "chunk.exec" in kinds, f"no chunk.exec events (kinds: {kinds})"
+    foreign = {e["pid"] for e in log.events} - {os.getpid()}
+    if engine.last_backend == "process":
+        assert foreign, (
+            "process-backend run shipped no events from worker processes"
+        )
+
+    # JSONL round-trip.
+    with tempfile.TemporaryDirectory(prefix="tea-events-") as tmp:
+        path = Path(tmp) / "events.jsonl"
+        count = log.write(path)
+        assert count == len(log.events)
+        back = EventLog.read(path)
+        assert sorted(back, key=lambda e: e["ts"]) == sorted(
+            log.events, key=lambda e: e["ts"]
+        ), "event JSONL round-trip diverged"
+    return {
+        "events": len(log.events),
+        "worker_pids": len(foreign),
+        "backend": engine.last_backend,
+    }
+
+
+def telemetry_smoke(verbose: bool = True) -> dict:
+    summary = {}
+    summary.update(profiler_smoke(verbose))
+    if verbose:
+        print("  profiler: ok")
+    summary.update(events_smoke(verbose))
+    if verbose:
+        print("  events: ok")
+        print("telemetry smoke (tiny)")
+        for key, value in summary.items():
+            print(f"  {key}: {value}")
+    return summary
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="telemetry smoke: profiler coverage + event correlation"
+    )
+    parser.add_argument("--quiet", action="store_true")
+    args = parser.parse_args(argv)
+    telemetry_smoke(verbose=not args.quiet)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

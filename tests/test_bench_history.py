@@ -1,0 +1,191 @@
+"""Bench-history store: records, direction heuristics, compare gating."""
+
+import json
+
+import pytest
+
+from repro.benchhistory import (
+    HISTORY_SCHEMA,
+    append_record,
+    compare,
+    compare_records,
+    format_compare,
+    format_history,
+    history_path,
+    load_history,
+    machine_fingerprint,
+    make_record,
+    metric_direction,
+)
+
+
+def _record(walk_s, ts, **extra):
+    rec = make_record("demo", dict({"walk_s": walk_s}, **extra))
+    rec["ts"] = ts
+    return rec
+
+
+class TestDirections:
+    @pytest.mark.parametrize("name, expected", [
+        ("walk_s", "lower"),
+        ("prepare_seconds", "lower"),
+        ("p99_latency", "lower"),
+        ("io_bytes", "lower"),
+        ("cache_miss", "lower"),
+        ("speedup_w4", "higher"),
+        ("steps_per_sec", "higher"),
+        ("throughput", "higher"),
+        ("cache_hit_ratio", "higher"),
+        ("mystery_metric", "lower"),  # conservative default
+    ])
+    def test_heuristics(self, name, expected):
+        assert metric_direction(name) == expected
+
+    def test_higher_checked_before_lower(self):
+        # 'per_sec' beats the trailing 'seconds'-ish patterns.
+        assert metric_direction("walks_per_sec") == "higher"
+
+
+class TestRecords:
+    def test_make_record_shape(self):
+        rec = make_record("demo", {"walk_s": 1.5, "steps": 100},
+                          meta={"dataset": "tiny"})
+        assert rec["schema"] == HISTORY_SCHEMA
+        assert rec["bench"] == "demo"
+        assert rec["metrics"] == {"walk_s": 1.5, "steps": 100.0}
+        assert rec["meta"] == {"dataset": "tiny"}
+        assert rec["ts"] > 0
+        assert set(rec["machine"]) == set(machine_fingerprint())
+
+    def test_non_numeric_metrics_rejected(self):
+        with pytest.raises(TypeError):
+            make_record("demo", {"walk_s": "fast"})
+        with pytest.raises(TypeError):
+            make_record("demo", {"ok": True})  # bools are not metrics
+
+    def test_append_and_load(self, tmp_path):
+        for i in range(3):
+            append_record(_record(1.0 + i, ts=1000.0 + i),
+                          history_dir=tmp_path)
+        records = load_history("demo", history_dir=tmp_path)
+        assert [r["metrics"]["walk_s"] for r in records] == [1.0, 2.0, 3.0]
+
+    def test_load_skips_corrupt_lines(self, tmp_path):
+        path = history_path("demo", tmp_path)
+        append_record(_record(1.0, ts=1.0), history_dir=tmp_path)
+        with open(path, "a") as fh:
+            fh.write("not json\n")
+            fh.write(json.dumps({"schema": "other/v9", "bench": "demo"})
+                     + "\n")
+        append_record(_record(2.0, ts=2.0), history_dir=tmp_path)
+        records = load_history("demo", history_dir=tmp_path)
+        assert len(records) == 2
+
+    def test_load_sorts_by_timestamp(self, tmp_path):
+        append_record(_record(2.0, ts=200.0), history_dir=tmp_path)
+        append_record(_record(1.0, ts=100.0), history_dir=tmp_path)
+        records = load_history("demo", history_dir=tmp_path)
+        assert [r["ts"] for r in records] == [100.0, 200.0]
+
+
+class TestCompare:
+    def test_regression_detected_lower_is_better(self):
+        rows, warnings = compare_records(
+            _record(1.0, ts=1.0), _record(1.2, ts=2.0), threshold=0.10
+        )
+        (row,) = [r for r in rows if r["metric"] == "walk_s"]
+        assert row["verdict"] == "regression"
+        assert row["change"] == pytest.approx(0.2)
+
+    def test_improvement_and_ok(self):
+        base = make_record("demo", {"walk_s": 1.0, "speedup": 2.0})
+        cand = make_record("demo", {"walk_s": 0.5, "speedup": 2.05})
+        rows, _ = compare_records(base, cand, threshold=0.10)
+        verdicts = {r["metric"]: r["verdict"] for r in rows}
+        assert verdicts == {"walk_s": "improvement", "speedup": "ok"}
+
+    def test_higher_is_better_regression(self):
+        base = make_record("demo", {"speedup": 2.0})
+        cand = make_record("demo", {"speedup": 1.5})
+        rows, _ = compare_records(base, cand, threshold=0.10)
+        assert rows[0]["verdict"] == "regression"
+
+    def test_one_sided_metrics_warn(self):
+        base = make_record("demo", {"walk_s": 1.0, "old_metric": 5.0})
+        cand = make_record("demo", {"walk_s": 1.0, "new_metric": 5.0})
+        rows, warnings = compare_records(base, cand, threshold=0.10)
+        text = "\n".join(warnings)
+        assert "old_metric" in text and "new_metric" in text
+
+    def test_compare_needs_two_records(self, tmp_path):
+        append_record(_record(1.0, ts=1.0), history_dir=tmp_path)
+        with pytest.raises(ValueError):
+            compare("demo", history_dir=tmp_path)
+
+    def test_compare_latest_vs_previous_and_pinned(self, tmp_path):
+        for i, v in enumerate((1.0, 2.0, 1.05)):
+            append_record(_record(v, ts=float(i)), history_dir=tmp_path)
+        # Default baseline: previous record (2.0 -> 1.05 = improvement).
+        result = compare("demo", history_dir=tmp_path, threshold=0.10)
+        assert result["ok"] and not result["regressions"]
+        # Pinned to the first record: 1.0 -> 1.05 within threshold.
+        pinned = compare("demo", history_dir=tmp_path, baseline_index=0,
+                         threshold=0.10)
+        assert pinned["ok"]
+        # Tight threshold turns the same delta into a regression.
+        tight = compare("demo", history_dir=tmp_path, baseline_index=0,
+                        threshold=0.01)
+        assert not tight["ok"] and tight["regressions"] == ["walk_s"]
+
+    def test_format_outputs_render(self, tmp_path):
+        for i, v in enumerate((1.0, 1.5)):
+            append_record(_record(v, ts=float(i)), history_dir=tmp_path)
+        result = compare("demo", history_dir=tmp_path)
+        text = format_compare(result)
+        assert "walk_s" in text and "regression" in text
+        records = load_history("demo", history_dir=tmp_path)
+        trend = format_history(records, metrics=["walk_s"])
+        assert "walk_s" in trend
+
+
+class TestCli:
+    def _main(self, argv):
+        from repro.cli import main
+
+        return main(argv)
+
+    def test_record_compare_history_verbs(self, tmp_path, capsys):
+        hist = str(tmp_path / "history")
+        base = ["bench", "--history-dir", hist]
+        rc = self._main(base + ["record", "--bench", "walk",
+                                "--metrics", '{"walk_s": 1.0}'])
+        assert rc == 0
+        rc = self._main(base + ["record", "--bench", "walk",
+                                "--metrics", '{"walk_s": 1.3}'])
+        assert rc == 0
+        # 30% regression over a 10% threshold: gate closes.
+        assert self._main(base + ["compare", "--bench", "walk"]) == 1
+        out = capsys.readouterr().out
+        assert "regression" in out
+        # Identical re-run: gate opens.
+        rc = self._main(base + ["record", "--bench", "walk",
+                                "--metrics", '{"walk_s": 1.3}'])
+        assert rc == 0
+        assert self._main(base + ["compare", "--bench", "walk"]) == 0
+        assert self._main(base + ["history", "--bench", "walk"]) == 0
+        out = capsys.readouterr().out
+        assert "walk_s" in out
+
+    def test_record_rejects_bad_metrics_json(self, tmp_path):
+        rc = self._main([
+            "bench", "--history-dir", str(tmp_path), "record",
+            "--bench", "walk", "--metrics", "{broken",
+        ])
+        assert rc == 2
+
+    def test_history_without_records_fails(self, tmp_path):
+        rc = self._main([
+            "bench", "--history-dir", str(tmp_path), "history",
+            "--bench", "nothing",
+        ])
+        assert rc == 1

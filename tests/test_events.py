@@ -1,0 +1,156 @@
+"""Structured event log: schema, install/emit plumbing, run correlation."""
+
+import os
+
+import pytest
+
+from repro.engines.base import Workload
+from repro.graph.datasets import load_dataset
+from repro.telemetry import EventLog, events, new_run_id
+
+
+@pytest.fixture(autouse=True)
+def _isolate_event_log():
+    """Each test starts with no installed log and restores the previous."""
+    previous = events.install(None)
+    yield
+    events.install(previous)
+
+
+class TestEventLog:
+    def test_run_id_format(self):
+        rid = new_run_id()
+        assert len(rid) == 16
+        int(rid, 16)  # hex
+
+    def test_emit_stamps_envelope(self):
+        log = EventLog()
+        ev = log.emit("cache.evicted", key="trunk:3", nbytes=4096)
+        assert ev["run_id"] == log.run_id
+        assert ev["kind"] == "cache.evicted"
+        assert ev["pid"] == os.getpid()
+        assert ev["ts"] > 0
+        assert ev["key"] == "trunk:3" and ev["nbytes"] == 4096
+
+    def test_module_emit_without_install_is_noop(self):
+        assert events.current() is None
+        assert events.emit("anything", x=1) is None
+        assert events.current_run_id() is None
+
+    def test_install_routes_module_emit(self):
+        log = EventLog()
+        assert events.install(log) is None
+        try:
+            events.emit("io.retry", site="trunk_read", attempt=1)
+            assert events.current() is log
+            assert events.current_run_id() == log.run_id
+            assert log.kinds() == ["io.retry"]
+        finally:
+            events.install(None)
+
+    def test_install_returns_previous(self):
+        a, b = EventLog(), EventLog()
+        events.install(a)
+        assert events.install(b) is a
+        assert events.install(None) is b
+
+    def test_write_read_round_trip(self, tmp_path):
+        log = EventLog()
+        log.emit("chunk.retry", chunk_id=4, attempt=1, reason="crash")
+        log.emit("backend.degraded", from_backend="process",
+                 to_backend="thread")
+        path = tmp_path / "events.jsonl"
+        assert log.write(path) == 2
+        back = EventLog.read(path)
+        assert back == log.events
+
+    def test_read_skips_blank_lines(self, tmp_path):
+        log = EventLog()
+        log.emit("x")
+        path = tmp_path / "e.jsonl"
+        path.write_text("\n".join(log.lines()) + "\n\n")
+        assert len(EventLog.read(path)) == 1
+
+    def test_extend_preserves_foreign_run_id(self):
+        # Worker events ship back already stamped; extend must not
+        # restamp them with the destination log's identity fields.
+        parent = EventLog()
+        child = EventLog(run_id=parent.run_id)
+        child.emit("chunk.exec", chunk_id=0)
+        parent.extend(child.events)
+        assert parent.events[0]["run_id"] == parent.run_id
+        assert parent.events[0]["chunk_id"] == 0
+
+
+class TestRunCorrelation:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return load_dataset("tiny", seed=5)
+
+    @pytest.fixture(scope="class")
+    def spec(self):
+        from repro.walks.apps import APPLICATIONS
+
+        return APPLICATIONS["exponential"]
+
+    def _run_parallel(self, graph, spec, backend, workers=2):
+        from repro.parallel.engine import ParallelBatchTeaEngine
+
+        engine = ParallelBatchTeaEngine(
+            graph, spec, workers=workers, chunk_size=8, backend=backend,
+        )
+        log = EventLog()
+        events.install(log)
+        result = engine.run(
+            Workload(walks_per_vertex=2, max_length=10), seed=0
+        )
+        return engine, log, result
+
+    def test_thread_backend_single_run_id(self, graph, spec):
+        engine, log, result = self._run_parallel(graph, spec, "thread")
+        assert log.events
+        assert {e["run_id"] for e in log.events} == {log.run_id}
+        assert "chunk.exec" in log.kinds()
+        assert result.run_id == log.run_id
+
+    def test_process_backend_ships_worker_events(self, graph, spec):
+        engine, log, result = self._run_parallel(
+            graph, spec, "process", workers=4
+        )
+        if engine.last_backend != "process":
+            pytest.skip("process backend unavailable on this host")
+        assert {e["run_id"] for e in log.events} == {log.run_id}
+        worker_pids = {e["pid"] for e in log.events} - {os.getpid()}
+        assert worker_pids, "no events shipped back from worker processes"
+
+    def test_engine_result_run_id_lands_in_report(self, graph, spec):
+        from repro.engines.batch import BatchTeaEngine
+
+        log = EventLog()
+        events.install(log)
+        engine = BatchTeaEngine(graph, spec)
+        result = engine.run(Workload(walks_per_vertex=1, max_length=5),
+                            seed=0)
+        assert result.run_id == log.run_id
+        assert result.run_report()["meta"]["run_id"] == log.run_id
+
+    def test_fault_injection_is_logged(self, graph, spec):
+        from repro.parallel.engine import ParallelBatchTeaEngine
+        from repro.resilience.faults import FaultInjector, FaultRule
+
+        injector = FaultInjector([
+            FaultRule(site="chunk", kind="worker_crash",
+                      chunks=frozenset({0}), max_triggers=1),
+        ])
+        engine = ParallelBatchTeaEngine(
+            graph, spec, workers=2, chunk_size=8, backend="thread",
+            fault_injector=injector,
+        )
+        log = EventLog()
+        events.install(log)
+        engine.run(Workload(walks_per_vertex=2, max_length=10), seed=0)
+        kinds = set(log.kinds())
+        assert "fault.injected" in kinds
+        assert "chunk.retry" in kinds
+        retry = next(e for e in log.events if e["kind"] == "chunk.retry")
+        assert retry["chunk_id"] == 0 and retry["run_id"] == log.run_id

@@ -1,0 +1,200 @@
+"""Phase profiler: hierarchy, accounting identities, absorb/fold, CLI."""
+
+import json
+
+import pytest
+
+from repro.engines.base import Workload
+from repro.engines.batch import BatchTeaEngine
+from repro.graph.datasets import load_dataset
+from repro.telemetry import NULL_PROFILER, PhaseProfiler
+from repro.telemetry.profile import NullProfiler
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("tiny", seed=3)
+
+
+@pytest.fixture(scope="module")
+def spec():
+    from repro.walks.apps import APPLICATIONS
+
+    return APPLICATIONS["exponential"]
+
+
+class TestPhaseAccounting:
+    def test_nesting_builds_path_tuples(self):
+        p = PhaseProfiler(calibrate=False)
+        with p.phase("walk"):
+            with p.phase("gather"):
+                pass
+            with p.phase("draw"):
+                pass
+        with p.phase("finalize"):
+            pass
+        assert set(p.phases) == {
+            ("walk",), ("walk", "gather"), ("walk", "draw"), ("finalize",),
+        }
+
+    def test_reentry_accumulates_calls(self):
+        p = PhaseProfiler(calibrate=False)
+        for _ in range(5):
+            with p.phase("step"):
+                pass
+        calls, inclusive, self_s = p.phases[("step",)]
+        assert calls == 5
+        assert inclusive >= self_s >= 0.0
+
+    def test_self_plus_children_equals_inclusive(self):
+        p = PhaseProfiler(calibrate=False)
+        with p.phase("walk"):
+            with p.phase("gather"):
+                sum(range(1000))
+            with p.phase("draw"):
+                sum(range(1000))
+        walk = p.phases[("walk",)]
+        children = sum(
+            cell[1] for path, cell in p.phases.items()
+            if len(path) == 2 and path[0] == "walk"
+        )
+        assert walk[1] == pytest.approx(walk[2] + children, rel=1e-6)
+
+    def test_root_seconds_counts_only_roots(self):
+        p = PhaseProfiler(calibrate=False)
+        p.add_seconds(("a",), 1.0)
+        p.add_seconds(("a", "x"), 0.7)
+        p.add_seconds(("b",), 2.0)
+        assert p.root_seconds() == pytest.approx(3.0)
+        assert p.phase_seconds("x") == pytest.approx(0.7)
+
+    def test_phase_survives_exception(self):
+        p = PhaseProfiler(calibrate=False)
+        with pytest.raises(RuntimeError):
+            with p.phase("walk"):
+                with p.phase("gather"):
+                    raise RuntimeError("boom")
+        # Both frames closed and charged; the stack is empty again.
+        assert ("walk", "gather") in p.phases
+        assert p._stack == []
+        with p.phase("next"):
+            pass
+        assert ("next",) in p.phases
+
+
+class TestAbsorb:
+    def _chunk_snapshot(self, scale=1.0):
+        p = PhaseProfiler(calibrate=False)
+        p.add_seconds(("chunk_exec",), 1.0 * scale, self_seconds=0.2 * scale)
+        p.add_seconds(("chunk_exec", "gather"), 0.8 * scale)
+        return p.snapshot()
+
+    def test_absorb_prefixes_and_sums(self):
+        parent = PhaseProfiler(calibrate=False)
+        parent.absorb(self._chunk_snapshot(1.0), prefix=("walk",))
+        parent.absorb(self._chunk_snapshot(2.0), prefix=("walk",))
+        cell = parent.phases[("walk", "chunk_exec")]
+        assert cell[0] == 2
+        assert cell[1] == pytest.approx(3.0)
+        assert parent.phases[("walk", "chunk_exec", "gather")][1] == (
+            pytest.approx(2.4)
+        )
+
+    def test_absorb_is_associative(self):
+        snaps = [self._chunk_snapshot(s) for s in (1.0, 2.0, 3.0)]
+        a = PhaseProfiler(calibrate=False)
+        for s in snaps:
+            a.absorb(s, prefix=("walk",))
+        b = PhaseProfiler(calibrate=False)
+        for s in reversed(snaps):
+            b.absorb(s, prefix=("walk",))
+        assert set(a.phases) == set(b.phases)
+        for path, cell in a.phases.items():
+            # Associative up to float summation order.
+            assert cell == pytest.approx(b.phases[path])
+        assert a.events == b.events
+
+    def test_negative_self_clamped_in_collapsed_output(self):
+        # Synthetic parents (parallel fold) can carry negative self time;
+        # the flamegraph rendering must clamp, not emit negative counts.
+        p = PhaseProfiler(calibrate=False)
+        p.add_seconds(("walk",), 1.0, self_seconds=-0.5)
+        line = p.collapsed_stacks().splitlines()[0]
+        assert line == "walk 0"
+
+    def test_snapshot_round_trips_through_json(self):
+        snap = self._chunk_snapshot()
+        again = json.loads(json.dumps(snap))
+        p = PhaseProfiler(calibrate=False)
+        p.absorb(again, prefix=())
+        assert p.phases[("chunk_exec",)][1] == pytest.approx(1.0)
+
+
+class TestNullProfiler:
+    def test_disabled_and_inert(self):
+        assert NULL_PROFILER.enabled is False
+        with NULL_PROFILER.phase("x"):
+            pass
+        NULL_PROFILER.add_seconds(("x",), 1.0)
+        NULL_PROFILER.absorb({"phases": {"x": {}}})
+        assert isinstance(NULL_PROFILER, NullProfiler)
+
+    def test_engines_default_to_null(self, graph, spec):
+        engine = BatchTeaEngine(graph, spec)
+        assert engine.profiler is NULL_PROFILER
+        engine.run(Workload(walks_per_vertex=1, max_length=5), seed=0)
+
+
+class TestEngineProfiles:
+    def test_batch_engine_charges_hot_loop_phases(self, graph, spec):
+        engine = BatchTeaEngine(graph, spec)
+        engine.profiler = profiler = PhaseProfiler(calibrate=False)
+        engine.run(Workload(walks_per_vertex=2, max_length=20), seed=1)
+        for name in ("prepare", "walk", "finalize"):
+            assert (name,) in profiler.phases, profiler.phases.keys()
+        for name in ("gather", "draw", "scatter"):
+            assert ("walk", name) in profiler.phases
+        # Hot-loop phases nest under walk and stay within its envelope.
+        walk = profiler.phases[("walk",)][1]
+        inner = sum(
+            profiler.phases[("walk", n)][1]
+            for n in ("gather", "draw", "scatter")
+        )
+        assert inner <= walk
+
+    def test_format_table_and_coverage_footer(self, graph, spec):
+        engine = BatchTeaEngine(graph, spec)
+        engine.profiler = profiler = PhaseProfiler(calibrate=False)
+        engine.run(Workload(walks_per_vertex=1, max_length=10), seed=2)
+        table = profiler.format_table(wall_seconds=profiler.root_seconds())
+        assert "gather" in table and "coverage:" in table
+
+    def test_profiling_does_not_change_walks(self, graph, spec):
+        workload = Workload(walks_per_vertex=2, max_length=15)
+        plain = BatchTeaEngine(graph, spec)
+        r1 = plain.run(workload, seed=7)
+        profiled = BatchTeaEngine(graph, spec)
+        profiled.profiler = PhaseProfiler(calibrate=False)
+        r2 = profiled.run(workload, seed=7)
+        assert r1.total_steps == r2.total_steps
+        assert [p.vertices for p in r1.paths] == [p.vertices for p in r2.paths]
+
+
+class TestCliProfile:
+    def test_walk_profile_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "stacks.txt"
+        rc = main([
+            "walk", "--dataset", "tiny", "--engine", "tea-batch",
+            "--app", "exponential", "--length", "10", "--max-walks", "30",
+            "--profile", "--profile-out", str(out),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr().out
+        assert "phase" in captured and "coverage:" in captured
+        text = out.read_text()
+        assert text.strip(), "collapsed stacks file is empty"
+        for line in text.splitlines():
+            path, _, micros = line.rpartition(" ")
+            assert path and int(micros) >= 0

@@ -1,6 +1,7 @@
 """Telemetry subsystem: registry, spans, exporters, and engine wiring."""
 
 import json
+import math
 
 import pytest
 
@@ -223,6 +224,64 @@ class TestPrometheus:
         r.counter("walk.steps-done").inc()
         text = to_prometheus(r)
         assert "tea_walk_steps_done 1" in text
+
+    def test_special_float_values_round_trip(self):
+        r = MetricsRegistry()
+        r.gauge("pos_inf").set(float("inf"))
+        r.gauge("neg_inf").set(float("-inf"))
+        r.gauge("nan").set(float("nan"))
+        text = to_prometheus(r)
+        # repr() would emit 'inf'/'nan', which scrapers reject.
+        assert "tea_pos_inf +Inf" in text
+        assert "tea_neg_inf -Inf" in text
+        assert "tea_nan NaN" in text
+        parsed = parse_prometheus(text)
+        assert parsed["tea_pos_inf"]["value"] == float("inf")
+        assert parsed["tea_neg_inf"]["value"] == float("-inf")
+        assert math.isnan(parsed["tea_nan"]["value"])
+
+    def test_sanitisation_collisions_stay_distinct(self):
+        # 'cache.hits' and 'cache hits' both flatten to tea_cache_hits;
+        # the exposition must not silently merge them into one series.
+        r = MetricsRegistry()
+        r.counter("cache.hits").inc(1)
+        r.counter("cache hits").inc(2)
+        r.counter("cache-hits").inc(3)
+        parsed = parse_prometheus(to_prometheus(r))
+        values = {
+            name: m["value"] for name, m in parsed.items()
+            if m["type"] == "counter"
+        }
+        assert values == {
+            "tea_cache_hits": 1.0,
+            "tea_cache_hits_2": 2.0,
+            "tea_cache_hits_3": 3.0,
+        }
+
+    def test_histogram_round_trip_after_registry_fold(self):
+        # The per-worker discipline: private registries folded with
+        # merge() must expose the same histogram as one shared registry.
+        shards = []
+        for offset in range(3):
+            r = MetricsRegistry()
+            h = r.histogram("lat", "fold me", start=0.001, growth=4.0,
+                            buckets=8)
+            for i in range(4):
+                h.observe(0.0005 * (offset + 1) * (i + 1))
+            shards.append(r)
+        folded = MetricsRegistry()
+        folded.histogram("lat", "fold me", start=0.001, growth=4.0,
+                         buckets=8)
+        for shard in shards:
+            folded.merge(shard)
+        direct = MetricsRegistry()
+        d = direct.histogram("lat", "fold me", start=0.001, growth=4.0,
+                             buckets=8)
+        for offset in range(3):
+            for i in range(4):
+                d.observe(0.0005 * (offset + 1) * (i + 1))
+        assert (parse_prometheus(to_prometheus(folded))["tea_lat"]
+                == parse_prometheus(to_prometheus(direct))["tea_lat"])
 
 
 class TestRunReport:
