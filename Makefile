@@ -27,10 +27,14 @@ stats-smoke:
 
 # Parallel walk executor smoke: sweep 1 and 2 workers on a tiny graph,
 # asserting bit-determinism across worker counts, telemetry conservation
-# (sum of per-worker steps == serial steps), and no wall-time regression
-# (>= 1.0x speedup on multi-core hosts; an overhead floor on 1 core).
+# (sum of per-worker steps == serial steps), warm-pool reuse (second run
+# pays zero pool startup), and no wall-time regression (>= 1.0x speedup
+# on multi-core hosts; an overhead floor on 1 core). --gate additionally
+# runs the recorded speedup gate on >=4-core hosts: a >=2s-serial
+# workload must reach >2x at 4 process workers (bench history:
+# walk_scaling_gate.jsonl); smaller hosts append a skip note instead.
 scaling-smoke:
-	PYTHONPATH=src $(PYTHON) -m repro.parallel.scaling --smoke
+	PYTHONPATH=src $(PYTHON) -m repro.parallel.scaling --smoke --gate
 	@echo "scaling-smoke: parallel invariants hold"
 
 # Out-of-core smoke: scalar-vs-batched step parity at max_length=1,

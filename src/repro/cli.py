@@ -118,6 +118,9 @@ def cmd_walk(args) -> int:
             chunk_size=args.chunk_size, backend=args.parallel_backend,
             retries=args.retries, chunk_timeout=args.chunk_timeout,
             fault_injector=injector,
+            warm_pool=args.warm_pool,
+            chunk_target_ms=args.chunk_target_ms,
+            interleave=args.interleave,
         )
     elif args.engine == "tea-ooc":
         engine = TeaOutOfCoreEngine(
@@ -175,6 +178,11 @@ def cmd_walk(args) -> int:
         wall_seconds = _now() - wall_start
     finally:
         telemetry_events.install(previous_log)
+        # One CLI invocation = one engine lifetime: release warm pools
+        # and the shared-memory image before reporting.
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
     report = result.run_report(meta={
         "dataset": args.dataset or args.input,
         "run_id": event_log.run_id,
@@ -485,11 +493,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run chunk-parallel with N workers "
                         "(implies --engine tea-parallel)")
     p.add_argument("--chunk-size", type=int, default=None, metavar="M",
-                   help="start vertices per work-queue chunk "
-                        "(default ~4 chunks/worker)")
+                   help="start vertices per work-queue chunk (default: "
+                        "adaptive, sized to --chunk-target-ms of work)")
+    p.add_argument("--chunk-target-ms", type=float, default=None,
+                   metavar="MS",
+                   help="work per chunk the adaptive planner targets "
+                        "(default 75; ignored with --chunk-size)")
     p.add_argument("--parallel-backend", default="auto",
                    choices=["auto", "process", "thread", "serial"],
                    help="worker pool type for tea-parallel")
+    p.add_argument("--warm-pool", dest="warm_pool", action="store_true",
+                   default=True,
+                   help="keep worker pools alive across runs (default)")
+    p.add_argument("--no-warm-pool", dest="warm_pool", action="store_false",
+                   help="tear pools down after every run (cold-start "
+                        "comparison mode)")
+    p.add_argument("--interleave", type=int, default=1, metavar="K",
+                   help="walker cohorts per chunk advanced round-robin "
+                        "inside each worker (1 disables; output is "
+                        "bit-identical either way)")
     p.add_argument("--cache-bytes", type=int, default=DEFAULT_OOC_CACHE_BYTES,
                    metavar="B",
                    help="re-entry cache budget for the out-of-core engines "

@@ -23,6 +23,7 @@ what lets benchmarks run the paper's full R·|V| workloads.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -31,7 +32,7 @@ import numpy as np
 from repro.core import builder
 from repro.engines.base import Engine, EngineResult, Workload
 from repro.graph.temporal_graph import TemporalGraph
-from repro.rng import RngLike, make_rng
+from repro.rng import GeneratorLanes, RngLike, make_rng
 from repro.sampling.counters import CostCounters
 from repro.telemetry import (
     MemoryReport,
@@ -110,6 +111,9 @@ def hpat_sample_batch(
     ss: np.ndarray,
     rng: np.random.Generator,
     counters: Optional[CostCounters] = None,
+    *,
+    draw=None,
+    lanes: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Vectorised HPAT draws for parallel arrays of (vertex, candidate size).
 
@@ -117,13 +121,23 @@ def hpat_sample_batch(
     :class:`BatchTeaEngine` and the GNN neighborhood sampler
     (:mod:`repro.gnn`). Returns per-query edge indices local to each
     vertex's adjacency; every ``ss`` entry must be >= 1.
+
+    ``draw``/``lanes`` route uniforms through a lane-draw source
+    (:class:`~repro.rng.LaneRng` keyed per walk, or the bit-compatible
+    :class:`~repro.rng.GeneratorLanes` default over ``rng``): row ``i``
+    draws from lane ``lanes[i]``, which is what makes the parallel
+    executor's output independent of chunking and scheduling.
     """
     n = vs.size
     if n == 0:
         return np.zeros(0, dtype=np.int64)
+    if draw is None:
+        draw = GeneratorLanes(rng)
+    if lanes is None:
+        lanes = np.arange(n, dtype=np.int64)
     cbase = index.indptr[vs] + vs
     totals = index.c[cbase + ss]
-    r = totals - rng.random(n) * totals  # draws in (0, total]
+    r = totals - draw.uniform(lanes) * totals  # draws in (0, total]
 
     # ITS over trunks, bit-scan lockstep: find the block of the binary
     # decomposition whose cumulative boundary covers r.
@@ -161,9 +175,10 @@ def hpat_sample_batch(
         k = level[deep]
         width = np.int64(1) << k
         start = index.lvl_ptr[index.lvl_base[dvs] + k - 1] + offset[deep]
-        cell = (rng.random(dvs.size) * width).astype(np.int64)
+        deep_lanes = lanes[deep]
+        cell = (draw.uniform(deep_lanes) * width).astype(np.int64)
         cell = np.minimum(cell, width - 1)
-        take_cell = rng.random(dvs.size) < index.prob[start + cell]
+        take_cell = draw.uniform(deep_lanes) < index.prob[start + cell]
         local = np.where(take_cell, cell, index.alias[start + cell])
         out[deep] = offset[deep] + local
         if counters is not None:
@@ -254,13 +269,14 @@ class BatchTeaEngine(Engine):
 
     def _sample_batch(
         self, vs: np.ndarray, ss: np.ndarray, rng: np.random.Generator,
-        counters: CostCounters,
+        counters: CostCounters, draw=None, lanes: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """HPAT draws for parallel arrays of (vertex, candidate size).
 
         Delegates to the shared :func:`hpat_sample_batch` kernel.
         """
-        return hpat_sample_batch(self.index, vs, ss, rng, counters)
+        return hpat_sample_batch(self.index, vs, ss, rng, counters,
+                                 draw=draw, lanes=lanes)
 
     def _beta_batch(self, prev: np.ndarray, cand: np.ndarray) -> np.ndarray:
         """Vectorised node2vec β(prev, cand) (Equation 4).
@@ -302,6 +318,8 @@ class BatchTeaEngine(Engine):
         keep_hops: bool,
         frontier_hist=None,
         profiler=None,
+        lane_rng=None,
+        interleave: int = 1,
     ) -> FrontierResult:
         """Advance every walk in ``starts`` to completion, vectorised.
 
@@ -317,6 +335,15 @@ class BatchTeaEngine(Engine):
         worker threads — each chunk profiles into its own instance.
         Phase cost is charged per frontier *iteration*, not per step, so
         the bookkeeping stays far under the <5% overhead budget.
+
+        ``lane_rng`` substitutes counter-based per-walk streams
+        (:class:`~repro.rng.LaneRng`, one lane per start) for the shared
+        generator; ``interleave`` > 1 then splits the frontier into that
+        many walker cohorts advanced round-robin (ThunderRW-style step
+        interleaving) — bit-identical to the single-cohort pass because
+        each lane's draws are keyed on its own counter, not call order.
+        Without ``lane_rng`` a cohort schedule would perturb the shared
+        generator's draw order, so ``interleave`` is forced to 1.
         """
         prof = profiler if profiler is not None else NULL_PROFILER
         g = self.graph
@@ -330,22 +357,31 @@ class BatchTeaEngine(Engine):
             hop_vertex = np.zeros((num, max_length), dtype=np.int64)
             hop_time = np.zeros((num, max_length), dtype=np.float64)
 
+        draw_src = lane_rng if lane_rng is not None else GeneratorLanes(rng)
+        if lane_rng is None:
+            interleave = 1
+
         cur = starts.copy()
         prev = np.full(num, -1, dtype=np.int64)
         s = (g.indptr[cur + 1] - g.indptr[cur]).astype(np.int64)
         steps_left = np.full(num, max_length, dtype=np.int64)
         active = (s > 0) & (steps_left > 0)
-        lanes = np.flatnonzero(active)
-        iteration = 0
-        while lanes.size:
+
+        def advance(lanes: np.ndarray, iteration: int) -> np.ndarray:
+            """One frontier iteration over ``lanes``; returns survivors.
+
+            Closes over the walk-state arrays (``cur``/``prev``/``s``/
+            ``steps_left``/hop columns); cohorts hold disjoint lane sets,
+            so interleaved calls never touch the same rows.
+            """
             with prof.phase("gather"):
                 if frontier_hist is not None:
                     frontier_hist.observe(lanes.size)
                 if stop_probability:
-                    survive = rng.random(lanes.size) >= stop_probability
+                    survive = draw_src.uniform(lanes) >= stop_probability
                     lanes = lanes[survive]
                     if not lanes.size:
-                        break
+                        return lanes
                 counters.steps += lanes.size
                 vs = cur[lanes]
                 ss = s[lanes]
@@ -353,12 +389,15 @@ class BatchTeaEngine(Engine):
                 idx_out = np.empty(lanes.size, dtype=np.int64)
             with prof.phase("draw"):
                 for _ in range(_MAX_BETA_ROUNDS):
-                    draw = self._sample_batch(vs[pending], ss[pending], rng, counters)
-                    idx_out[pending] = draw
+                    drawn = self._sample_batch(
+                        vs[pending], ss[pending], rng, counters,
+                        draw=draw_src, lanes=lanes[pending],
+                    )
+                    idx_out[pending] = drawn
                     if beta is None:
                         pending = pending[:0]
                         break
-                    pos_try = g.indptr[vs[pending]] + draw
+                    pos_try = g.indptr[vs[pending]] + drawn
                     cand = g.nbr[pos_try]
                     pv = prev[lanes][pending]
                     has_prev = pv >= 0
@@ -372,7 +411,7 @@ class BatchTeaEngine(Engine):
                                  for p, c in zip(pv[has_prev], cand[has_prev])),
                                 dtype=np.float64,
                             )
-                    accept = rng.random(pending.size) * beta_max <= b
+                    accept = draw_src.uniform(lanes[pending]) * beta_max <= b
                     counters.rejection_trials += pending.size
                     counters.edges_evaluated += pending.size
                     counters.rejected += int((~accept).sum())
@@ -385,7 +424,8 @@ class BatchTeaEngine(Engine):
                     pv = prev[lanes][lane_pos]
                     idx_out[lane_pos] = self._beta_exact_draw(
                         int(vs[lane_pos]), int(ss[lane_pos]),
-                        None if pv < 0 else int(pv), beta, rng, counters,
+                        None if pv < 0 else int(pv), beta,
+                        draw_src.scalar(int(lanes[lane_pos])), counters,
                     )
             with prof.phase("scatter"):
                 pos = g.indptr[vs] + idx_out
@@ -403,7 +443,31 @@ class BatchTeaEngine(Engine):
                 lanes = lanes[still]
                 if lanes.size:
                     self._on_frontier_advance(cur[lanes], s[lanes])
+            return lanes
+
+        frontier = np.flatnonzero(active)
+        if interleave <= 1:
+            iteration = 0
+            while frontier.size:
+                frontier = advance(frontier, iteration)
                 iteration += 1
+        else:
+            # ThunderRW-style ring: split the frontier into k cohorts and
+            # advance them round-robin, so cohort i+1's gather works a
+            # different region of the index while cohort i's draw/scatter
+            # results are still warm. Each ring entry carries its own
+            # iteration count — all lanes of a cohort still share one hop
+            # column per pass, preserving the columnar hop layout.
+            k = max(1, min(int(interleave), int(frontier.size)))
+            ring = deque(
+                (part, 0) for part in np.array_split(frontier, k) if part.size
+            )
+            while ring:
+                cohort, iteration = ring.popleft()
+                with prof.phase("cohort"):
+                    cohort = advance(cohort, iteration)
+                if cohort.size:
+                    ring.append((cohort, iteration + 1))
 
         return FrontierResult(
             starts=starts,

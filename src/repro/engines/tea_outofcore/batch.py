@@ -212,7 +212,13 @@ class BatchTeaOutOfCoreEngine(BatchTeaEngine):
 
     # -- vectorised kernel -----------------------------------------------------
 
-    def _sample_batch(self, vs, ss, rng, counters):
+    def _sample_batch(self, vs, ss, rng, counters, draw=None, lanes=None):
+        # ``draw``/``lanes`` are accepted for base-kernel signature
+        # compatibility but unused: the out-of-core kernel draws from the
+        # chunk generator directly. The parallel executor never routes
+        # lane streams through this engine (workers run the in-memory
+        # kernel over the shared index image), so determinism here stays
+        # keyed on the per-run generator as before.
         if self._prefetcher is not None:
             # Settle outstanding predictions before sampling: they were
             # issued for exactly this round's read_batch, so waiting the

@@ -11,16 +11,30 @@ their chunks independently.
 
 Design invariants:
 
-* **Determinism** — every chunk's randomness comes from a seed planned
-  up front (:mod:`repro.parallel.chunks`), so results are bit-identical
-  across worker counts, backends, and scheduling orders for a fixed
-  ``(seed, chunk_size)``. ``--workers 1`` is the reference run, not a
-  special case.
+* **Determinism** — every *walk* owns a seed planned up front
+  (:mod:`repro.parallel.chunks`) and is advanced by a counter-based
+  lane stream (:class:`~repro.rng.LaneRng`), so results are
+  bit-identical across worker counts, backends, chunk sizes (fixed or
+  adaptive), warm or cold pools, interleave settings, and scheduling
+  orders for a fixed ``seed``. ``--workers 1`` is the reference run,
+  not a special case.
+* **Warm pools** — worker pools and the shared-memory image are
+  *engine-lifetime* resources (:mod:`repro.parallel.pool`): the first
+  run pays pool spin-up and per-worker attach once, later runs find
+  the pool warm (``parallel.pool_startup_seconds == 0``). Supervision
+  recycles a broken/hung pool instead of assuming one pool per
+  attempt. :meth:`close` (or garbage collection) releases everything.
+* **Adaptive chunking** — without an explicit ``chunk_size`` the
+  planner calibrates from a short probe (or the previous run's
+  measured per-walk cost) and sizes chunks to
+  ``chunk_target_ms`` (default ~75ms) of work each, so dispatch
+  overhead is amortised while the queue still load-balances.
 * **Per-worker telemetry** — each chunk carries private
   :class:`~repro.sampling.counters.CostCounters`, registry, and tracer;
   the engine folds all of them at the join barrier through their
   associative merge paths, then adds the ``parallel.*`` metrics
-  (workers, chunks, queue wait, per-worker step totals).
+  (workers, chunks, queue wait, pool startup/attach, per-worker step
+  totals).
 * **Backends** — ``process`` (forked workers, true multi-core; index
   shared via POSIX shared memory with a copy-on-write fallback),
   ``thread`` (numpy releases the GIL for long stretches of the kernel,
@@ -32,13 +46,9 @@ from __future__ import annotations
 
 import multiprocessing
 import time
-from concurrent.futures import (
-    BrokenExecutor,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-)
+from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -47,16 +57,24 @@ from repro.engines.base import EngineResult, Workload
 from repro.engines.batch import BatchTeaEngine, FrontierResult
 from repro.exceptions import WorkerCrashError
 from repro.graph.temporal_graph import TemporalGraph
-from repro.parallel.chunks import ChunkPlan, default_chunk_size, plan_chunks
+from repro.parallel.chunks import (
+    DEFAULT_CHUNK_TARGET_MS,
+    PROBE_WALKS,
+    ChunkPlan,
+    adaptive_chunk_size,
+    plan_chunks,
+    rechunk,
+)
+from repro.parallel.pool import WarmWorkerPool
 from repro.parallel.sharing import export_or_none
 from repro.parallel.worker import (
     ChunkResult,
+    ChunkTask,
     WorkerContext,
     _process_chunk,
-    _process_init,
     execute_chunk,
 )
-from repro.rng import RngLike, make_rng
+from repro.rng import LaneRng, RngLike, make_rng
 from repro.sampling.counters import CostCounters
 from repro.telemetry import (
     LATENCY_BUCKETS,
@@ -70,9 +88,6 @@ from repro.walks.spec import WalkSpec
 
 BACKENDS = ("auto", "process", "thread", "serial")
 SHARE_MODES = ("auto", "shm", "inherit")
-
-#: Task tuple the supervisor tracks: ``(chunk_id, lo, hi)``.
-Task = Tuple[int, int, int]
 
 #: Default per-chunk retry budget (additional attempts after the first).
 DEFAULT_CHUNK_RETRIES = 2
@@ -91,15 +106,28 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         Pool size; defaults to the machine's CPU count. The effective
         pool never exceeds the number of chunks.
     chunk_size:
-        Start vertices per chunk; default targets ~4 chunks per worker
-        (queue-level load balancing). Chunking — not worker count —
-        keys the randomness, so pin it when comparing worker counts.
+        Start vertices per chunk. ``None`` (default) engages the
+        adaptive planner; per-walk seeding makes both settings
+        bit-identical, so pin it only to make chunk *counts*
+        reproducible (e.g. telemetry assertions).
+    chunk_target_ms:
+        Work per chunk the adaptive planner aims for (default
+        :data:`~repro.parallel.chunks.DEFAULT_CHUNK_TARGET_MS`).
+        Ignored when ``chunk_size`` is given.
     backend:
         ``auto`` | ``process`` | ``thread`` | ``serial``.
     share_mode:
         ``auto`` (shared memory, falling back to fork/copy-on-write),
         ``shm``, or ``inherit`` (copy-on-write only). Only the process
         backend ships arrays; threads share the address space.
+    warm_pool:
+        Keep worker pools alive across ``run()`` calls (default). With
+        ``False`` pools are torn down after every run — the PR-2
+        behaviour, kept for cold-start comparisons.
+    interleave:
+        Walker cohorts per chunk advanced round-robin inside a worker
+        (ThunderRW-style step interleaving); 1 disables. Output is
+        bit-identical either way.
     """
 
     name = "tea-parallel"
@@ -115,6 +143,9 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         retries: int = DEFAULT_CHUNK_RETRIES,
         chunk_timeout: Optional[float] = None,
         fault_injector=None,
+        warm_pool: bool = True,
+        chunk_target_ms: Optional[float] = None,
+        interleave: int = 1,
     ):
         super().__init__(graph, spec)
         if backend not in BACKENDS:
@@ -127,8 +158,17 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
         self.chunk_size = int(chunk_size) if chunk_size else None
+        if chunk_target_ms is not None and float(chunk_target_ms) <= 0:
+            raise ValueError("chunk_target_ms must be > 0")
+        self.chunk_target_ms = (
+            float(chunk_target_ms) if chunk_target_ms is not None else None
+        )
+        self.interleave = int(interleave)
+        if self.interleave < 1:
+            raise ValueError("interleave must be >= 1")
         self.backend = backend
         self.share_mode = share_mode
+        self.warm_pool = bool(warm_pool)
         #: Per-chunk retry budget: a chunk may fail (crash, hang, broken
         #: pool) this many times beyond its first attempt before the run
         #: aborts with :class:`WorkerCrashError`.
@@ -150,6 +190,21 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         #: executions repeated after a failure) and ``degraded`` (the
         #: backends fallen back to, in order).
         self.last_events: Dict[str, object] = {"chunk_retries": 0, "degraded": []}
+        #: Pool ledger of the last run: warm serves (``reuses``), pool
+        #: builds and their cost (``builds`` / ``startup_seconds`` /
+        #: ``attach_seconds``).
+        self.last_pool: Dict[str, float] = {
+            "reuses": 0, "builds": 0,
+            "startup_seconds": 0.0, "attach_seconds": 0.0,
+        }
+        # Engine-lifetime execution resources (see close()).
+        self._pools: Dict[str, WarmWorkerPool] = {}
+        self._image = None
+        self._static_ctx: Optional[WorkerContext] = None
+        self._local_worker_ctx: Optional[WorkerContext] = None
+        #: Measured seconds per walk (calibration memory): seeded by the
+        #: probe, refined after every run from actual chunk walls.
+        self._per_walk_seconds: Optional[float] = None
 
     # -- context -----------------------------------------------------------
 
@@ -180,9 +235,7 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
             arrays["static.keys"] = self._static_keys
         return arrays
 
-    def _build_context(
-        self, plan: ChunkPlan, workload: Workload, keep_hops: bool
-    ) -> WorkerContext:
+    def _prebuild_static(self) -> None:
         # Build the static adjacency once in the parent (any dynamic
         # parameter may consult it): workers then share it instead of
         # each lazily rebuilding, and the thread backend avoids a
@@ -193,51 +246,171 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
             and self.graph._static_indptr is None
         ):
             self.graph._build_static_adjacency()
+
+    def _local_ctx(self) -> WorkerContext:
+        """Context for thread/serial chunks: they run against ``self``
+        directly, so only the injector matters."""
+        if self._local_worker_ctx is None:
+            self._local_worker_ctx = WorkerContext(
+                spec=self.spec, aux_max=-1, injector=self.fault_injector,
+            )
+        return self._local_worker_ctx
+
+    def _ensure_static_ctx(self) -> WorkerContext:
+        """The fork-inherited process-worker context, built once.
+
+        Exports the prepared arrays to shared memory (when allowed) the
+        first time a process pool is needed; the image then lives until
+        :meth:`close` because warm pool workers hold views into it
+        across runs.
+        """
+        if self._static_ctx is not None:
+            return self._static_ctx
+        arrays = self._shared_arrays()
+        if self.share_mode in ("auto", "shm"):
+            self._image = export_or_none(arrays)
+            if self._image is not None:
+                arrays = self._image.arrays()
         aux = self.index.aux
-        return WorkerContext(
+        self._static_ctx = WorkerContext(
             spec=self.spec,
-            starts=plan.starts,
-            seeds=plan.seeds,
-            max_length=workload.max_length,
-            stop_probability=workload.stop_probability,
-            keep_hops=keep_hops,
             aux_max=aux.max_size if aux is not None else -1,
-            arrays=self._shared_arrays(),
+            arrays=arrays,
             injector=self.fault_injector,
-            run_id=current_run_id(),
-            profile=self.profiler.enabled,
+        )
+        return self._static_ctx
+
+    def _pool(self, kind: str) -> WarmWorkerPool:
+        pool = self._pools.get(kind)
+        if pool is None:
+            ctx = self._ensure_static_ctx() if kind == "process" else None
+            pool = WarmWorkerPool(kind, self.workers, ctx=ctx)
+            self._pools[kind] = pool
+        return pool
+
+    def _note_pool(self, reused: bool, pool: WarmWorkerPool) -> None:
+        if reused:
+            self.last_pool["reuses"] += 1
+        else:
+            self.last_pool["builds"] += 1
+            self.last_pool["startup_seconds"] += pool.startup_seconds
+            self.last_pool["attach_seconds"] += pool.attach_seconds
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release warm pools and the shared-memory image.
+
+        Idempotent; also invoked by ``__del__`` so dropped engines do
+        not leak worker processes or shm segments. After close the
+        engine remains usable — the next run simply pays startup again.
+        """
+        for pool in self._pools.values():
+            pool.close()
+        self._pools = {}
+        self._static_ctx = None
+        if self._image is not None:
+            self._image.dispose()
+            self._image = None
+
+    def __del__(self):  # noqa: D105 — best-effort resource release
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- planning ----------------------------------------------------------
+
+    def _probe(self, plan: ChunkPlan, workload: Workload) -> Optional[float]:
+        """Measure per-walk seconds on a small prefix of the workload.
+
+        Runs the first :data:`~repro.parallel.chunks.PROBE_WALKS` walks
+        inline with their *actual* lane seeds and discards the result:
+        no counters, no paths, no draw from the run's root generator —
+        so calibration is invisible to determinism and telemetry
+        conservation.
+        """
+        n = min(PROBE_WALKS, plan.num_walks)
+        if n <= 0:
+            return None
+        t0 = time.monotonic()
+        self._run_frontier(
+            plan.starts[:n], workload.max_length, workload.stop_probability,
+            np.random.default_rng(0), CostCounters(), False,
+            lane_rng=LaneRng(plan.seeds[:n]),
+        )
+        return (time.monotonic() - t0) / n
+
+    def _plan(self, starts: np.ndarray, workload: Workload,
+              rng: np.random.Generator, profiler) -> ChunkPlan:
+        """Draw per-walk seeds, then pick the partition.
+
+        Seeds are drawn before (and independently of) the chunk-size
+        decision, which is what makes fixed and adaptive plans walk
+        bit-identical paths.
+        """
+        if self.chunk_size:
+            return plan_chunks(starts, self.chunk_size, rng)
+        plan = plan_chunks(starts, max(1, starts.size), rng)
+        per_walk = self._per_walk_seconds
+        if per_walk is None:
+            with profiler.phase("probe"):
+                per_walk = self._probe(plan, workload)
+        size = adaptive_chunk_size(
+            starts.size, self.workers, per_walk,
+            self.chunk_target_ms if self.chunk_target_ms is not None
+            else DEFAULT_CHUNK_TARGET_MS,
+        )
+        return rechunk(plan, size)
+
+    def _make_task(self, plan: ChunkPlan, chunk_id: int, attempt: int,
+                   rp: Dict[str, object]) -> ChunkTask:
+        lo, hi = plan.chunk(chunk_id)
+        return ChunkTask(
+            chunk_id=chunk_id,
+            starts=plan.starts[lo:hi],
+            seeds=plan.seeds[lo:hi],
+            max_length=rp["max_length"],
+            stop_probability=rp["stop_probability"],
+            keep_hops=rp["keep_hops"],
+            interleave=self.interleave,
+            run_id=rp["run_id"],
+            profile=rp["profile"],
+            attempt=attempt,
         )
 
     # -- execution ---------------------------------------------------------
     #
-    # The supervised executor. One attempt = one pool (or inline pass)
-    # over the currently-pending chunks; the supervisor classifies every
-    # failed chunk as "crash" (the future raised), "hang" (the per-chunk
+    # The supervised executor. One attempt = one pass over the
+    # currently-pending chunks through the active backend's warm pool
+    # (or inline for serial); the supervisor classifies every failed
+    # chunk as "crash" (the future raised), "hang" (the per-chunk
     # timeout expired), or "broken" (the pool itself died, e.g. a worker
     # process exited hard) and requeues it under the retry budget.
-    # "hang"/"broken" also degrade the backend one level down the chain
+    # "hang"/"broken" condemn the pool — mark_broken() recycles it on
+    # its next use — and degrade the backend one level down the chain
     # process -> thread -> serial: a pool that killed or lost a worker
     # is not trusted with the retry. Determinism survives all of this —
-    # a chunk's randomness is keyed by its planned seed, never by the
-    # attempt or the backend that finally ran it.
+    # a walk's randomness is keyed by its planned seed, never by the
+    # attempt, the pool generation, or the backend that finally ran it.
 
     def _degradation_chain(self, backend: str) -> List[str]:
         chain = ["process", "thread", "serial"]
         return chain[chain.index(backend):] if backend in chain else ["serial"]
 
     def _collect(self, futures):
-        """Wait on ``(future, task)`` pairs; classify failures.
+        """Wait on ``(future, chunk_id)`` pairs; classify failures.
 
         Returns ``(done, failed, pool_hurt)`` where ``done`` maps
         chunk_id -> ChunkResult, ``failed`` lists
-        ``(task, reason, exc)``, and ``pool_hurt`` means the pool hung
-        or broke (shutdown must not block on it).
+        ``(chunk_id, reason, exc)``, and ``pool_hurt`` means the pool
+        hung or broke (it must be recycled, and shutdown must not block
+        on it).
         """
         done: Dict[int, ChunkResult] = {}
         failed = []
         broken = hung = False
-        for fut, task in futures:
-            cid = task[0]
+        for fut, cid in futures:
             try:
                 if broken:
                     # A broken pool poisons every unfinished future with
@@ -248,163 +421,125 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
             except FuturesTimeoutError as exc:
                 hung = True
                 fut.cancel()
-                failed.append((task, "hang", exc))
+                failed.append((cid, "hang", exc))
             except BrokenExecutor as exc:
                 broken = True
-                failed.append((task, "broken", exc))
+                failed.append((cid, "broken", exc))
             except Exception as exc:  # noqa: BLE001 — worker raised
-                failed.append((task, "crash", exc))
+                failed.append((cid, "crash", exc))
         return done, failed, broken or hung
 
-    def _attempt_serial(self, tasks: List[Task], ctx: WorkerContext, attempts):
+    def _attempt_serial(self, chunk_ids, plan, rp, attempts):
         done: Dict[int, ChunkResult] = {}
         failed = []
-        for chunk_id, lo, hi in tasks:
+        ctx = self._local_ctx()
+        for cid in chunk_ids:
+            task = self._make_task(plan, cid, attempts[cid], rp)
+            task.enqueue_ts = time.monotonic()
             try:
-                done[chunk_id] = execute_chunk(
-                    self, ctx, chunk_id, lo, hi, time.monotonic(),
-                    attempt=attempts[chunk_id],
-                )
+                done[cid] = execute_chunk(self, ctx, task)
             except Exception as exc:  # noqa: BLE001
-                failed.append(((chunk_id, lo, hi), "crash", exc))
+                failed.append((cid, "crash", exc))
         return done, failed
 
-    def _attempt_thread(
-        self, tasks: List[Task], ctx: WorkerContext, workers_used: int, attempts
-    ):
-        pool = ThreadPoolExecutor(
-            max_workers=workers_used, thread_name_prefix="walk"
-        )
-        pool_hurt = True
-        try:
-            futures = [
-                (
-                    pool.submit(
-                        execute_chunk, self, ctx, chunk_id, lo, hi,
-                        time.monotonic(), attempts[chunk_id],
-                    ),
-                    (chunk_id, lo, hi),
-                )
-                for chunk_id, lo, hi in tasks
-            ]
-            done, failed, pool_hurt = self._collect(futures)
-        finally:
-            # A hung thread cannot be killed: abandon the pool (daemonic
-            # join happens at interpreter exit) rather than deadlock.
-            pool.shutdown(wait=not pool_hurt, cancel_futures=True)
+    def _attempt_thread(self, chunk_ids, plan, rp, attempts):
+        pool = self._pool("thread")
+        executor, reused = pool.ensure()
+        self._note_pool(reused, pool)
+        ctx = self._local_ctx()
+        futures = []
+        for cid in chunk_ids:
+            task = self._make_task(plan, cid, attempts[cid], rp)
+            task.enqueue_ts = time.monotonic()
+            futures.append((executor.submit(execute_chunk, self, ctx, task), cid))
+        done, failed, pool_hurt = self._collect(futures)
+        if pool_hurt:
+            # A hung thread cannot be killed: condemn the pool (its
+            # daemonic join happens at interpreter exit) so the next
+            # attempt — and the next run — gets a fresh one.
+            pool.mark_broken("hang")
         return done, failed
 
-    def _attempt_process(
-        self, tasks: List[Task], ctx: WorkerContext, workers_used: int, attempts
-    ):
-        pool = ProcessPoolExecutor(
-            max_workers=workers_used,
-            mp_context=multiprocessing.get_context("fork"),
-            initializer=_process_init,
-            initargs=(ctx,),
-        )
-        pool_hurt = True
-        try:
-            futures = []
-            unsubmitted = []
-            for chunk_id, lo, hi in tasks:
-                try:
-                    futures.append((
-                        pool.submit(
-                            _process_chunk, chunk_id, lo, hi,
-                            time.monotonic(), attempts[chunk_id],
-                        ),
-                        (chunk_id, lo, hi),
-                    ))
-                except BrokenExecutor as exc:
-                    # A worker died while we were still submitting:
-                    # everything not yet in flight fails as "broken".
-                    unsubmitted.append(((chunk_id, lo, hi), "broken", exc))
-            done, failed, pool_hurt = self._collect(futures)
-            failed.extend(unsubmitted)
-        finally:
-            pool.shutdown(wait=not pool_hurt, cancel_futures=True)
+    def _attempt_process(self, chunk_ids, plan, rp, attempts):
+        pool = self._pool("process")
+        executor, reused = pool.ensure()
+        self._note_pool(reused, pool)
+        futures = []
+        unsubmitted = []
+        for cid in chunk_ids:
+            task = self._make_task(plan, cid, attempts[cid], rp)
+            task.enqueue_ts = time.monotonic()
+            try:
+                futures.append((executor.submit(_process_chunk, task), cid))
+            except BrokenExecutor as exc:
+                # A worker died while we were still submitting:
+                # everything not yet in flight fails as "broken".
+                unsubmitted.append((cid, "broken", exc))
+        done, failed, pool_hurt = self._collect(futures)
+        failed.extend(unsubmitted)
+        if pool_hurt or unsubmitted:
+            pool.mark_broken("worker_death_or_hang")
         return done, failed
 
     def _execute_chunks(
-        self, plan: ChunkPlan, ctx: WorkerContext, backend: str, workers_used: int
+        self, plan: ChunkPlan, backend: str, workers_used: int,
+        rp: Dict[str, object],
     ) -> List[ChunkResult]:
-        pending: List[Task] = [
-            (chunk_id, *plan.chunk(chunk_id)) for chunk_id in range(plan.num_chunks)
-        ]
+        pending: List[int] = list(range(plan.num_chunks))
         if backend == "serial" or workers_used <= 1:
             chain = ["serial"]
         else:
             chain = self._degradation_chain(backend)
 
-        # Process backend: export the image to shared memory when asked;
-        # otherwise (or on export failure) the pre-fork context's arrays
-        # reach children copy-on-write, which is equally zero-copy. The
-        # image outlives any degradation — thread/serial retries read
-        # the shm views just as well.
-        inherit_arrays = ctx.arrays
-        image = None
-        if chain[0] == "process" and self.share_mode in ("auto", "shm"):
-            image = export_or_none(ctx.arrays)
-            if image is not None:
-                ctx.arrays = image.arrays()
-
-        attempts = {task[0]: 0 for task in pending}
+        attempts = {cid: 0 for cid in pending}
         results: Dict[int, ChunkResult] = {}
         level = 0
-        try:
-            while pending:
-                active = chain[level]
-                self.last_backend = active
-                if active == "process":
-                    self.last_share_mode = "shm" if image is not None else "cow"
-                    done, failed = self._attempt_process(
-                        pending, ctx, workers_used, attempts
-                    )
-                elif active == "thread":
-                    if image is None:
-                        self.last_share_mode = "local"
-                    done, failed = self._attempt_thread(
-                        pending, ctx, workers_used, attempts
-                    )
-                else:
-                    if image is None:
-                        self.last_share_mode = "local"
-                    done, failed = self._attempt_serial(pending, ctx, attempts)
-                results.update(done)
-                if not failed:
-                    break
-                degrade = False
-                pending = []
-                for task, reason, exc in failed:
-                    cid = task[0]
-                    attempts[cid] += 1
-                    if attempts[cid] > self.retries:
-                        raise WorkerCrashError(
-                            f"chunk {cid} failed {attempts[cid]} times "
-                            f"(last failure: {reason}); retry budget "
-                            f"({self.retries}) exhausted",
-                            chunk_id=cid, attempts=attempts[cid],
-                        ) from exc
-                    self.last_events["chunk_retries"] += 1
-                    events.emit(
-                        "chunk.retry", chunk_id=cid, attempt=attempts[cid],
-                        reason=reason, error=type(exc).__name__,
-                    )
-                    pending.append(task)
-                    if reason in ("hang", "broken"):
-                        degrade = True
-                if degrade and level < len(chain) - 1:
-                    level += 1
-                    self.last_events["degraded"].append(chain[level])
-                    events.emit(
-                        "backend.degraded",
-                        from_backend=chain[level - 1], to_backend=chain[level],
-                    )
-        finally:
-            if image is not None:
-                ctx.arrays = inherit_arrays  # release shm-backed views
-                image.dispose()
+        while pending:
+            active = chain[level]
+            self.last_backend = active
+            if active == "process":
+                # Materialise the shared image (once per engine) before
+                # reporting how arrays reached the workers.
+                self._ensure_static_ctx()
+                self.last_share_mode = "shm" if self._image is not None else "cow"
+                done, failed = self._attempt_process(pending, plan, rp, attempts)
+            elif active == "thread":
+                if self._image is None:
+                    self.last_share_mode = "local"
+                done, failed = self._attempt_thread(pending, plan, rp, attempts)
+            else:
+                if self._image is None:
+                    self.last_share_mode = "local"
+                done, failed = self._attempt_serial(pending, plan, rp, attempts)
+            results.update(done)
+            if not failed:
+                break
+            degrade = False
+            pending = []
+            for cid, reason, exc in failed:
+                attempts[cid] += 1
+                if attempts[cid] > self.retries:
+                    raise WorkerCrashError(
+                        f"chunk {cid} failed {attempts[cid]} times "
+                        f"(last failure: {reason}); retry budget "
+                        f"({self.retries}) exhausted",
+                        chunk_id=cid, attempts=attempts[cid],
+                    ) from exc
+                self.last_events["chunk_retries"] += 1
+                events.emit(
+                    "chunk.retry", chunk_id=cid, attempt=attempts[cid],
+                    reason=reason, error=type(exc).__name__,
+                )
+                pending.append(cid)
+                if reason in ("hang", "broken"):
+                    degrade = True
+            if degrade and level < len(chain) - 1:
+                level += 1
+                self.last_events["degraded"].append(chain[level])
+                events.emit(
+                    "backend.degraded",
+                    from_backend=chain[level - 1], to_backend=chain[level],
+                )
         # Chunk order, regardless of which attempt produced each result:
         # the fold below is then deterministic.
         return [results[cid] for cid in sorted(results)]
@@ -427,24 +562,46 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         starts = workload.resolve_starts(self.graph.num_vertices, rng).astype(np.int64)
         keep_hops = record_paths or sink is not None
 
-        chunk_size = self.chunk_size or default_chunk_size(starts.size, self.workers)
-        plan = plan_chunks(starts, chunk_size, rng)
+        self.last_events = {"chunk_retries": 0, "degraded": []}
+        self.last_pool = {"reuses": 0, "builds": 0,
+                          "startup_seconds": 0.0, "attach_seconds": 0.0}
+        self._prebuild_static()
+        plan = self._plan(starts, workload, rng, profiler)
+        chunk_size = int(np.diff(plan.bounds).max()) if plan.num_chunks else 1
         workers_used = max(1, min(self.workers, plan.num_chunks))
         backend = self._resolve_backend(workers_used)
         self.last_backend = backend
-        self.last_events = {"chunk_retries": 0, "degraded": []}
-        ctx = self._build_context(plan, workload, keep_hops)
+        rp = {
+            "max_length": workload.max_length,
+            "stop_probability": workload.stop_probability,
+            "keep_hops": keep_hops,
+            "run_id": current_run_id(),
+            "profile": profiler.enabled,
+        }
 
         with timer.phase("walk"), tracer.span(
             "walk", engine=self.name, walks=int(starts.size),
             workers=workers_used, chunks=plan.num_chunks, backend=backend,
         ) as walk_span, profiler.phase("walk"):
-            results = self._execute_chunks(plan, ctx, backend, workers_used)
+            results = self._execute_chunks(plan, backend, workers_used, rp)
             walk_span.set("share_mode", self.last_share_mode)
             if self.last_events["degraded"]:
                 walk_span.set("degraded_to", self.last_backend)
             for res in results:
                 walk_span.children.extend(res.spans)
+
+        if not self.warm_pool:
+            # Cold mode: the PR-2 cost model — pools die with the run.
+            for pool in self._pools.values():
+                pool.close()
+            self._pools = {}
+
+        # Refine the calibration memory from what the run actually
+        # measured: next run's adaptive plan skips the probe.
+        if plan.num_walks and results:
+            total_wall = sum(res.wall_seconds for res in results)
+            if total_wall > 0:
+                self._per_walk_seconds = total_wall / plan.num_walks
 
         # Adopt events shipped back from forked process workers (thread
         # and serial chunks emitted into the shared parent log already).
@@ -476,6 +633,12 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
                                      self_seconds=-chunk_root)
             profiler.add_seconds(("walk", "queue_wait"), total_queue_wait,
                                  calls=len(results))
+            if self.last_pool["builds"]:
+                profiler.add_seconds(
+                    ("walk", "pool_startup"),
+                    float(self.last_pool["startup_seconds"]),
+                    calls=int(self.last_pool["builds"]),
+                )
 
         # Fold at the barrier, in chunk order: counters, registries,
         # lengths, paths. Merge is associative, so this equals any
@@ -501,7 +664,9 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
                 )
                 paths.extend(chunk.materialise_paths(record_paths=record_paths, sink=sink))
 
-            self._publish_parallel_metrics(registry, results, workers_used, plan)
+            self._publish_parallel_metrics(
+                registry, results, workers_used, plan, chunk_size
+            )
             memory = self.memory_report()
             counters.publish(registry)
             registry.counter("walk.walks", "walks executed").inc(int(starts.size))
@@ -526,17 +691,36 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         results: List[ChunkResult],
         workers_used: int,
         plan: ChunkPlan,
+        chunk_size: int,
     ) -> None:
         registry.gauge("parallel.workers", "worker pool size").set(workers_used)
         registry.counter("parallel.chunks", "chunks executed").inc(plan.num_chunks)
+        registry.gauge(
+            "parallel.chunk_size", "walks per chunk the planner chose"
+        ).set(chunk_size)
         # The per-chunk registries already folded their queue-wait
         # observations into parallel.queue_wait_seconds via merge();
         # touch it here so the metric exists even for zero-chunk runs.
+        # Since the pool is warmed before chunks are enqueued, this
+        # measures only unclaimed-queue time — spin-up and attach land
+        # in the two pool gauges below.
         registry.histogram(
             "parallel.queue_wait_seconds",
             "delay between chunk enqueue and execution start",
             **LATENCY_BUCKETS,
         )
+        registry.gauge(
+            "parallel.pool_startup_seconds",
+            "seconds this run spent building worker pools (0 = warm reuse)",
+        ).set(float(self.last_pool["startup_seconds"]))
+        registry.gauge(
+            "parallel.attach_seconds",
+            "summed per-worker shared-index attach seconds this run",
+        ).set(float(self.last_pool["attach_seconds"]))
+        registry.counter(
+            "parallel.pool_reuse",
+            "chunk passes served by an already-warm pool",
+        ).inc(int(self.last_pool["reuses"]))
         per_worker: Dict[str, int] = {}
         for res in results:
             per_worker[res.worker_label] = (

@@ -1,0 +1,152 @@
+"""Warm, persistent worker pools for the parallel walk executor.
+
+The PR-2 executor built a fresh ``ProcessPoolExecutor`` per ``run()``
+attempt, so every run paid worker spawn + shared-index attach before
+the first chunk moved — on small workloads that overhead exceeded the
+walk itself (the 0.44–0.54x "speedups" ROADMAP item 1 records).
+:class:`WarmWorkerPool` makes the pool an *engine-lifetime* resource:
+
+* **startup once** — the executor is created on first use and kept; a
+  second ``run()`` finds it warm and pays ~zero startup
+  (``parallel.pool_startup_seconds == 0`` is the reuse contract the
+  scaling bench demonstrates).
+* **attach once** — process workers build their engine over the shared
+  index image in the pool initializer (fork inherits the static
+  :class:`~repro.parallel.worker.WorkerContext`), so the attach cost is
+  per worker per pool generation, not per run or per chunk. Warmup
+  pings force every worker into existence *before* chunks are enqueued,
+  which is also what lets ``queue_wait_seconds`` measure only genuine
+  queue time.
+* **recycle on harm** — the supervisor marks a pool broken after a hang
+  or a dead worker (:meth:`mark_broken`); the next :meth:`ensure` call
+  rebuilds it from the same static context. Degradation
+  (process → thread → serial) and retries never assume a fresh pool.
+
+Lifecycle telemetry: ``pool.start`` / ``pool.reuse`` / ``pool.recycle``
+/ ``pool.shutdown`` events, plus the startup/attach timings the engine
+republishes as ``parallel.pool_startup_seconds`` /
+``parallel.attach_seconds``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Optional
+
+from repro.parallel.worker import WorkerContext, _process_init, _warmup_ping
+from repro.telemetry import events
+from repro.telemetry.clock import monotonic as _monotonic
+
+#: Seconds to wait for the warmup pings before giving up on measuring
+#: attach time (the pool still works; the metric just reads 0).
+WARMUP_TIMEOUT = 30.0
+
+
+class WarmWorkerPool:
+    """A process or thread executor that outlives ``run()`` calls.
+
+    ``kind`` is ``"process"`` or ``"thread"``; ``ctx`` (process pools
+    only) is the static worker context fork-inherited by every worker
+    at pool creation — it must stay valid for the pool's lifetime,
+    which is why the engine pins the shared-memory image for as long as
+    it owns pools.
+    """
+
+    def __init__(self, kind: str, workers: int,
+                 ctx: Optional[WorkerContext] = None):
+        if kind not in ("process", "thread"):
+            raise ValueError(f"kind must be 'process' or 'thread', got {kind!r}")
+        self.kind = kind
+        self.workers = int(workers)
+        self.ctx = ctx
+        self.executor = None
+        self.broken = False
+        #: Pool builds so far (1 after first ensure; +1 per recycle).
+        self.generation = 0
+        #: Wall seconds the most recent build spent (executor creation
+        #: plus warmup); 0.0 reported for reused-warm serves.
+        self.startup_seconds = 0.0
+        #: Summed per-worker engine-build/attach seconds of the most
+        #: recent build (reported by the warmup pings).
+        self.attach_seconds = 0.0
+
+    @property
+    def warm(self) -> bool:
+        """True when :meth:`ensure` would reuse the live executor."""
+        return self.executor is not None and not self.broken
+
+    def ensure(self):
+        """Return ``(executor, reused)``; builds or rebuilds if needed."""
+        if self.warm:
+            events.emit("pool.reuse", pool=self.kind,
+                        generation=self.generation)
+            return self.executor, True
+        if self.executor is not None:
+            # Broken executor from a previous generation: detach without
+            # waiting (a hung worker must not block the rebuild).
+            self.executor.shutdown(wait=False, cancel_futures=True)
+            self.executor = None
+        t0 = _monotonic()
+        attach = 0.0
+        if self.kind == "process":
+            executor = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=multiprocessing.get_context("fork"),
+                initializer=_process_init,
+                initargs=(self.ctx,),
+            )
+            # Warmup: one ping per worker slot forces every process to
+            # spawn (and so to attach the shared image) before any real
+            # chunk is enqueued. Each ping reports its worker's attach
+            # cost; sum over distinct pids — a fast worker may answer
+            # several pings.
+            try:
+                pings = [executor.submit(_warmup_ping)
+                         for _ in range(self.workers)]
+                seen = {}
+                for ping in pings:
+                    pid, seconds = ping.result(timeout=WARMUP_TIMEOUT)
+                    seen[pid] = seconds
+                attach = float(sum(seen.values()))
+            except Exception:
+                # A worker died during warmup; the supervisor will see
+                # BrokenExecutor on the first real submit and recycle.
+                attach = 0.0
+        else:
+            executor = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="walk"
+            )
+        self.executor = executor
+        self.broken = False
+        self.generation += 1
+        self.startup_seconds = _monotonic() - t0
+        self.attach_seconds = attach
+        events.emit(
+            "pool.start", pool=self.kind, workers=self.workers,
+            generation=self.generation,
+            startup_seconds=round(self.startup_seconds, 6),
+            attach_seconds=round(self.attach_seconds, 6),
+        )
+        return self.executor, False
+
+    def mark_broken(self, reason: str) -> None:
+        """Condemn the current generation; the next ensure() rebuilds.
+
+        Shutdown never waits: the pool is being condemned precisely
+        because a worker hung or died, so joining it could deadlock.
+        """
+        if self.broken:
+            return
+        self.broken = True
+        events.emit("pool.recycle", pool=self.kind, reason=reason,
+                    generation=self.generation)
+
+    def close(self) -> None:
+        """Dispose the executor (end of the owning engine's life)."""
+        if self.executor is None:
+            return
+        self.executor.shutdown(wait=not self.broken, cancel_futures=True)
+        self.executor = None
+        events.emit("pool.shutdown", pool=self.kind,
+                    generation=self.generation)

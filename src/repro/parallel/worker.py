@@ -1,19 +1,24 @@
 """Worker-side chunk execution for the parallel walk executor.
 
 A worker — thread or forked process — owns nothing but a
-:class:`WorkerContext`: the walk parameters, the chunk plan's arrays,
-and the shared read-only image of the prepared index. From it each
-worker builds one private :class:`~repro.engines.batch.BatchTeaEngine`
-via :meth:`~repro.engines.batch.BatchTeaEngine.from_prepared` (no index
-rebuild, no array copies) and then runs chunks through the frontier
-kernel.
+:class:`WorkerContext`: the walk spec and the shared read-only image of
+the prepared index. From it each worker builds one private
+:class:`~repro.engines.batch.BatchTeaEngine` via
+:meth:`~repro.engines.batch.BatchTeaEngine.from_prepared` (no index
+rebuild, no array copies) and then serves :class:`ChunkTask` messages
+for as long as the pool lives — the context is *static* so a warm pool
+(:mod:`repro.parallel.pool`) can span many ``run()`` calls, while
+everything run-scoped (start slices, per-walk seeds, walk parameters,
+``run_id``) ships inside each task.
 
 Every chunk execution carries a private :class:`CostCounters`, a private
 :class:`MetricsRegistry`, and a private :class:`Tracer` — the
 per-worker telemetry discipline (see :mod:`repro.sampling.counters`);
 the engine folds all three at the join barrier. A chunk's randomness
-comes exclusively from its planned seed, so the produced walks are
-independent of which worker ran it.
+comes exclusively from its walks' planned seeds (counter-based
+:class:`~repro.rng.LaneRng` streams), so the produced walks are
+independent of which worker ran it, in which pool generation, at what
+chunk size.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ from repro.core.hpat import HierarchicalPAT
 from repro.core.persist import HPAT_ARRAY_FIELDS
 from repro.engines.batch import BatchTeaEngine, FrontierResult
 from repro.graph.temporal_graph import TemporalGraph
+from repro.rng import LaneRng
 from repro.sampling.counters import CostCounters
 from repro.telemetry import (
     LATENCY_BUCKETS,
@@ -47,9 +53,12 @@ from repro.walks.spec import WalkSpec
 
 @dataclass
 class WorkerContext:
-    """Everything a worker needs to run chunks, with zero-copy arrays.
+    """The *static* half of a worker's world, with zero-copy arrays.
 
-    ``arrays`` maps prefixed names to the shared image:
+    Holds only what stays fixed for the engine's lifetime — the spec,
+    the shared index image, the fault injector — so a warm process pool
+    can inherit it once at fork and keep serving runs. ``arrays`` maps
+    prefixed names to the shared image:
     ``graph.indptr/nbr/etime[/eweight]`` (the spec-restricted CSR), the
     HPAT catalogue fields plus ``candidate_sizes``, and — when the spec
     has a prepared node2vec parameter — ``static.indptr/nbr/keys``. The
@@ -58,11 +67,6 @@ class WorkerContext:
     """
 
     spec: WalkSpec
-    starts: np.ndarray
-    seeds: np.ndarray
-    max_length: int
-    stop_probability: float
-    keep_hops: bool
     aux_max: int
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
     #: Optional :class:`repro.resilience.faults.FaultInjector` evaluated
@@ -70,13 +74,6 @@ class WorkerContext:
     #: plans crash/hang specific chunk attempts deterministically, in
     #: whichever backend (fork inherits it, threads share it).
     injector: object = None
-    #: Run correlation id: process workers install an
-    #: :class:`~repro.telemetry.EventLog` with this id at pool init, so
-    #: worker-side events carry the same ``run_id`` as the parent's.
-    run_id: Optional[str] = None
-    #: When set, every chunk profiles its frontier phases into a
-    #: private :class:`PhaseProfiler` shipped back on the result.
-    profile: bool = False
 
     def build_engine(self) -> BatchTeaEngine:
         """Assemble a private engine over the shared arrays.
@@ -102,6 +99,33 @@ class WorkerContext:
             graph, self.spec, index, a["candidate_sizes"],
             static_keys=a.get("static.keys"),
         )
+
+
+@dataclass
+class ChunkTask:
+    """One chunk of walks, fully self-describing, shipped per dispatch.
+
+    Carries the run-scoped state a warm worker cannot inherit: the
+    chunk's start/seed slices (small — ``chunk_size`` ints each), the
+    walk parameters, and the parent's ``run_id`` so a pool that outlives
+    runs stamps events with the *current* run, not the one it was warmed
+    under. ``enqueue_ts`` is taken at submit, after the pool is warm —
+    the resulting ``queue_wait_seconds`` measures only time spent
+    unclaimed in the queue (pool spin-up and shm attach are accounted
+    separately by :mod:`repro.parallel.pool`).
+    """
+
+    chunk_id: int
+    starts: np.ndarray
+    seeds: np.ndarray
+    max_length: int
+    stop_probability: float
+    keep_hops: bool
+    interleave: int = 1
+    run_id: Optional[str] = None
+    profile: bool = False
+    enqueue_ts: float = 0.0
+    attempt: int = 0
 
 
 @dataclass
@@ -131,7 +155,7 @@ class ChunkResult:
     #: Thread/serial chunks leave this empty — they append into the
     #: shared parent log directly.
     events: List[dict] = field(default_factory=list)
-    #: Per-chunk profiler snapshot (``WorkerContext.profile`` only).
+    #: Per-chunk profiler snapshot (``ChunkTask.profile`` only).
     profile: Optional[dict] = None
 
     @property
@@ -148,63 +172,67 @@ def worker_label() -> str:
 
 
 def execute_chunk(
-    engine: BatchTeaEngine,
-    ctx: WorkerContext,
-    chunk_id: int,
-    lo: int,
-    hi: int,
-    enqueue_ts: float,
-    attempt: int = 0,
+    engine: BatchTeaEngine, ctx: WorkerContext, task: ChunkTask
 ) -> ChunkResult:
-    """Walk chunk ``chunk_id`` (``starts[lo:hi]``) to completion.
+    """Walk ``task``'s chunk to completion.
 
-    Runs the same frontier kernel as the serial engine with a fresh
-    generator seeded from the chunk plan; telemetry goes to private
-    per-chunk instances. ``enqueue_ts`` (``time.monotonic`` at submit)
-    yields the queue-wait share the scaling report tracks.
+    Runs the same frontier kernel as the serial engine, with per-walk
+    :class:`~repro.rng.LaneRng` streams keyed on the task's seed slice;
+    telemetry goes to private per-chunk instances.
 
-    ``attempt`` is the supervisor's retry ordinal: it keys fault
+    ``task.attempt`` is the supervisor's retry ordinal: it keys fault
     injection only — the chunk's randomness still comes exclusively
-    from its planned seed, so a retried chunk reproduces its exact
-    paths (bit-determinism survives crashes).
+    from its walks' planned seeds, so a retried chunk reproduces its
+    exact paths (bit-determinism survives crashes, pool rebuilds, and
+    backend degradation).
     """
     t0 = _monotonic()
-    queue_wait = max(0.0, t0 - enqueue_ts)
+    queue_wait = max(0.0, t0 - task.enqueue_ts)
     # Event shipping: thread/serial chunks emit straight into the
     # parent's installed log; a forked process worker emits into its own
-    # (inherited or pool-init-installed) log and ships only the events
-    # recorded during this chunk back on the result.
-    log = events.current()
+    # log and ships only the events recorded during this chunk back on
+    # the result. A warm worker may have been forked under an earlier
+    # run (or before any run): re-stamp its log whenever the task's
+    # run_id differs.
     in_child = multiprocessing.parent_process() is not None
+    log = events.current()
+    if in_child and task.run_id is not None and (
+        log is None or log.run_id != task.run_id
+    ):
+        events.install(EventLog(run_id=task.run_id))
+        log = events.current()
     event_mark = len(log) if (log is not None and in_child) else 0
     if ctx.injector is not None:
-        ctx.injector.check("chunk", key=(chunk_id, attempt))
-    rng = np.random.default_rng(int(ctx.seeds[chunk_id]))
+        ctx.injector.check("chunk", key=(task.chunk_id, task.attempt))
+    lane_rng = LaneRng(task.seeds)
     counters = CostCounters()
     registry = MetricsRegistry()
     tracer = Tracer(enabled=True)
     # Per-chunk profiler, same discipline as registry/tracer: private to
     # the chunk, folded by the engine at the barrier. calibrate=False —
     # the per-event cost is measured once per process and cached.
-    profiler = PhaseProfiler(calibrate=False) if ctx.profile else None
+    profiler = PhaseProfiler(calibrate=False) if task.profile else None
     frontier_hist = registry.histogram(
         "batch.frontier_size", "active walkers per frontier iteration"
     )
     label = worker_label()
+    rng = np.random.default_rng(0)  # unused: draws come from lane_rng
     with tracer.span(
-        "walk.chunk", chunk=chunk_id, walks=hi - lo, worker=label
+        "walk.chunk", chunk=task.chunk_id, walks=task.starts.size, worker=label
     ) as span:
         if profiler is not None:
             with profiler.phase("chunk_exec"):
                 result: FrontierResult = engine._run_frontier(
-                    ctx.starts[lo:hi], ctx.max_length, ctx.stop_probability,
-                    rng, counters, ctx.keep_hops, frontier_hist,
-                    profiler=profiler,
+                    task.starts, task.max_length, task.stop_probability,
+                    rng, counters, task.keep_hops, frontier_hist,
+                    profiler=profiler, lane_rng=lane_rng,
+                    interleave=task.interleave,
                 )
         else:
             result = engine._run_frontier(
-                ctx.starts[lo:hi], ctx.max_length, ctx.stop_probability,
-                rng, counters, ctx.keep_hops, frontier_hist,
+                task.starts, task.max_length, task.stop_probability,
+                rng, counters, task.keep_hops, frontier_hist,
+                lane_rng=lane_rng, interleave=task.interleave,
             )
         span.set("steps", result.total_steps)
         span.set("queue_wait_seconds", round(queue_wait, 6))
@@ -214,8 +242,9 @@ def execute_chunk(
         **LATENCY_BUCKETS,
     ).observe(queue_wait)
     events.emit(
-        "chunk.exec", chunk_id=int(chunk_id), attempt=int(attempt),
-        worker=label, walks=int(hi - lo), steps=int(result.total_steps),
+        "chunk.exec", chunk_id=int(task.chunk_id), attempt=int(task.attempt),
+        worker=label, walks=int(task.starts.size),
+        steps=int(result.total_steps),
         queue_wait_seconds=round(queue_wait, 6),
     )
 
@@ -228,8 +257,8 @@ def execute_chunk(
         hop_vertex = np.ascontiguousarray(result.hop_vertex[:, :width])
         hop_time = np.ascontiguousarray(result.hop_time[:, :width])
     return ChunkResult(
-        chunk_id=chunk_id,
-        num_walks=hi - lo,
+        chunk_id=task.chunk_id,
+        num_walks=int(task.starts.size),
         lengths=result.lengths,
         hop_vertex=hop_vertex,
         hop_time=hop_time,
@@ -250,25 +279,30 @@ def execute_chunk(
 # The process pool uses the fork start method: the initializer and its
 # context argument reach children by inheritance (no pickling), and the
 # shared image's mappings come along for free. Each child builds its
-# engine once; chunk tasks then cost one small (ints) message in and one
+# engine once — at *pool* creation, not per run — so with a warm pool
+# the attach cost below is paid exactly once per worker per engine
+# lifetime; chunk tasks then cost one small ChunkTask pickle in and one
 # ChunkResult pickle out.
 
 _ENGINE: Optional[BatchTeaEngine] = None
 _CONTEXT: Optional[WorkerContext] = None
+_ATTACH_SECONDS: float = 0.0
 
 
 def _process_init(ctx: WorkerContext) -> None:
-    global _ENGINE, _CONTEXT
+    global _ENGINE, _CONTEXT, _ATTACH_SECONDS
+    t0 = _monotonic()
     _CONTEXT = ctx
     _ENGINE = ctx.build_engine()
-    if ctx.run_id is not None:
-        # Fresh, empty log stamped with the parent's run_id: chunk
-        # executions mark/ship against it regardless of what (or
-        # whether) the fork inherited.
-        events.install(EventLog(run_id=ctx.run_id))
+    _ATTACH_SECONDS = _monotonic() - t0
 
 
-def _process_chunk(chunk_id: int, lo: int, hi: int, enqueue_ts: float,
-                   attempt: int = 0) -> ChunkResult:
+def _warmup_ping() -> tuple:
+    """Pool warmup probe: forces the worker to exist (and so to have
+    attached the shared image) and reports what the attach cost."""
+    return os.getpid(), _ATTACH_SECONDS
+
+
+def _process_chunk(task: ChunkTask) -> ChunkResult:
     assert _ENGINE is not None and _CONTEXT is not None, "worker not initialised"
-    return execute_chunk(_ENGINE, _CONTEXT, chunk_id, lo, hi, enqueue_ts, attempt)
+    return execute_chunk(_ENGINE, _CONTEXT, task)

@@ -50,3 +50,103 @@ def spawn(rng: np.random.Generator, n: int) -> list:
     are independent of each other and of subsequent draws from ``rng``.
     """
     return [np.random.default_rng(int(s)) for s in spawn_seeds(rng, n)]
+
+
+# ---------------------------------------------------------------------------
+# Counter-based per-lane streams
+# ---------------------------------------------------------------------------
+#
+# A chunk-parallel (or step-interleaved) executor cannot key randomness
+# on a shared Generator: the values a lane sees would then depend on
+# which other lanes happened to draw in the same vectorised call — i.e.
+# on chunk boundaries, cohort membership, and scheduling. LaneRng keys
+# every draw on (lane seed, lane draw ordinal) instead, using the
+# splitmix64 sequence: lane i's k-th uniform is
+# ``finalize(seed_i + k·γ) / 2^64``. Grouping lanes into chunks or
+# cohorts only changes *which draws share a numpy call*, never their
+# values — the bit-determinism contract of repro.parallel.
+
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_M1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_M2 = np.uint64(0x94D049BB133111EB)
+_U53_INV = float(2.0 ** -53)
+
+
+def _splitmix64(z: np.ndarray) -> np.ndarray:
+    """The splitmix64 finalizer, vectorised over a uint64 array."""
+    z = (z ^ (z >> np.uint64(30))) * _SM64_M1
+    z = (z ^ (z >> np.uint64(27))) * _SM64_M2
+    return z ^ (z >> np.uint64(31))
+
+
+class LaneRng:
+    """Independent counter-based uniform streams, one per lane.
+
+    ``seeds`` assigns lane ``i`` its stream key (typically the per-walk
+    seeds of a :class:`~repro.parallel.chunks.ChunkPlan` slice). Each
+    :meth:`uniform` call advances only the named lanes' counters, so a
+    lane's stream consumption depends exclusively on its own history —
+    the property that makes walks invariant under chunking, worker
+    count, backend, scheduling order, and step interleaving.
+    """
+
+    __slots__ = ("_key", "_ctr")
+
+    def __init__(self, seeds: np.ndarray):
+        self._key = np.ascontiguousarray(seeds).astype(np.uint64)
+        self._ctr = np.zeros(self._key.size, dtype=np.uint64)
+
+    @property
+    def num_lanes(self) -> int:
+        return int(self._key.size)
+
+    def uniform(self, lanes: np.ndarray) -> np.ndarray:
+        """Next uniform in ``[0, 1)`` for each (distinct) lane in ``lanes``."""
+        self._ctr[lanes] += np.uint64(1)
+        z = _splitmix64(self._key[lanes] + self._ctr[lanes] * _SM64_GAMMA)
+        return (z >> np.uint64(11)).astype(np.float64) * _U53_INV
+
+    def scalar(self, lane: int) -> "LaneStream":
+        """A Generator-shaped view of one lane (``.random()`` only)."""
+        return LaneStream(self, int(lane))
+
+
+class LaneStream:
+    """Scalar adapter over one :class:`LaneRng` lane.
+
+    Implements just enough of the :class:`numpy.random.Generator`
+    surface (``random()`` with no size) for the scalar sampling
+    fallbacks (:func:`repro.sampling.prefix_sum.draw_in_range`).
+    """
+
+    __slots__ = ("_owner", "_lane")
+
+    def __init__(self, owner: LaneRng, lane: int):
+        self._owner = owner
+        self._lane = np.array([lane], dtype=np.int64)
+
+    def random(self) -> float:
+        return float(self._owner.uniform(self._lane)[0])
+
+
+class GeneratorLanes:
+    """A shared :class:`~numpy.random.Generator` behind the lane-draw API.
+
+    Bit-compatible with the pre-lane frontier kernel: ``uniform(lanes)``
+    is exactly ``rng.random(lanes.size)`` — one vectorised draw whose
+    values depend on global call order — and :meth:`scalar` hands back
+    the shared generator itself. Standalone engine runs and the GNN
+    sampler use this adapter; only the parallel executor substitutes
+    :class:`LaneRng` to decouple draws from scheduling.
+    """
+
+    __slots__ = ("_rng",)
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+
+    def uniform(self, lanes: np.ndarray) -> np.ndarray:
+        return self._rng.random(lanes.size)
+
+    def scalar(self, lane: int) -> np.random.Generator:
+        return self._rng

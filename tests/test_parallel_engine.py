@@ -19,7 +19,13 @@ import pytest
 
 from repro.engines import BatchTeaEngine, ParallelBatchTeaEngine, Workload
 from repro.graph.validate import is_temporal_path
-from repro.parallel.chunks import ChunkPlan, default_chunk_size, plan_chunks
+from repro.parallel.chunks import (
+    ChunkPlan,
+    adaptive_chunk_size,
+    default_chunk_size,
+    plan_chunks,
+    rechunk,
+)
 from repro.parallel.sharing import SharedIndexImage, export_or_none
 from repro.rng import make_rng
 from repro.walks.apps import exponential_walk, linear_walk, temporal_node2vec
@@ -45,7 +51,7 @@ class TestChunkPlanning:
         assert plan.num_chunks == 11
         widths = np.diff(plan.bounds)
         assert widths.max() == 10 and widths.min() >= 1
-        assert plan.seeds.size == plan.num_chunks
+        assert plan.seeds.size == plan.num_walks
 
     def test_plan_is_deterministic(self):
         starts = np.arange(50, dtype=np.int64)
@@ -143,14 +149,17 @@ class TestDistributionEquivalence:
 
     def test_mean_length_matches_serial(self, small_graph):
         spec = exponential_walk(scale=20.0)
-        wl = Workload(max_length=10)
+        # Enough walks that the mean is a statistic, not a coin flip:
+        # serial and parallel draw from *different* streams by design
+        # (lane streams vs one generator), so only distributions match.
+        wl = Workload(walks_per_vertex=40, max_length=10)
         serial = BatchTeaEngine(small_graph, spec).run(wl, seed=9)
         par = ParallelBatchTeaEngine(
             small_graph, spec, workers=2, backend="thread"
         ).run(wl, seed=9)
         m1 = np.mean([p.num_edges for p in serial.paths])
         m2 = np.mean([p.num_edges for p in par.paths])
-        assert m2 == pytest.approx(m1, rel=0.15)
+        assert m2 == pytest.approx(m1, rel=0.1)
 
 
 # -- determinism -------------------------------------------------------------
@@ -338,3 +347,174 @@ class TestEndToEnd:
         out = capsys.readouterr().out
         assert rc == 0
         assert "engine: tea-parallel" in out
+
+    def test_cli_new_parallel_flags(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "walk", "--dataset", "tiny", "--app", "exponential",
+            "--length", "6", "--workers", "2",
+            "--parallel-backend", "thread",
+            "--chunk-target-ms", "20", "--interleave", "3",
+            "--no-warm-pool",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "engine: tea-parallel" in out
+
+
+# -- adaptive chunk planning -------------------------------------------------
+
+
+class TestAdaptivePlanning:
+    def test_size_monotone_in_target(self):
+        """More target milliseconds never means smaller chunks."""
+        sizes = [
+            adaptive_chunk_size(100_000, 4, 0.001, target_ms=t)
+            for t in (5, 10, 25, 75, 150, 300, 1000)
+        ]
+        assert sizes == sorted(sizes)
+        # And exactly target/per_walk when nothing clamps.
+        assert adaptive_chunk_size(100_000, 4, 0.001, target_ms=75) == 75
+
+    def test_size_monotone_in_cost(self):
+        """Slower walks mean smaller chunks, never larger."""
+        sizes = [
+            adaptive_chunk_size(100_000, 4, per_walk, target_ms=75)
+            for per_walk in (1e-6, 1e-5, 1e-4, 1e-3, 1e-2)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_size_caps_at_one_chunk_per_worker(self):
+        # A huge target must not serialise the run: every worker can
+        # still get a chunk.
+        assert adaptive_chunk_size(100, 4, 10.0, target_ms=10**7) == 25
+        assert adaptive_chunk_size(100, 3, 10.0, target_ms=10**7) == 34
+
+    def test_fallback_without_calibration(self):
+        assert adaptive_chunk_size(1000, 4, None) == default_chunk_size(1000, 4)
+        assert adaptive_chunk_size(1000, 4, 0.0) == default_chunk_size(1000, 4)
+        assert adaptive_chunk_size(1000, 4, -1.0) == default_chunk_size(1000, 4)
+        assert adaptive_chunk_size(0, 4, 0.001) == 1
+
+    def test_rechunk_keeps_walks_and_seeds(self):
+        plan = plan_chunks(np.arange(103, dtype=np.int64), 10, make_rng(0))
+        replanned = rechunk(plan, 7)
+        assert np.array_equal(replanned.starts, plan.starts)
+        assert np.array_equal(replanned.seeds, plan.seeds)
+        assert replanned.bounds[-1] == 103
+        assert np.diff(replanned.bounds).max() == 7
+
+    def test_probe_calibration_monotone_chunk_counts(self, small_graph):
+        """Engine level: a larger --chunk-target-ms never yields more
+        chunks for the same workload (the probe feeds a monotone
+        planner)."""
+        from repro.telemetry import MetricsRegistry
+
+        spec = linear_walk()
+        wl = Workload(walks_per_vertex=4, max_length=8)
+        counts = []
+        for target in (0.05, 50.0, 5000.0):
+            registry = MetricsRegistry()
+            engine = ParallelBatchTeaEngine(
+                small_graph, spec, workers=2, backend="thread",
+                chunk_target_ms=target,
+            )
+            engine.run(wl, seed=3, registry=registry, record_paths=False)
+            engine.close()
+            counts.append(int(registry.counter_value("parallel.chunks")))
+        assert counts == sorted(counts, reverse=True)
+
+
+# -- determinism matrix (warm pools / adaptive chunks / interleave) ----------
+
+
+class TestDeterminismMatrix:
+    def test_chunking_warm_interleave_invariant(self, small_graph):
+        """One seed, one answer: fixed vs adaptive chunking, warm vs
+        cold pools, and interleave on/off are all bit-identical."""
+        spec = exponential_walk(scale=20.0)
+        wl = Workload(walks_per_vertex=2, max_length=8)
+        reference = ParallelBatchTeaEngine(
+            small_graph, spec, workers=1, backend="serial", chunk_size=16
+        )
+        ref = reference.run(wl, seed=11)
+        reference.close()
+        variants = [
+            dict(chunk_size=5),
+            dict(chunk_size=64),
+            dict(chunk_target_ms=0.5),
+            dict(chunk_target_ms=500.0),
+            dict(chunk_size=16, warm_pool=False),
+            dict(chunk_size=16, interleave=4),
+            dict(chunk_target_ms=50.0, interleave=3, warm_pool=False),
+        ]
+        for kw in variants:
+            engine = ParallelBatchTeaEngine(
+                small_graph, spec, workers=3, backend="thread", **kw
+            )
+            res = engine.run(wl, seed=11)
+            engine.close()
+            assert _paths_equal(ref.paths, res.paths), kw
+            assert ref.counters.snapshot() == res.counters.snapshot(), kw
+
+    def test_warm_second_run_identical_and_reused(self, small_graph):
+        spec = linear_walk()
+        wl = Workload(walks_per_vertex=2, max_length=8)
+        engine = ParallelBatchTeaEngine(
+            small_graph, spec, workers=2, backend="thread", chunk_size=16
+        )
+        r1 = engine.run(wl, seed=4)
+        assert engine.last_pool["builds"] >= 1
+        r2 = engine.run(wl, seed=4)
+        assert engine.last_pool["builds"] == 0
+        assert engine.last_pool["reuses"] >= 1
+        assert engine.last_pool["startup_seconds"] == 0.0
+        engine.close()
+        assert _paths_equal(r1.paths, r2.paths)
+        assert r1.counters.snapshot() == r2.counters.snapshot()
+
+    @needs_fork
+    def test_process_warm_reuse_metrics(self, small_graph):
+        """Second run over a warm process pool: zero startup/attach in
+        the registry, pool_reuse counted, results bit-identical."""
+        from repro.telemetry import MetricsRegistry
+
+        spec = linear_walk()
+        wl = Workload(walks_per_vertex=1, max_length=6)
+        engine = ParallelBatchTeaEngine(
+            small_graph, spec, workers=2, backend="process", chunk_size=16
+        )
+        reg1 = MetricsRegistry()
+        r1 = engine.run(wl, seed=6, registry=reg1)
+        assert reg1.gauge_value("parallel.pool_startup_seconds") > 0.0
+        reg2 = MetricsRegistry()
+        r2 = engine.run(wl, seed=6, registry=reg2)
+        engine.close()
+        assert reg2.gauge_value("parallel.pool_startup_seconds") == 0.0
+        assert reg2.gauge_value("parallel.attach_seconds") == 0.0
+        assert reg2.counter_value("parallel.pool_reuse") >= 1
+        assert _paths_equal(r1.paths, r2.paths)
+
+    @needs_fork
+    def test_cold_pool_matches_warm_pool_process(self, small_graph):
+        spec = exponential_walk(scale=20.0)
+        wl = Workload(walks_per_vertex=1, max_length=6)
+        warm = ParallelBatchTeaEngine(
+            small_graph, spec, workers=2, backend="process", chunk_size=16
+        )
+        r_warm_1 = warm.run(wl, seed=9)
+        r_warm_2 = warm.run(wl, seed=9)  # actually-warm pool
+        warm.close()
+        cold = ParallelBatchTeaEngine(
+            small_graph, spec, workers=2, backend="process", chunk_size=16,
+            warm_pool=False,
+        )
+        r_cold = cold.run(wl, seed=9)
+        assert cold.last_pool["builds"] >= 1  # pool was rebuilt, not reused
+        r_cold_2 = cold.run(wl, seed=9)
+        assert cold.last_pool["builds"] >= 1  # torn down after each run
+        cold.close()
+        for other in (r_warm_2, r_cold, r_cold_2):
+            assert _paths_equal(r_warm_1.paths, other.paths)
+            assert r_warm_1.counters.snapshot() == other.counters.snapshot()

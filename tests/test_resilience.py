@@ -563,6 +563,40 @@ class TestWorkerSupervision:
         assert [w.hops for w in result.paths] == [w.hops for w in baseline.paths]
         assert engine.last_events["chunk_retries"] >= 1
 
+    def test_warm_pool_rebuilt_after_crash_stays_deterministic(self, par_graph):
+        """A worker death mid-run condemns the warm pool; the *same*
+        engine's next run must transparently rebuild it (generation
+        bump) and still walk bit-identical paths."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        workload = Workload(walks_per_vertex=1, max_length=8)
+        clean = self.make_engine(par_graph, backend="process")
+        baseline = clean.run(workload, seed=0)
+        clean.close()
+        inj = FaultInjector.from_plan(
+            {"rules": [{"site": "chunk", "kind": "worker_crash",
+                        "chunks": [1], "attempts": [0]}]}
+        )
+        engine = self.make_engine(par_graph, inj, backend="process",
+                                  retries=2)
+        try:
+            r1 = engine.run(workload, seed=0)
+            # The os._exit crash broke the process pool mid-run.
+            gen1 = engine._pools["process"].generation
+            assert engine._pools["process"].broken
+            # Second run: the injector fires on (chunk 1, attempt 0)
+            # again, so this exercises rebuild-under-fire too.
+            r2 = engine.run(workload, seed=0)
+            assert engine._pools["process"].generation > gen1
+            assert engine.last_pool["builds"] >= 1
+        finally:
+            engine.close()
+        hops = [w.hops for w in baseline.paths]
+        assert [w.hops for w in r1.paths] == hops
+        assert [w.hops for w in r2.paths] == hops
+
 
 # -- streaming rollback -------------------------------------------------------
 
