@@ -3,15 +3,23 @@
 PYTHON ?= python
 
 .PHONY: install test stats-smoke scaling-smoke ooc-smoke chaos-smoke \
-        telemetry-smoke bench-history-smoke lint-clocks \
+        telemetry-smoke bench-history-smoke kernel-smoke lint-clocks \
         bench bench-quick examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
-test: lint-clocks stats-smoke scaling-smoke ooc-smoke chaos-smoke \
-      telemetry-smoke bench-history-smoke
+test: lint-clocks kernel-smoke stats-smoke scaling-smoke ooc-smoke \
+      chaos-smoke telemetry-smoke bench-history-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
+
+# Sampling-kernel smoke: fused numpy (and numba, when installed)
+# backends bit-identical to the preserved legacy kernel, graceful
+# fallback when numba is absent, and factorized-vs-rebuilt decay-weight
+# equivalence for the streaming radix forest.
+kernel-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.kernels.smoke
+	@echo "kernel-smoke: backend parity + factorized bias hold"
 
 # End-to-end telemetry smoke: run a tiny walk with --stats, write the
 # JSON run report, then replay it (the replay validates the schema and

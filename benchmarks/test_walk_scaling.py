@@ -116,8 +116,11 @@ def report():
         metrics[f"speedup_w{row.workers}"] = row.speedup
         metrics[f"pool_startup_s_w{row.workers}"] = row.pool_startup_seconds
         metrics[f"warm_startup_s_w{row.workers}"] = row.warm_startup_seconds
+    from repro.kernels import resolve_backend
+
     record_history(
         "walk_scaling", metrics,
         dataset="twitter", scale=0.5 * BENCH_SCALE, r=BENCH_R, length=80,
         notes=list(_notes),
+        kernel_backend=resolve_backend("auto").name,
     )

@@ -121,6 +121,7 @@ def cmd_walk(args) -> int:
             warm_pool=args.warm_pool,
             chunk_target_ms=args.chunk_target_ms,
             interleave=args.interleave,
+            kernel_backend=args.kernel_backend,
         )
     elif args.engine == "tea-ooc":
         engine = TeaOutOfCoreEngine(
@@ -138,7 +139,11 @@ def cmd_walk(args) -> int:
             retry_policy=retry_policy,
             verify_checksums=args.verify_checksums,
             fault_injector=injector,
+            kernel_backend=args.kernel_backend,
         )
+    elif args.engine == "tea-batch":
+        engine = BatchTeaEngine(graph, spec,
+                                kernel_backend=args.kernel_backend)
     else:
         engine = ENGINES[args.engine](graph, spec)
     workload = Workload(
@@ -508,6 +513,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-warm-pool", dest="warm_pool", action="store_false",
                    help="tear pools down after every run (cold-start "
                         "comparison mode)")
+    p.add_argument("--kernel-backend", default="auto",
+                   choices=["auto", "numpy", "numba"],
+                   help="sampling-kernel implementation for the batch "
+                        "engines (auto prefers numba when installed; an "
+                        "explicit numba request without numba falls back "
+                        "to numpy)")
     p.add_argument("--interleave", type=int, default=1, metavar="K",
                    help="walker cohorts per chunk advanced round-robin "
                         "inside each worker (1 disables; output is "

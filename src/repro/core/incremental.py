@@ -187,6 +187,13 @@ class VertexIncrementalHPAT:
             return np.arange(base_rank + 1, base_rank + times.size + 1, dtype=np.float64)
         if kind == "linear_time":
             return times - self._t_ref + 1.0
+        if kind == "exponential_decay":
+            # Decay falls off as edges recede from the frozen reference
+            # (t_ref = earliest edge): exp((t_min - t_i)/scale), matching
+            # the static builder. The shared exp() fall-through below
+            # carries the *growth* sign — using it for decay silently
+            # inverted the bias on streaming builds.
+            return np.exp((self._t_ref - times) / self.weight_model.scale)
         return np.exp((times - self._t_ref) / self.weight_model.scale)
 
     # -- queries ---------------------------------------------------------------
@@ -295,10 +302,20 @@ class IncrementalHPAT:
     """
 
     def __init__(self, weight_model: WeightModel,
-                 graph: Optional[TemporalGraph] = None, fault_injector=None):
+                 graph: Optional[TemporalGraph] = None, fault_injector=None,
+                 factorized: Optional[bool] = None):
         self.weight_model = weight_model
         self.vertices: Dict[int, VertexIncrementalHPAT] = {}
         self.num_edges = 0
+        #: Use the BINGO-style factorized radix forest
+        #: (:class:`repro.kernels.decay.DecayRadixForest`) instead of the
+        #: carry-merge block forest. Defaults to on exactly when the
+        #: weight factorizes (``exponential_decay``); forcing it on for
+        #: any other kind raises at first vertex creation.
+        self.factorized = (
+            weight_model.kind == "exponential_decay"
+            if factorized is None else bool(factorized)
+        )
         #: Optional :class:`repro.resilience.faults.FaultInjector`
         #: evaluated at the ``streaming_apply`` site once per vertex
         #: group, so plans can fail a batch mid-apply deterministically.
@@ -340,9 +357,7 @@ class IncrementalHPAT:
                 vert = self.vertices.get(v)
                 if vert is None:
                     touched[v] = None
-                    vert = self.vertices[v] = VertexIncrementalHPAT(
-                        self.weight_model
-                    )
+                    vert = self.vertices[v] = self._new_vertex()
                 else:
                     touched[v] = vert.snapshot()
                 vert.append_batch(dst[lo:hi], times[lo:hi])
@@ -355,6 +370,26 @@ class IncrementalHPAT:
             self.rollbacks += 1
             raise
         self.num_edges += len(batch)
+
+    def _new_vertex(self):
+        """A fresh per-vertex index of the configured flavour."""
+        if self.factorized:
+            from repro.kernels.decay import DecayRadixForest
+
+            return DecayRadixForest(self.weight_model)
+        return VertexIncrementalHPAT(self.weight_model)
+
+    def update_work(self) -> int:
+        """Total edge-indexing work so far (the Figure 13d cost oracle).
+
+        Every edge is indexed once on arrival, plus once per carry-merge
+        re-index (``merged_edges``). The factorized decay forest never
+        merges, so its work is exactly ``num_edges`` — the O(1)-buckets
+        claim the kernel-fusion bench asserts against this oracle.
+        """
+        return self.num_edges + sum(
+            v.merged_edges for v in self.vertices.values()
+        )
 
     def candidate_count(self, v: int, t: Optional[float]) -> int:
         vert = self.vertices.get(v)

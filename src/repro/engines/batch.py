@@ -32,6 +32,11 @@ import numpy as np
 from repro.core import builder
 from repro.engines.base import Engine, EngineResult, Workload
 from repro.graph.temporal_graph import TemporalGraph
+from repro.kernels import (
+    KernelScratch,
+    resolve_backend,
+    sample_batch as _kernel_sample_batch,
+)
 from repro.rng import GeneratorLanes, RngLike, make_rng
 from repro.sampling.counters import CostCounters
 from repro.telemetry import (
@@ -114,6 +119,8 @@ def hpat_sample_batch(
     *,
     draw=None,
     lanes: Optional[np.ndarray] = None,
+    backend="auto",
+    scratch: Optional[KernelScratch] = None,
 ) -> np.ndarray:
     """Vectorised HPAT draws for parallel arrays of (vertex, candidate size).
 
@@ -127,64 +134,17 @@ def hpat_sample_batch(
     :class:`~repro.rng.GeneratorLanes` default over ``rng``): row ``i``
     draws from lane ``lanes[i]``, which is what makes the parallel
     executor's output independent of chunking and scheduling.
+
+    Since the kernel-fusion refactor this is a thin dispatcher over
+    :mod:`repro.kernels`: ``backend`` names a kernel backend (or passes
+    a resolved :class:`~repro.kernels.KernelBackend`), ``scratch``
+    carries the reusable staging buffers across calls. All backends are
+    bit-identical, so callers that ignore both keep their exact output.
     """
-    n = vs.size
-    if n == 0:
-        return np.zeros(0, dtype=np.int64)
-    if draw is None:
-        draw = GeneratorLanes(rng)
-    if lanes is None:
-        lanes = np.arange(n, dtype=np.int64)
-    cbase = index.indptr[vs] + vs
-    totals = index.c[cbase + ss]
-    r = totals - draw.uniform(lanes) * totals  # draws in (0, total]
-
-    # ITS over trunks, bit-scan lockstep: find the block of the binary
-    # decomposition whose cumulative boundary covers r.
-    remaining = ss.astype(np.int64).copy()
-    offset = np.zeros(n, dtype=np.int64)
-    level = np.zeros(n, dtype=np.int64)
-    chosen = np.zeros(n, dtype=bool)
-    max_bits = int(ss.max()).bit_length()
-    for k in range(max_bits - 1, -1, -1):
-        block = 1 << k
-        rows = np.flatnonzero((~chosen) & ((remaining & block) != 0))
-        if not rows.size:
-            continue
-        boundary = index.c[cbase[rows] + offset[rows] + block]
-        take = boundary >= r[rows]
-        take_rows = rows[take]
-        level[take_rows] = k
-        chosen[take_rows] = True
-        offset[rows[~take]] += block
-        remaining[rows] -= block
-
-    if counters is not None:
-        from repro.core.aux_index import _popcount
-
-        blocks = _popcount(ss.astype(np.int64))
-        probes = np.ceil(np.log2(np.maximum(blocks, 2))).astype(np.int64) + 1
-        counters.binary_search_probes += int(probes.sum())
-        counters.edges_evaluated += int(probes.sum())
-
-    # Alias draw inside each selected trunk (level 0 is the identity).
-    out = offset.copy()
-    deep = level > 0
-    if deep.any():
-        dvs = vs[deep]
-        k = level[deep]
-        width = np.int64(1) << k
-        start = index.lvl_ptr[index.lvl_base[dvs] + k - 1] + offset[deep]
-        deep_lanes = lanes[deep]
-        cell = (draw.uniform(deep_lanes) * width).astype(np.int64)
-        cell = np.minimum(cell, width - 1)
-        take_cell = draw.uniform(deep_lanes) < index.prob[start + cell]
-        local = np.where(take_cell, cell, index.alias[start + cell])
-        out[deep] = offset[deep] + local
-        if counters is not None:
-            counters.alias_draws += int(deep.sum())
-            counters.edges_evaluated += int(deep.sum())
-    return out
+    return _kernel_sample_batch(
+        resolve_backend(backend), index, vs, ss, rng, counters,
+        draw=draw, lanes=lanes, scratch=scratch,
+    )
 
 
 class BatchTeaEngine(Engine):
@@ -193,11 +153,13 @@ class BatchTeaEngine(Engine):
     has_candidate_index = True
     name = "tea-batch"
 
-    def __init__(self, graph: TemporalGraph, spec: WalkSpec):
+    def __init__(self, graph: TemporalGraph, spec: WalkSpec,
+                 kernel_backend="auto"):
         super().__init__(graph, spec)
         self.index = None
         self.weights: Optional[np.ndarray] = None
         self._static_ready = False
+        self.kernel = resolve_backend(kernel_backend)
 
     def _prepare(self) -> None:
         pre = builder.preprocess(self.graph, self.spec.weight_model,
@@ -238,6 +200,7 @@ class BatchTeaEngine(Engine):
         index,
         candidate_sizes: np.ndarray,
         static_keys: Optional[np.ndarray] = None,
+        kernel_backend="auto",
     ) -> "BatchTeaEngine":
         """Wrap an already-built index without re-running preprocessing.
 
@@ -253,6 +216,7 @@ class BatchTeaEngine(Engine):
         engine.index = index
         engine.weights = None
         engine.candidate_sizes = candidate_sizes
+        engine.kernel = resolve_backend(kernel_backend)
         from repro.telemetry import NULL_TRACER
 
         engine.tracer = NULL_TRACER
@@ -270,13 +234,16 @@ class BatchTeaEngine(Engine):
     def _sample_batch(
         self, vs: np.ndarray, ss: np.ndarray, rng: np.random.Generator,
         counters: CostCounters, draw=None, lanes: Optional[np.ndarray] = None,
+        scratch: Optional[KernelScratch] = None,
     ) -> np.ndarray:
         """HPAT draws for parallel arrays of (vertex, candidate size).
 
-        Delegates to the shared :func:`hpat_sample_batch` kernel.
+        Runs the engine's resolved kernel backend; ``scratch`` (one per
+        frontier run) makes steady-state iterations allocation-free.
         """
-        return hpat_sample_batch(self.index, vs, ss, rng, counters,
-                                 draw=draw, lanes=lanes)
+        return _kernel_sample_batch(self.kernel, self.index, vs, ss, rng,
+                                    counters, draw=draw, lanes=lanes,
+                                    scratch=scratch)
 
     def _beta_batch(self, prev: np.ndarray, cand: np.ndarray) -> np.ndarray:
         """Vectorised node2vec β(prev, cand) (Equation 4).
@@ -289,15 +256,67 @@ class BatchTeaEngine(Engine):
         out = np.full(prev.size, 1.0 / beta.p)
         undecided = cand != prev
         if undecided.any():
+            keys = self._static_keys
+            if keys.size == 0:
+                # Degenerate static adjacency (e.g. a graph of isolated
+                # vertices plus self-loops): nothing is a neighbor, and
+                # indexing ``keys[...]`` below would be out of bounds.
+                out[undecided] = 1.0 / beta.q
+                return out
             u = prev[undecided]
             v = cand[undecided]
             span = np.int64(self.graph.num_vertices)
             qval = v + u * span
-            keys = self._static_keys
             found = np.searchsorted(keys, qval)
             is_neighbor = (found < keys.size) & (keys[np.minimum(found, keys.size - 1)] == qval)
             out[undecided] = np.where(is_neighbor, 1.0, 1.0 / beta.q)
         return out
+
+    def _beta_fallback_batch(
+        self, vs: np.ndarray, ss: np.ndarray, prevs: np.ndarray,
+        beta, draw_src, lanes: np.ndarray, counters: CostCounters,
+    ) -> np.ndarray:
+        """Exact β-adjusted draws for lanes that exhausted the rejection
+        budget — the vectorised twin of
+        :meth:`~repro.engines.base.Engine._beta_exact_draw`.
+
+        Weight·β prefix sums are built **row-wise** over a padded
+        ``(lanes, max_s)`` matrix, never as one flat cumsum: per-lane
+        float accumulation order must not depend on which other lanes
+        happen to share the fallback batch, or output would vary with
+        chunking/scheduling. One uniform per lane (same stream
+        consumption as the scalar path) turns into ``r ∈ (0, total]``
+        and a per-row prefix comparison replaces the bisection.
+        """
+        g = self.graph
+        p = vs.size
+        max_s = int(ss.max())
+        wb = np.zeros((p, max_s), dtype=np.float64)
+        for i in range(p):
+            si = int(ss[i])
+            wb[i, :si] = self._candidate_weights(int(vs[i]), si)
+            counters.record_scan(si)
+        valid = np.arange(max_s)[None, :] < ss[:, None]
+        rows, cols = np.nonzero(valid & (prevs[:, None] >= 0))
+        if rows.size:
+            cand = g.nbr[g.indptr[vs[rows]] + cols]
+            pv = prevs[rows]
+            if self._static_ready:
+                bvals = self._beta_batch(pv, cand)
+            else:
+                bvals = np.fromiter(
+                    (beta(g, int(a), int(c)) for a, c in zip(pv, cand)),
+                    dtype=np.float64, count=rows.size,
+                )
+            wb[rows, cols] *= bvals
+        # Lanes without a previous vertex keep β ≡ beta_max — a per-lane
+        # constant that cancels under the normalised draw below.
+        prefix = np.zeros((p, max_s + 1), dtype=np.float64)
+        np.cumsum(wb, axis=1, out=prefix[:, 1:])
+        totals = prefix[:, -1]
+        r = totals - draw_src.uniform(lanes) * totals  # (0, total] per lane
+        choice = (prefix < r[:, None]).sum(axis=1) - 1
+        return np.clip(choice, 0, ss - 1)
 
     def _on_frontier_advance(self, vs: np.ndarray, ss: np.ndarray) -> None:
         """Hook fired after each frontier iteration with the lanes that
@@ -360,6 +379,9 @@ class BatchTeaEngine(Engine):
         draw_src = lane_rng if lane_rng is not None else GeneratorLanes(rng)
         if lane_rng is None:
             interleave = 1
+        # One scratch arena per frontier run: thread-safe (locals only)
+        # and sized once at peak frontier width.
+        scratch = KernelScratch()
 
         cur = starts.copy()
         prev = np.full(num, -1, dtype=np.int64)
@@ -391,7 +413,7 @@ class BatchTeaEngine(Engine):
                 for _ in range(_MAX_BETA_ROUNDS):
                     drawn = self._sample_batch(
                         vs[pending], ss[pending], rng, counters,
-                        draw=draw_src, lanes=lanes[pending],
+                        draw=draw_src, lanes=lanes[pending], scratch=scratch,
                     )
                     idx_out[pending] = drawn
                     if beta is None:
@@ -419,13 +441,11 @@ class BatchTeaEngine(Engine):
                     if not pending.size:
                         break
                 # Rare lanes that exhausted the rejection budget fall back
-                # to the exact β-adjusted scan (same as the scalar loop).
-                for lane_pos in pending:
-                    pv = prev[lanes][lane_pos]
-                    idx_out[lane_pos] = self._beta_exact_draw(
-                        int(vs[lane_pos]), int(ss[lane_pos]),
-                        None if pv < 0 else int(pv), beta,
-                        draw_src.scalar(int(lanes[lane_pos])), counters,
+                # to the exact β-adjusted scan, all lanes at once.
+                if pending.size:
+                    idx_out[pending] = self._beta_fallback_batch(
+                        vs[pending], ss[pending], prev[lanes][pending],
+                        beta, draw_src, lanes[pending], counters,
                     )
             with prof.phase("scatter"):
                 pos = g.indptr[vs] + idx_out

@@ -176,8 +176,13 @@ class BatchTeaOutOfCoreEngine(BatchTeaEngine):
         retry_policy=None,
         verify_checksums: bool = False,
         fault_injector=None,
+        kernel_backend="auto",
     ):
-        super().__init__(graph, spec)
+        # ``kernel_backend`` is accepted (and resolved) for interface
+        # parity with the in-memory engine — this engine's own kernel is
+        # the trunk-store sampler below, but the scalar Engine fallbacks
+        # and any future in-memory fast path run the resolved backend.
+        super().__init__(graph, spec, kernel_backend=kernel_backend)
         self.trunk_size = int(trunk_size)
         self._storage_dir = storage_dir
         self._tmpdir = None
@@ -212,8 +217,9 @@ class BatchTeaOutOfCoreEngine(BatchTeaEngine):
 
     # -- vectorised kernel -----------------------------------------------------
 
-    def _sample_batch(self, vs, ss, rng, counters, draw=None, lanes=None):
-        # ``draw``/``lanes`` are accepted for base-kernel signature
+    def _sample_batch(self, vs, ss, rng, counters, draw=None, lanes=None,
+                      scratch=None):
+        # ``draw``/``lanes``/``scratch`` are accepted for base-kernel signature
         # compatibility but unused: the out-of-core kernel draws from the
         # chunk generator directly. The parallel executor never routes
         # lane streams through this engine (workers run the in-memory

@@ -83,9 +83,14 @@ class TemporalNeighborSampler:
         graph: TemporalGraph,
         recency_scale: Optional[float] = None,
         seed: RngLike = None,
+        kernel_backend="auto",
     ):
+        from repro.kernels import KernelScratch, resolve_backend
+
         self.graph = graph
         self.recency_scale = recency_scale
+        self.kernel = resolve_backend(kernel_backend)
+        self._scratch = KernelScratch()
         # Reversed-time view: negate timestamps so "before t" becomes a
         # candidate prefix, and exp(t'/scale) on negated times equals
         # exp(-(t - t_i)/scale) recency decay on real times.
@@ -141,7 +146,9 @@ class TemporalNeighborSampler:
             self.counters.steps += int(live.size) * k
             vs = np.repeat(nodes[live], k)
             ss = np.repeat(sizes[live], k)
-            draws = hpat_sample_batch(self._index, vs, ss, rng, self.counters)
+            draws = hpat_sample_batch(self._index, vs, ss, rng, self.counters,
+                                      backend=self.kernel,
+                                      scratch=self._scratch)
             pos = self._rev.indptr[vs] + draws
             neighbors[live] = self._rev.nbr[pos].reshape(-1, k)
             out_times[live] = -self._rev.etime[pos].reshape(-1, k)

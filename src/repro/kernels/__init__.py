@@ -1,0 +1,118 @@
+"""Pluggable sampling-kernel backends (ROADMAP item 4).
+
+The frontier hot loop is factored into structure-of-arrays passes
+behind the narrow ABI of :mod:`repro.kernels.base`; this package is
+the registry that picks which implementation runs them:
+
+``numpy``
+    The fused reference backend — per-lane next-set-bit ITS probing
+    over a compressed active set, scratch-array reuse, one uniform
+    block per lane set. Always available; bit-identical to the
+    pre-fusion kernel.
+``numba``
+    Per-lane njit loops (warp-per-walker shape). Auto-detected: when
+    numba is importable ``auto`` resolves to it, otherwise requests
+    fall back cleanly to ``numpy`` (recorded in
+    :func:`backend_fallback_note`). Bit-identical to ``numpy``.
+``legacy``
+    The pre-fusion kernel, verbatim — parity oracle and bench
+    baseline. Not offered by the CLI.
+
+Backend choice never changes walk output: all backends consume the
+same per-lane uniform streams and compute the same pure selection
+functions, so swapping them is purely a throughput decision.
+
+The BINGO-style factorized time-decay bias for streaming updates lives
+in :mod:`repro.kernels.decay`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.kernels.base import KernelBackend, KernelScratch, sample_batch
+
+#: CLI-facing choices (``legacy`` is intentionally absent: it exists
+#: for parity tests and benchmarks, not for users).
+BACKEND_CHOICES = ("auto", "numpy", "numba")
+
+_CACHE = {}
+_FALLBACK_NOTE: Optional[str] = None
+
+
+def _load(name: str) -> Optional[KernelBackend]:
+    if name in _CACHE:
+        return _CACHE[name]
+    backend: Optional[KernelBackend]
+    if name == "numpy":
+        from repro.kernels.numpy_backend import BACKEND as backend
+    elif name == "legacy":
+        from repro.kernels.legacy import BACKEND as backend
+    elif name == "numba":
+        try:
+            from repro.kernels.numba_backend import BACKEND as backend
+        except ImportError:
+            backend = None
+    else:
+        raise ValueError(
+            f"unknown kernel backend {name!r} "
+            f"(choices: auto, numpy, numba, legacy)"
+        )
+    _CACHE[name] = backend
+    return backend
+
+
+def numba_available() -> bool:
+    """True when the njit backend can actually be built."""
+    return _load("numba") is not None
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Concrete (non-``auto``) backends importable in this process."""
+    names = ["numpy", "legacy"]
+    if numba_available():
+        names.insert(1, "numba")
+    return tuple(names)
+
+
+def resolve_backend(name: str = "auto") -> KernelBackend:
+    """Resolve a backend request to a concrete :class:`KernelBackend`.
+
+    ``auto`` prefers numba when importable, else numpy. An explicit
+    ``numba`` request on a host without numba **falls back** to numpy
+    rather than failing — the degradation is recorded for
+    :func:`backend_fallback_note` so telemetry and smoke checks can
+    observe it. Backend objects are stateless and shared.
+    """
+    global _FALLBACK_NOTE
+    if isinstance(name, KernelBackend):
+        return name
+    name = (name or "auto").lower()
+    if name == "auto":
+        backend = _load("numba")
+        return backend if backend is not None else _load("numpy")
+    backend = _load(name)
+    if backend is None:  # numba requested but absent
+        _FALLBACK_NOTE = (
+            "kernel backend 'numba' unavailable (numba not importable); "
+            "fell back to 'numpy'"
+        )
+        return _load("numpy")
+    return backend
+
+
+def backend_fallback_note() -> Optional[str]:
+    """The most recent graceful-fallback message, or None."""
+    return _FALLBACK_NOTE
+
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "KernelBackend",
+    "KernelScratch",
+    "available_backends",
+    "backend_fallback_note",
+    "numba_available",
+    "resolve_backend",
+    "sample_batch",
+]

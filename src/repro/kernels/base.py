@@ -1,0 +1,166 @@
+"""Backend ABI for the fused SoA sampling kernel.
+
+The frontier hot loop (ROADMAP item 4) is three structure-of-arrays
+passes over the walker population:
+
+1. **gather** — per-lane candidate totals from the prefix-sum array and
+   one uniform block per lane set;
+2. **ITS + alias draw** — trunk selection by lockstep binary
+   decomposition, then one alias draw inside each selected trunk;
+3. **scatter** — local edge indices back into the frontier arrays.
+
+A *backend* supplies the two compute passes behind a narrow ABI — pure
+array-in/array-out functions over the flat HPAT arrays — while this
+module owns everything stateful: uniform draws (so counter-based
+:class:`~repro.rng.LaneRng` streams stay bit-identical across
+backends), scratch-array reuse, and cost accounting. That split is what
+makes an njit (or, later, GPU warp-per-walker) backend a drop-in: the
+passes see only contiguous int64/float64 arrays.
+
+``its_select(c, cbase, ss, r, level, offset, scratch)``
+    For each lane ``i`` find the trunk of the binary decomposition of
+    ``ss[i]`` whose cumulative boundary covers the draw ``r[i]``:
+    writes the trunk's level to ``level[i]`` and its edge offset to
+    ``offset[i]`` (in place; both pre-zeroed). Pure — consumes no
+    randomness — so any two backends given equal ``r`` must agree
+    exactly. ``scratch`` is a :class:`KernelScratch`; backends that
+    need no staging buffers ignore it.
+
+``alias_select(prob, alias, lvl_ptr, lvl_base, vs, level, offset,
+u_cell, u_take, out)``
+    For each *deep* lane (``level > 0``, arrays pre-compressed) draw a
+    cell of the level-``level`` alias table with ``u_cell``, accept or
+    redirect with ``u_take``, and write the selected local edge index
+    (trunk offset + in-trunk pick) into ``out`` (in place). The two
+    uniforms arrive pre-drawn — one ``uniform_block`` per deep lane
+    set — so the backend never touches an RNG.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.core.aux_index import _popcount
+from repro.rng import GeneratorLanes
+from repro.sampling.counters import CostCounters
+
+
+class KernelScratch:
+    """Named scratch buffers, grown once, reused across iterations.
+
+    One instance lives for the duration of a frontier run (one per
+    chunk in the parallel executor — never shared across threads) and
+    hands out views sized to the current lane set, so the per-iteration
+    temporaries of the sampling kernel cost zero allocations after the
+    first iteration at peak frontier size.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self):
+        self._bufs: Dict[str, np.ndarray] = {}
+
+    def array(self, name: str, n: int, dtype) -> np.ndarray:
+        """An uninitialised view of length ``n`` under ``name``."""
+        buf = self._bufs.get(name)
+        if buf is None or buf.size < n:
+            buf = np.empty(max(int(n), 16), dtype=dtype)
+            self._bufs[name] = buf
+        return buf[:n]
+
+    def nbytes(self) -> int:
+        return sum(b.nbytes for b in self._bufs.values())
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One implementation of the two compute passes (see module doc)."""
+
+    name: str
+    its_select: Callable
+    alias_select: Callable
+    #: Optional whole-kernel override (the ``legacy`` reference backend
+    #: keeps the exact pre-fusion code path this way). When set, the
+    #: driver delegates wholesale instead of orchestrating passes.
+    sample_override: Optional[Callable] = None
+
+
+def sample_batch(
+    backend: KernelBackend,
+    index,
+    vs: np.ndarray,
+    ss: np.ndarray,
+    rng: Optional[np.random.Generator],
+    counters: Optional[CostCounters] = None,
+    *,
+    draw=None,
+    lanes: Optional[np.ndarray] = None,
+    scratch: Optional[KernelScratch] = None,
+) -> np.ndarray:
+    """One fused HPAT draw per (vertex, candidate-size) pair.
+
+    The shared driver around a backend's passes: gathers totals, draws
+    one uniform block per lane set, runs ``its_select`` /
+    ``alias_select``, and accounts costs. Returns per-lane edge indices
+    local to each vertex's adjacency; the result is a scratch view —
+    valid until the next call on the same ``scratch``.
+    """
+    n = vs.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Backends (the njit passes in particular) see int64 only.
+    vs = np.ascontiguousarray(vs, dtype=np.int64)
+    ss = np.ascontiguousarray(ss, dtype=np.int64)
+    if draw is None:
+        draw = GeneratorLanes(rng)
+    if lanes is None:
+        lanes = np.arange(n, dtype=np.int64)
+    if scratch is None:
+        scratch = KernelScratch()
+    if backend.sample_override is not None:
+        return backend.sample_override(index, vs, ss, draw, lanes, counters)
+
+    # -- gather: candidate totals and one uniform per lane ------------------
+    cbase = scratch.array("cbase", n, np.int64)
+    np.take(index.indptr, vs, out=cbase)
+    cbase += vs
+    gidx = scratch.array("gidx", n, np.int64)
+    np.add(cbase, ss, out=gidx)
+    totals = scratch.array("totals", n, np.float64)
+    np.take(index.c, gidx, out=totals)
+    r = draw.uniform(lanes)
+    np.multiply(r, totals, out=r)
+    np.subtract(totals, r, out=r)  # draws in (0, total]
+
+    # -- ITS over trunks ----------------------------------------------------
+    level = scratch.array("level", n, np.int64)
+    offset = scratch.array("offset", n, np.int64)
+    level[:] = 0
+    offset[:] = 0
+    backend.its_select(index.c, cbase, ss, r, level, offset, scratch)
+
+    if counters is not None:
+        blocks = _popcount(ss.astype(np.int64))
+        probes = np.ceil(np.log2(np.maximum(blocks, 2))).astype(np.int64) + 1
+        counters.binary_search_probes += int(probes.sum())
+        counters.edges_evaluated += int(probes.sum())
+
+    # -- alias draw inside each selected trunk (level 0 = identity) ---------
+    out = scratch.array("out", n, np.int64)
+    np.copyto(out, offset)
+    deep = np.flatnonzero(level)
+    if deep.size:
+        u = draw.uniform_block(lanes[deep], 2)
+        out_deep = scratch.array("out_deep", deep.size, np.int64)
+        backend.alias_select(
+            index.prob, index.alias, index.lvl_ptr, index.lvl_base,
+            vs[deep], level[deep], offset[deep], u[0], u[1], out_deep,
+        )
+        out[deep] = out_deep
+        if counters is not None:
+            counters.alias_draws += int(deep.size)
+            counters.edges_evaluated += int(deep.size)
+    return out

@@ -1,0 +1,81 @@
+"""Optional numba njit backend: per-lane loops, warp-per-walker shape.
+
+Importing this module raises :class:`ImportError` when numba is not
+installed; the registry (:mod:`repro.kernels`) catches that and falls
+back to the fused numpy backend, so the dependency stays optional.
+
+The passes are the scalar per-lane form of the same algorithm the
+numpy backend runs in lockstep — each lane walks its own binary
+decomposition in registers, the layout a GPU warp-per-walker sampler
+uses. Both consume the *same* pre-drawn uniforms (the driver owns the
+RNG), and trunk selection is a pure integer/float comparison chain, so
+the njit output is bit-identical to numpy — asserted whenever numba is
+present by ``make kernel-smoke`` and the kernel parity tests.
+
+``cache=False``: compilation is lazy and per-process; on-disk caching
+would add a writable-directory requirement for no measurable gain on
+long-running walk workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from numba import njit  # noqa: F401  (ImportError here = backend absent)
+
+from repro.kernels.base import KernelBackend, KernelScratch
+
+
+@njit(cache=False)
+def _its_select_nb(c, cbase, ss, r, level, offset):
+    for i in range(ss.size):
+        rem = ss[i]
+        off = np.int64(0)
+        base = cbase[i]
+        ri = r[i]
+        bits = 0
+        tmp = rem
+        while tmp > 0:
+            bits += 1
+            tmp >>= 1
+        for k in range(bits - 1, -1, -1):
+            block = np.int64(1) << k
+            if rem & block:
+                if c[base + off + block] >= ri:
+                    level[i] = k
+                    break
+                off += block
+                rem -= block
+        offset[i] = off
+
+
+@njit(cache=False)
+def _alias_select_nb(prob, alias, lvl_ptr, lvl_base, vs, level, offset,
+                     u_cell, u_take, out):
+    for i in range(vs.size):
+        k = level[i]
+        width = np.int64(1) << k
+        start = lvl_ptr[lvl_base[vs[i]] + k - 1] + offset[i]
+        cell = np.int64(u_cell[i] * width)
+        if cell > width - 1:
+            cell = width - 1
+        if u_take[i] < prob[start + cell]:
+            local = cell
+        else:
+            local = alias[start + cell]
+        out[i] = offset[i] + local
+
+
+def its_select(c, cbase, ss, r, level, offset, scratch: KernelScratch):
+    _its_select_nb(c, cbase, ss, r, level, offset)
+
+
+def alias_select(prob, alias, lvl_ptr, lvl_base, vs, level, offset,
+                 u_cell, u_take, out):
+    _alias_select_nb(prob, alias, lvl_ptr, lvl_base, vs, level, offset,
+                     u_cell, u_take, out)
+
+
+BACKEND = KernelBackend(
+    name="numba", its_select=its_select, alias_select=alias_select
+)

@@ -1,0 +1,105 @@
+"""Fused numpy reference backend for the sampling kernel.
+
+Semantics-identical (bit-identical, in fact — asserted by tests and
+``make kernel-smoke``) to the pre-fusion frontier kernel, with the ITS
+lockstep reorganised around how skewed workloads actually resolve:
+
+* the pre-fusion kernel scanned **global bit positions** high→low,
+  paying three full-population mask ops plus a ``flatnonzero`` per bit
+  (~17 bits on fig2-scale degrees) even after almost every lane had
+  found its trunk;
+* this backend instead probes, per round, **each active lane's own next
+  set bit** over a compressed active set. A lane is gathered exactly
+  once per trunk boundary it actually inspects, idle lanes cost
+  nothing, and the active set shrinks by the per-round hit rate — on
+  the paper's skewed workloads most draws resolve in the first
+  (heaviest) trunk, so total work is ~O(lanes), not O(lanes · bits).
+
+The probe order per lane — its set bits, highest first, with the same
+``c[cbase + offset + block] >= r`` acceptance — is exactly the order
+the global bit-scan visited, so ``level``/``offset`` match the legacy
+kernel bit for bit; selection is a pure function of ``r`` and the
+prefix-sum array, and all uniforms are drawn by the shared driver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.base import KernelBackend, KernelScratch
+
+
+def its_select(
+    c: np.ndarray,
+    cbase: np.ndarray,
+    ss: np.ndarray,
+    r: np.ndarray,
+    level: np.ndarray,
+    offset: np.ndarray,
+    scratch: KernelScratch,
+) -> None:
+    """ITS over the binary decomposition, next-set-bit probe rounds."""
+    # Round 1 runs over the full population with no index vector: every
+    # lane probes its highest set bit, and first-round winners keep
+    # offset == 0 (the driver pre-zeroes it), so only ``level`` is
+    # written. Survivors are compressed once into the loop state.
+    _, e0 = np.frexp(ss)
+    e0 = e0.astype(np.int64) - 1
+    top0 = np.int64(1) << e0
+    take0 = c[cbase + top0] >= r
+    level[take0] = e0[take0]
+    idx = np.flatnonzero(~take0)
+    rem = ss[idx] - top0[idx]
+    pos = cbase[idx] + top0[idx]
+    rr = r[idx]
+    while idx.size:
+        # Highest set bit of each lane's remaining decomposition: exact
+        # via frexp for any candidate size below 2^53.
+        _, e = np.frexp(rem)
+        e = e.astype(np.int64)
+        top = np.int64(1) << (e - 1)
+        bnd = c[pos + top]
+        take = bnd >= rr
+        done = idx[take]
+        level[done] = e[take] - 1
+        offset[done] = pos[take] - cbase[done]
+        # Survivors skip past this trunk and probe their next set bit.
+        keep = ~take
+        idx = idx[keep]
+        top = top[keep]
+        rem = rem[keep] - top
+        pos = pos[keep] + top
+        rr = rr[keep]
+        # The last set bit's boundary is the candidate total >= r, so
+        # every lane terminates via ``take`` — rem never reaches zero.
+
+
+def alias_select(
+    prob: np.ndarray,
+    alias: np.ndarray,
+    lvl_ptr: np.ndarray,
+    lvl_base: np.ndarray,
+    vs: np.ndarray,
+    level: np.ndarray,
+    offset: np.ndarray,
+    u_cell: np.ndarray,
+    u_take: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Vectorised alias draw inside each lane's selected trunk."""
+    width = np.int64(1) << level
+    idx = lvl_ptr[lvl_base[vs] + level - 1]  # fresh gather: mutable
+    np.add(idx, offset, out=idx)
+    cell = (u_cell * width).astype(np.int64)
+    np.minimum(cell, width - 1, out=cell)
+    np.add(idx, cell, out=idx)
+    # Alias redirect only where the cell's coin flip misses: the alias
+    # table is gathered for the (compressed) rejected lanes alone.
+    miss = np.flatnonzero(u_take >= prob[idx])
+    cell[miss] = alias[idx[miss]]
+    np.add(offset, cell, out=out)
+
+
+BACKEND = KernelBackend(
+    name="numpy", its_select=its_select, alias_select=alias_select
+)

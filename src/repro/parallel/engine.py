@@ -146,8 +146,9 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         warm_pool: bool = True,
         chunk_target_ms: Optional[float] = None,
         interleave: int = 1,
+        kernel_backend="auto",
     ):
-        super().__init__(graph, spec)
+        super().__init__(graph, spec, kernel_backend=kernel_backend)
         if backend not in BACKENDS:
             raise ValueError(f"backend must be one of {BACKENDS}, got {backend!r}")
         if share_mode not in SHARE_MODES:
@@ -253,6 +254,7 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         if self._local_worker_ctx is None:
             self._local_worker_ctx = WorkerContext(
                 spec=self.spec, aux_max=-1, injector=self.fault_injector,
+                kernel_backend=self.kernel.name,
             )
         return self._local_worker_ctx
 
@@ -277,6 +279,10 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
             aux_max=aux.max_size if aux is not None else -1,
             arrays=arrays,
             injector=self.fault_injector,
+            # The resolved *name*, not the object: process workers
+            # re-resolve after fork/spawn (and degrade gracefully if the
+            # parent had numba but the child can't import it).
+            kernel_backend=self.kernel.name,
         )
         return self._static_ctx
 

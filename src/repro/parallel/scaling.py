@@ -328,8 +328,12 @@ def scaling_gate(verbose: bool = True) -> bool:
     """
     from repro.benchhistory import append_record, make_record
     from repro.graph.datasets import load_dataset
+    from repro.kernels import resolve_backend
     from repro.walks.apps import exponential_walk
 
+    # Metrics must stay numeric; the active sampling-kernel backend
+    # rides in meta so regressions can be attributed to backend flips.
+    kernel_backend = resolve_backend("auto").name
     cores = os.cpu_count() or 1
     if cores < GATE_MIN_CORES:
         note = (f"scaling gate skipped: needs >= {GATE_MIN_CORES} cores for "
@@ -338,7 +342,7 @@ def scaling_gate(verbose: bool = True) -> bool:
         append_record(make_record(
             "walk_scaling_gate",
             {"gate_ran": 0.0, "cpus": float(cores)},
-            meta={"note": note},
+            meta={"note": note, "kernel_backend": kernel_backend},
         ))
         if verbose:
             print(note)
@@ -359,7 +363,8 @@ def scaling_gate(verbose: bool = True) -> bool:
         metrics[f"pool_startup_s_w{row.workers}"] = row.pool_startup_seconds
     append_record(make_record(
         "walk_scaling_gate", metrics,
-        meta={"workload": workload.describe(), "notes": notes},
+        meta={"workload": workload.describe(), "notes": notes,
+              "kernel_backend": kernel_backend},
     ))
     if verbose:
         print(format_scaling_table(rows, title="scaling gate (growth@1.0)",

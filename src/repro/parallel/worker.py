@@ -69,6 +69,11 @@ class WorkerContext:
     spec: WalkSpec
     aux_max: int
     arrays: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Resolved kernel-backend *name* (never the backend object — it
+    #: must survive pickling into process workers; each worker
+    #: re-resolves locally, falling back if e.g. numba exists only in
+    #: the parent).
+    kernel_backend: str = "numpy"
     #: Optional :class:`repro.resilience.faults.FaultInjector` evaluated
     #: at the ``chunk`` site with key ``(chunk_id, attempt)`` — chaos
     #: plans crash/hang specific chunk attempts deterministically, in
@@ -98,6 +103,7 @@ class WorkerContext:
         return BatchTeaEngine.from_prepared(
             graph, self.spec, index, a["candidate_sizes"],
             static_keys=a.get("static.keys"),
+            kernel_backend=self.kernel_backend,
         )
 
 

@@ -106,6 +106,22 @@ class LaneRng:
         z = _splitmix64(self._key[lanes] + self._ctr[lanes] * _SM64_GAMMA)
         return (z >> np.uint64(11)).astype(np.float64) * _U53_INV
 
+    def uniform_block(self, lanes: np.ndarray, k: int) -> np.ndarray:
+        """``k`` consecutive uniforms per lane, shape ``(k, lanes.size)``.
+
+        Row ``j`` is bit-identical to the ``j``-th of ``k`` successive
+        :meth:`uniform` calls over the same lanes — the fused kernels
+        draw their per-stage uniforms in one block without perturbing
+        any lane's stream (property-tested).
+        """
+        base = self._ctr[lanes]
+        self._ctr[lanes] = base + np.uint64(k)
+        steps = np.arange(1, k + 1, dtype=np.uint64)[:, None]
+        z = _splitmix64(
+            self._key[lanes][None, :] + (base[None, :] + steps) * _SM64_GAMMA
+        )
+        return (z >> np.uint64(11)).astype(np.float64) * _U53_INV
+
     def scalar(self, lane: int) -> "LaneStream":
         """A Generator-shaped view of one lane (``.random()`` only)."""
         return LaneStream(self, int(lane))
@@ -147,6 +163,12 @@ class GeneratorLanes:
 
     def uniform(self, lanes: np.ndarray) -> np.ndarray:
         return self._rng.random(lanes.size)
+
+    def uniform_block(self, lanes: np.ndarray, k: int) -> np.ndarray:
+        """``k`` successive :meth:`uniform` calls, stacked — implemented
+        literally as such so the legacy generator consumes its bit
+        stream in exactly the pre-fusion order (bit-compat contract)."""
+        return np.stack([self.uniform(lanes) for _ in range(k)])
 
     def scalar(self, lane: int) -> np.random.Generator:
         return self._rng

@@ -1,0 +1,395 @@
+"""Fused sampling-kernel backends, β fallbacks, and factorized decay.
+
+Covers the kernel-fusion PR end to end: backend registry semantics,
+bit-parity between the fused backends and the preserved pre-fusion
+kernel, the uniform-block draw contract they rely on, the hardened /
+vectorised β code paths, scalar-vs-fused distribution equivalence under
+``exponential_decay``, and the BINGO-style radix forest.
+"""
+
+import numpy as np
+import pytest
+
+import repro.engines.batch as batch_mod
+from repro.core import builder
+from repro.core.incremental import IncrementalHPAT, VertexIncrementalHPAT
+from repro.core.weights import WeightModel
+from repro.engines import TeaEngine, Workload
+from repro.engines.batch import BatchTeaEngine, hpat_sample_batch
+from repro.graph.validate import is_temporal_path
+from repro.kernels import (
+    KernelBackend,
+    KernelScratch,
+    available_backends,
+    backend_fallback_note,
+    numba_available,
+    resolve_backend,
+    sample_batch,
+)
+from repro.kernels.decay import DecayRadixForest
+from repro.rng import GeneratorLanes, LaneRng, make_rng
+from repro.sampling.counters import CostCounters
+from repro.walks.apps import temporal_node2vec
+from repro.walks.spec import WalkSpec
+from tests.conftest import chisquare_ok
+
+NON_LEGACY = [n for n in available_backends() if n != "legacy"]
+
+
+@pytest.fixture(scope="module")
+def skewed_index(request):
+    graph = request.getfixturevalue("medium_graph")
+    pre = builder.preprocess(graph, WeightModel("exponential", scale=4.0))
+    return pre.index
+
+
+def _queries(index, n, seed):
+    deg = np.diff(index.indptr)
+    rng = np.random.default_rng(seed)
+    lively = np.flatnonzero(deg > 0)
+    vs = lively[rng.integers(0, lively.size, size=n)].astype(np.int64)
+    ss = 1 + (deg[vs] * rng.random(n)).astype(np.int64)
+    return vs, ss
+
+
+class TestBackendRegistry:
+    def test_available_backends_always_has_numpy_and_legacy(self):
+        names = available_backends()
+        assert "numpy" in names and "legacy" in names
+
+    def test_resolve_passthrough_and_auto(self):
+        backend = resolve_backend("numpy")
+        assert isinstance(backend, KernelBackend)
+        assert resolve_backend(backend) is backend
+        auto = resolve_backend("auto")
+        assert auto.name == ("numba" if numba_available() else "numpy")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("cuda")
+
+    def test_numba_request_degrades_cleanly_when_absent(self):
+        resolved = resolve_backend("numba")
+        if numba_available():
+            assert resolved.name == "numba"
+        else:
+            assert resolved.name == "numpy"
+            note = backend_fallback_note()
+            assert note is not None and "numba" in note
+
+
+class TestUniformBlockContract:
+    """``uniform_block(lanes, k)`` ≡ k successive ``uniform`` calls.
+
+    The driver draws the two alias uniforms as one block; the legacy
+    kernel draws them as two calls. Backend bit-parity rests on these
+    being the same numbers for both draw sources.
+    """
+
+    def test_lane_rng(self):
+        lanes = np.arange(257, dtype=np.int64)
+        a = LaneRng(np.arange(257, dtype=np.uint64) + 5)
+        b = LaneRng(np.arange(257, dtype=np.uint64) + 5)
+        block = a.uniform_block(lanes, 2)
+        assert np.array_equal(block[0], b.uniform(lanes))
+        assert np.array_equal(block[1], b.uniform(lanes))
+
+    def test_generator_lanes(self):
+        lanes = np.arange(257, dtype=np.int64)
+        a = GeneratorLanes(np.random.default_rng(9))
+        b = GeneratorLanes(np.random.default_rng(9))
+        block = a.uniform_block(lanes, 2)
+        assert np.array_equal(block[0], b.uniform(lanes))
+        assert np.array_equal(block[1], b.uniform(lanes))
+
+
+@pytest.mark.parametrize("name", NON_LEGACY)
+class TestBackendParity:
+    """Every fused backend is bit-identical to the pre-fusion kernel."""
+
+    def test_lane_rng_parity_across_sizes(self, skewed_index, name):
+        legacy = resolve_backend("legacy")
+        backend = resolve_backend(name)
+        scratch = KernelScratch()  # deliberately reused across sizes
+        for n in (1, 17, 300, 5000):
+            vs, ss = _queries(skewed_index, n, seed=n)
+            lanes = np.arange(n, dtype=np.int64)
+            ref = sample_batch(
+                legacy, skewed_index, vs, ss, None,
+                draw=LaneRng(lanes.astype(np.uint64) + 3), lanes=lanes,
+            )
+            got = sample_batch(
+                backend, skewed_index, vs, ss, None,
+                draw=LaneRng(lanes.astype(np.uint64) + 3), lanes=lanes,
+                scratch=scratch,
+            )
+            # The result is a scratch view: compare before the next call.
+            assert np.array_equal(ref, got), f"{name} diverged at n={n}"
+
+    def test_generator_parity(self, skewed_index, name):
+        legacy = resolve_backend("legacy")
+        backend = resolve_backend(name)
+        vs, ss = _queries(skewed_index, 2000, seed=1)
+        ref = sample_batch(legacy, skewed_index, vs, ss, make_rng(4))
+        got = sample_batch(backend, skewed_index, vs, ss, make_rng(4))
+        assert np.array_equal(ref, got)
+
+    def test_counters_match_legacy(self, skewed_index, name):
+        backend = resolve_backend(name)
+        vs, ss = _queries(skewed_index, 500, seed=2)
+        c_legacy, c_backend = CostCounters(), CostCounters()
+        sample_batch(resolve_backend("legacy"), skewed_index, vs, ss,
+                     make_rng(0), c_legacy)
+        sample_batch(backend, skewed_index, vs, ss, make_rng(0), c_backend)
+        assert c_backend.binary_search_probes == c_legacy.binary_search_probes
+        assert c_backend.alias_draws == c_legacy.alias_draws
+
+
+class TestEngineBackendParity:
+    """Whole walk runs are backend-independent (hop for hop)."""
+
+    @pytest.mark.parametrize("name", [n for n in NON_LEGACY] + ["legacy"])
+    def test_node2vec_walks_identical(self, medium_graph, name):
+        spec = temporal_node2vec(p=2.0, q=0.5, scale=8.0)
+        workload = Workload(walks_per_vertex=1, max_length=20, max_walks=150)
+        ref = BatchTeaEngine(medium_graph, spec, kernel_backend="numpy").run(
+            workload, seed=11, record_paths=True)
+        got = BatchTeaEngine(medium_graph, spec, kernel_backend=name).run(
+            workload, seed=11, record_paths=True)
+        assert [tuple(p.vertices) for p in ref.paths] == \
+            [tuple(p.vertices) for p in got.paths]
+
+
+class TestScalarFusedDecayEquivalence:
+    """Satellite: scalar TEA ≡ fused kernel under ``exponential_decay``."""
+
+    @pytest.mark.parametrize("name", [n for n in NON_LEGACY] + ["legacy"])
+    def test_distribution_matches_scalar(self, medium_graph, name):
+        spec = WalkSpec(
+            name="decay",
+            weight_model=WeightModel("exponential_decay", scale=25.0),
+        )
+        engine = BatchTeaEngine(medium_graph, spec, kernel_backend=name)
+        engine.prepare()
+        deg = np.diff(medium_graph.indptr)
+        v = int(np.argmax(deg))
+        s = int(deg[v])
+        weights = spec.weight_model.compute(medium_graph)
+        lo = medium_graph.indptr[v]
+        probs = weights[lo:lo + s] / weights[lo:lo + s].sum()
+
+        n = 20000
+        draws = hpat_sample_batch(
+            engine.index, np.full(n, v), np.full(n, s), make_rng(2),
+            CostCounters(), backend=engine.kernel,
+        )
+        assert chisquare_ok(np.bincount(draws, minlength=s).astype(float),
+                            probs), f"fused[{name}] off-distribution"
+
+        scalar = TeaEngine(medium_graph, spec)
+        scalar.prepare()
+        rng = make_rng(3)
+        counters = CostCounters()
+        scalar_draws = np.array([
+            scalar.index.sample(v, s, rng, counters) for _ in range(n)
+        ])
+        assert chisquare_ok(
+            np.bincount(scalar_draws, minlength=s).astype(float), probs
+        ), "scalar TEA off-distribution"
+
+
+class TestBetaEmptyKeys:
+    """Satellite: ``_beta_batch`` survives a degenerate static adjacency."""
+
+    def test_empty_keys_direct(self, medium_graph):
+        spec = temporal_node2vec(p=2.0, q=0.25, scale=8.0)
+        engine = BatchTeaEngine(medium_graph, spec)
+        engine.prepare()
+        engine._static_keys = np.zeros(0, dtype=np.int64)
+        prev = np.array([0, 1, 2, 3], dtype=np.int64)
+        cand = np.array([1, 1, 2, 9], dtype=np.int64)  # mixed ==/!= prev
+        out = engine._beta_batch(prev, cand)  # pre-fix: IndexError
+        q = spec.dynamic_parameter.q
+        p = spec.dynamic_parameter.p
+        expected = np.where(cand == prev, 1.0 / p, 1.0 / q)
+        np.testing.assert_allclose(out, expected)
+
+    def test_walk_with_empty_static_keys(self, medium_graph):
+        # The from_prepared worker path can legitimately hand the engine
+        # an empty key array (e.g. a spec-restricted empty adjacency);
+        # node2vec walks must still run, scoring every candidate 1/q.
+        spec = temporal_node2vec(p=2.0, q=0.5, scale=8.0)
+        donor = BatchTeaEngine(medium_graph, spec)
+        donor.prepare()
+        engine = BatchTeaEngine.from_prepared(
+            medium_graph, spec, donor.index, donor.candidate_sizes,
+            static_keys=np.zeros(0, dtype=np.int64),
+        )
+        result = engine.run(Workload(max_length=10, max_walks=60), seed=2,
+                            record_paths=True)
+        assert result.num_walks == 60
+        for path in result.paths:
+            assert is_temporal_path(medium_graph, path.hops)
+
+
+class TestBetaFallbackVectorised:
+    """Satellite: the budget-exhaustion fallback is exact and batched."""
+
+    def _engine(self, graph, q=0.25):
+        spec = temporal_node2vec(p=2.0, q=q, scale=8.0)
+        engine = BatchTeaEngine(graph, spec)
+        engine.prepare()
+        return engine, spec
+
+    def test_fallback_distribution(self, medium_graph):
+        engine, spec = self._engine(medium_graph)
+        g = medium_graph
+        deg = np.diff(g.indptr)
+        v = int(np.argmax(deg))
+        s = int(deg[v])
+        prev = int(g.nbr[g.indptr[v]])  # a real neighbor as prev vertex
+        beta = spec.dynamic_parameter
+
+        n = 20000
+        vs = np.full(n, v, dtype=np.int64)
+        ss = np.full(n, s, dtype=np.int64)
+        prevs = np.full(n, prev, dtype=np.int64)
+        lanes = np.arange(n, dtype=np.int64)
+        counters = CostCounters()
+        draws = engine._beta_fallback_batch(
+            vs, ss, prevs, beta, LaneRng(lanes.astype(np.uint64)), lanes,
+            counters,
+        )
+        w = engine._candidate_weights(v, s).copy()
+        cand = g.nbr[g.indptr[v]:g.indptr[v] + s]
+        bvals = np.array([beta(g, prev, int(c)) for c in cand])
+        probs = w * bvals
+        probs /= probs.sum()
+        assert chisquare_ok(np.bincount(draws, minlength=s).astype(float),
+                            probs)
+        assert counters.edges_evaluated >= n * s  # exact scans accounted
+
+    def test_fallback_chunk_invariant(self, medium_graph):
+        # Per-lane prefix sums must not depend on which other lanes share
+        # the batch: splitting one fallback population into two calls
+        # (same lane ids, fresh counter streams) gives identical picks.
+        engine, spec = self._engine(medium_graph)
+        beta = spec.dynamic_parameter
+        vs, ss = _queries(engine.index, 600, seed=8)
+        prevs = np.array(
+            [int(medium_graph.nbr[medium_graph.indptr[v]]) for v in vs],
+            dtype=np.int64,
+        )
+        lanes = np.arange(600, dtype=np.int64)
+
+        def run(idx):
+            return engine._beta_fallback_batch(
+                vs[idx], ss[idx], prevs[idx], beta,
+                LaneRng(lanes.astype(np.uint64) + 1), lanes[idx],
+                CostCounters(),
+            )
+
+        whole = run(slice(None))
+        halves = np.concatenate([run(slice(0, 300)), run(slice(300, None))])
+        assert np.array_equal(whole, halves)
+
+    def test_forced_fallback_walks(self, medium_graph, monkeypatch):
+        # One rejection round + a huge q makes nearly every non-neighbor
+        # candidate reject, so real frontiers drain through the fallback.
+        monkeypatch.setattr(batch_mod, "_MAX_BETA_ROUNDS", 1)
+        engine, _ = self._engine(medium_graph, q=1e6)
+        workload = Workload(max_length=12, max_walks=80)
+        result = engine.run(workload, seed=6, record_paths=True)
+        rerun = self._engine(medium_graph, q=1e6)[0].run(
+            workload, seed=6, record_paths=True)
+        assert result.num_walks == 80
+        for path in result.paths:
+            assert is_temporal_path(medium_graph, path.hops)
+        assert [tuple(p.vertices) for p in result.paths] == \
+            [tuple(p.vertices) for p in rerun.paths]
+
+
+class TestDecayRadixForest:
+    WM = WeightModel("exponential_decay", scale=5.0)
+
+    def _stream(self, n=600, seed=3, horizon=90.0):
+        rng = np.random.default_rng(seed)
+        times = np.sort(rng.uniform(0.0, horizon, size=n))
+        dst = rng.integers(0, 40, size=n).astype(np.int64)
+        return dst, times
+
+    def test_matches_carry_forest(self):
+        dst, times = self._stream()
+        carry = VertexIncrementalHPAT(self.WM)
+        radix = DecayRadixForest(self.WM)
+        for lo in range(0, 600, 50):
+            carry.append_batch(dst[lo:lo + 50], times[lo:lo + 50])
+            radix.append_batch(dst[lo:lo + 50], times[lo:lo + 50])
+        d1, t1, w1 = carry.edges_desc()
+        d2, t2, w2 = radix.edges_desc()
+        assert np.array_equal(d1, d2) and np.array_equal(t1, t2)
+        np.testing.assert_allclose(w1, w2, rtol=1e-12)
+        assert radix.merged_edges == 0
+
+    def test_sampling_distribution(self):
+        dst, times = self._stream(n=300)
+        radix = DecayRadixForest(self.WM)
+        radix.append_batch(dst, times)
+        s = radix.candidate_count(times[0] - 1.0)  # newer-than t
+        assert s == 300
+        _, t, w = radix.edges_desc()
+        probs = w / w.sum()
+        rng = make_rng(5)
+        counters = CostCounters()
+        # sample() returns (dst, time); timestamps are unique, so they
+        # identify the drawn edge.
+        drawn_t = np.array([radix.sample(s, rng, counters)[1]
+                            for _ in range(12000)])
+        order = np.argsort(t)
+        idx = order[np.searchsorted(t[order], drawn_t)]
+        assert chisquare_ok(np.bincount(idx, minlength=s).astype(float),
+                            probs)
+
+    def test_snapshot_restore_roundtrip(self):
+        dst, times = self._stream()
+        radix = DecayRadixForest(self.WM)
+        radix.append_batch(dst[:400], times[:400])
+        snap = radix.snapshot()
+        before = radix.edges_desc()
+        radix.append_batch(dst[400:], times[400:])
+        radix.restore(snap)
+        after = radix.edges_desc()
+        for a, b in zip(before, after):
+            np.testing.assert_array_equal(a, b)
+        # The restored forest accepts the stream again, identically.
+        radix.append_batch(dst[400:], times[400:])
+        assert radix.num_edges == 600
+
+    def test_out_of_order_batch_rejected(self):
+        from repro.exceptions import NotSupportedError
+
+        radix = DecayRadixForest(self.WM)
+        radix.append_batch(np.array([1]), np.array([10.0]))
+        with pytest.raises(NotSupportedError):
+            radix.append_batch(np.array([2]), np.array([5.0]))
+
+    def test_growth_kind_rejected(self):
+        from repro.exceptions import NotSupportedError
+
+        with pytest.raises(NotSupportedError):
+            DecayRadixForest(WeightModel("exponential", scale=2.0))
+
+    def test_incremental_hpat_selects_factorized(self):
+        from repro.graph.edge_stream import EdgeStream
+
+        inc_decay = IncrementalHPAT(self.WM)
+        inc_growth = IncrementalHPAT(WeightModel("exponential", scale=2.0))
+        assert inc_decay.factorized and not inc_growth.factorized
+        dst, times = self._stream(n=200)
+        src = np.zeros(200, dtype=np.int64)
+        for lo in range(0, 200, 25):
+            sl = slice(lo, lo + 25)
+            inc_decay.apply_batch(EdgeStream(src[sl], dst[sl], times[sl]))
+        # Cost oracle: factorized maintenance never re-indexes, so total
+        # update work stays at exactly one unit per appended edge.
+        assert inc_decay.update_work() == inc_decay.num_edges == 200
