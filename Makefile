@@ -3,14 +3,14 @@
 PYTHON ?= python
 
 .PHONY: install test stats-smoke scaling-smoke ooc-smoke chaos-smoke \
-        telemetry-smoke bench-history-smoke kernel-smoke lint-clocks \
-        bench bench-quick examples lint clean
+        telemetry-smoke bench-history-smoke kernel-smoke serve-smoke \
+        lint-clocks bench bench-quick examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test: lint-clocks kernel-smoke stats-smoke scaling-smoke ooc-smoke \
-      chaos-smoke telemetry-smoke bench-history-smoke
+      chaos-smoke telemetry-smoke bench-history-smoke serve-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Sampling-kernel smoke: fused numpy (and numba, when installed)
@@ -74,6 +74,14 @@ telemetry-smoke:
 bench-history-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.benchhistory.smoke
 	@echo "bench-history-smoke: regression gate behaves"
+
+# Serving smoke: boot a real daemon on a loopback port and check the
+# three properties serving must never lose — staged-batch responses
+# bit-identical to solo runs, 429s (and telemetry conservation) when
+# the admission queue fills, and a clean bounded-join shutdown.
+serve-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.serve.smoke
+	@echo "serve-smoke: parity + admission + shutdown hold"
 
 # Clock discipline: engine code must take time from
 # repro.telemetry.clock, never raw time.time()/perf_counter().

@@ -1,27 +1,32 @@
-"""E-commerce walk corpus: temporal co-visitation recommendation.
+"""E-commerce recommendations served by the walk daemon.
 
 The paper motivates temporal walks with e-commerce networks (Section 1):
 "users' preferences evolve from time to time; static graph analysis
 would ... result in inaccurate or misleading market decisions." This
-example builds a bipartite user→item interaction stream, generates a
-temporal node2vec walk corpus with TEA (what CTDNE/EHNA feed to their
-embedding models), and derives item-to-item recommendations from walk
-co-occurrence — the classic DeepWalk-style pipeline, minus the neural
-net (out of scope for a systems library).
+example runs the full serving topology in one process: it builds a
+bipartite user→item interaction stream, boots a `repro serve` daemon
+(`WalkService`) over it, and asks the daemon for recommendations via
+the HTTP API — the same `POST /recommend` a production client would
+call. Concurrent anchor queries are issued from threads so the daemon's
+request batcher coalesces them into shared frontier runs (check the
+`coalesced` counter it prints).
 
-It then contrasts against a *static* walk corpus (uniform weights,
-temporal order ignored by resetting times) to show the temporal bias
-shifting recommendations toward the user's recent interests.
+It then contrasts the temporal node2vec recommendations against a
+*static* walk corpus (uniform weights, temporal order ignored) to show
+the temporal bias shifting recommendations toward recent interests.
 
 Run:  python examples/ecommerce_recommendation.py
+(Standalone daemon: `PYTHONPATH=src python -m repro.cli serve --help`.)
 """
 
-from collections import Counter, defaultdict
+import threading
+from collections import Counter
 
 import numpy as np
 
-from repro import TemporalGraph, TeaEngine, Workload, temporal_node2vec, unbiased_walk
+from repro import TemporalGraph
 from repro.graph.generators import temporal_bipartite
+from repro.serve import ServeClient, WalkService
 
 NUM_USERS = 120
 NUM_ITEMS = 60
@@ -48,60 +53,98 @@ def is_item(v: int) -> bool:
     return v >= NUM_USERS
 
 
-def walk_corpus(graph: TemporalGraph, spec, seed: int) -> list:
-    engine = TeaEngine(graph, spec)
-    workload = Workload(walks_per_vertex=2, max_length=12, max_walks=800)
-    return engine.run(workload, seed=seed).paths
+def popular_items(client: ServeClient, n: int = 3) -> list:
+    """One /walk query over every item vertex; rank items by visits."""
+    corpus = client.walk(
+        starts=list(range(NUM_USERS, NUM_USERS + NUM_ITEMS)),
+        app="node2vec", p=0.5, q=2.0, scale=30.0,
+        walks_per_vertex=2, max_length=12, seed=11,
+    )
+    popularity = Counter(
+        item_id(v) for walk in corpus["walks"] for v in walk if is_item(v)
+    )
+    return [item for item, _ in popularity.most_common(n)]
 
 
-def co_visits(paths) -> dict:
-    """Item→item co-occurrence counts within each walk (window = walk)."""
-    table = defaultdict(Counter)
-    for path in paths:
-        items = [item_id(v) for v in path.vertices if is_item(v)]
-        for i, a in enumerate(items):
-            for b in items[i + 1 :]:
-                if a != b:
-                    table[a][b] += 1
-                    table[b][a] += 1
-    return table
+def recommend(client: ServeClient, anchor: int, app: str, **params) -> list:
+    """Top item co-visits for one anchor item, served by the daemon."""
+    response = client.recommend(
+        starts=[NUM_USERS + anchor],
+        app=app,
+        walks_per_vertex=24,
+        max_length=12,
+        seed=100 + anchor,
+        top_k=12,  # over-fetch: walks alternate user/item, we keep items
+        record_paths=False,
+        **params,
+    )
+    return [
+        (item_id(v), count)
+        for v, count in response["recommendations"]
+        if is_item(v)
+    ][:3]
 
 
 def main() -> None:
     graph = build_graph()
     print(f"interaction graph: {graph}")
 
-    temporal_paths = walk_corpus(graph, temporal_node2vec(p=0.5, q=2.0, scale=30.0), seed=11)
-    static_paths = walk_corpus(graph, unbiased_walk(), seed=11)
+    with WalkService(graph, engine="tea-batch", batch_window_ms=4.0) as service:
+        client = ServeClient(port=service.port)
+        print(f"daemon: http://{service.host}:{service.port} "
+              f"({client.healthz()['status']})")
 
-    temporal_recs = co_visits(temporal_paths)
-    static_recs = co_visits(static_paths)
+        anchors = popular_items(client)
 
-    # Most-interacted items make the clearest demo anchors.
-    popularity = Counter()
-    for path in temporal_paths:
-        popularity.update(item_id(v) for v in path.vertices if is_item(v))
-    anchors = [item for item, _ in popularity.most_common(3)]
+        # Fire all anchor queries concurrently: compatible requests
+        # coalesce into one frontier run inside the daemon.
+        temporal_recs, static_recs = {}, {}
 
-    print("\ntop-3 recommendations per anchor item:")
-    print(f"{'anchor':>8} | {'temporal node2vec':^28} | {'static uniform':^28}")
-    for anchor in anchors:
-        t3 = ", ".join(f"{b}({c})" for b, c in temporal_recs[anchor].most_common(3))
-        s3 = ", ".join(f"{b}({c})" for b, c in static_recs[anchor].most_common(3))
-        print(f"{anchor:>8} | {t3:^28} | {s3:^28}")
+        def _query(anchor):
+            temporal_recs[anchor] = recommend(
+                client, anchor, app="node2vec", p=0.5, q=2.0, scale=30.0
+            )
+            static_recs[anchor] = recommend(client, anchor, app="unbiased")
 
-    # Quantify how much the temporal bias concentrates on recent events:
-    # average timestamp of edges traversed by each corpus.
-    def mean_walk_time(paths):
-        times = [t for p in paths for _, t in p.hops if t is not None]
-        return float(np.mean(times)) if times else float("nan")
+        threads = [
+            threading.Thread(target=_query, args=(a,)) for a in anchors
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
 
-    print(
-        f"\nmean traversed-edge timestamp: "
-        f"temporal={mean_walk_time(temporal_paths):.1f} days, "
-        f"static={mean_walk_time(static_paths):.1f} days "
-        f"(temporal walks favour recent interactions)"
-    )
+        print("\ntop-3 recommendations per anchor item:")
+        print(f"{'anchor':>8} | {'temporal node2vec':^28} | {'static uniform':^28}")
+        for anchor in anchors:
+            t3 = ", ".join(f"{b}({c})" for b, c in temporal_recs[anchor])
+            s3 = ", ".join(f"{b}({c})" for b, c in static_recs[anchor])
+            print(f"{anchor:>8} | {t3:^28} | {s3:^28}")
+
+        # Quantify the temporal bias: average timestamp of edges the two
+        # corpora traverse (served over /walk with paths + times).
+        def mean_walk_time(app, **params):
+            corpus = client.walk(
+                starts=[NUM_USERS + a for a in anchors],
+                app=app, walks_per_vertex=8, max_length=12, seed=7, **params,
+            )
+            times = [t for walk in corpus["times"] for t in walk]
+            return float(np.mean(times)) if times else float("nan")
+
+        temporal_t = mean_walk_time("node2vec", p=0.5, q=2.0, scale=30.0)
+        static_t = mean_walk_time("unbiased")
+        print(
+            f"\nmean traversed-edge timestamp: "
+            f"temporal={temporal_t:.1f} days, static={static_t:.1f} days "
+            f"(temporal walks favour recent interactions)"
+        )
+
+        counters = client.stats()["counters"]
+        print(
+            f"daemon served {counters['served']} requests in "
+            f"{counters['batches']} frontier runs "
+            f"({counters['coalesced']} coalesced)"
+        )
 
 
 if __name__ == "__main__":

@@ -8,6 +8,8 @@ Subcommands
                 or a summary.
 ``compare``   — run several engines on one dataset/application and print
                 the speedup table (a handheld Table 4 cell).
+``serve``     — long-lived walk-serving daemon with request batching
+                (see ``docs/serving.md``).
 ``scrub``     — verify every checksum of a persisted out-of-core trunk
                 store and locate corrupt pages.
 
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.bench.report import format_rows
@@ -471,6 +474,65 @@ def cmd_compare(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.resilience import load_fault_injector
+    from repro.serve import WalkService
+    from repro.telemetry import EventLog
+    from repro.telemetry import events as telemetry_events
+
+    graph = _load_graph(args)
+    engine_kwargs = {}
+    if args.serve_engine == "tea-parallel":
+        engine_kwargs = {
+            "workers": args.workers,
+            "chunk_size": args.chunk_size,
+            "backend": args.parallel_backend,
+            "retries": args.retries,
+            "chunk_timeout": args.chunk_timeout,
+            "fault_injector": load_fault_injector(args.fault_plan),
+            "chunk_target_ms": args.chunk_target_ms,
+            "kernel_backend": args.kernel_backend,
+        }
+    elif args.serve_engine == "tea-batch":
+        engine_kwargs = {"kernel_backend": args.kernel_backend}
+    event_log = EventLog()
+    previous_log = telemetry_events.install(event_log)
+    service = WalkService(
+        graph,
+        engine=args.serve_engine,
+        engine_kwargs=engine_kwargs,
+        max_engines=args.max_engines,
+        max_bytes=args.max_bytes,
+        queue_depth=args.queue_depth,
+        batch_window_ms=args.batch_window_ms,
+        max_batch=args.max_batch,
+        batching=not args.no_batching,
+        host=args.host,
+        port=args.port,
+        request_timeout=args.request_timeout,
+    )
+    try:
+        service.start()
+        print(f"serving on http://{service.host}:{service.port} "
+              f"(engine={args.serve_engine}, "
+              f"batching={'off' if args.no_batching else 'on'})")
+        print("endpoints: POST /walk /recommend /gnn/sample · "
+              "GET /healthz /metrics /stats — Ctrl-C to stop")
+        try:
+            while True:
+                time.sleep(3600)
+        except KeyboardInterrupt:
+            print("\nshutting down ...")
+    finally:
+        clean = service.close(timeout=10.0)
+        telemetry_events.install(previous_log)
+        if args.events_out:
+            count = event_log.write(args.events_out)
+            print(f"event log ({count} events) -> {args.events_out}")
+    print(f"shutdown {'clean' if clean else 'TIMED OUT'}")
+    return 0 if clean else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tea-repro",
@@ -563,6 +625,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the structured JSONL event log here "
                         "(retries, degradations, evictions, ... with run_id)")
     p.set_defaults(fn=cmd_walk)
+
+    p = sub.add_parser("serve", help="walk-serving daemon (see docs/serving.md)")
+    _add_graph_args(p)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8214,
+                   help="listen port (0 picks a free one)")
+    p.add_argument("--engine", dest="serve_engine", default="tea-batch",
+                   choices=["tea", "tea-batch", "tea-parallel"],
+                   help="engine kind built per cached (window, weights) entry")
+    p.add_argument("--workers", type=int, default=None, metavar="N",
+                   help="tea-parallel: pool worker count")
+    p.add_argument("--parallel-backend", default="auto",
+                   choices=["auto", "process", "thread", "serial"])
+    p.add_argument("--chunk-size", type=int, default=None, metavar="M")
+    p.add_argument("--chunk-target-ms", type=float, default=None)
+    p.add_argument("--kernel-backend", default="auto",
+                   choices=["auto", "numpy", "numba"])
+    p.add_argument("--retries", type=int, default=2, metavar="R",
+                   help="tea-parallel: chunk retry budget")
+    p.add_argument("--chunk-timeout", type=float, default=None, metavar="S")
+    p.add_argument("--fault-plan", metavar="PLAN",
+                   help="chaos testing: JSON fault plan injected under the server")
+    p.add_argument("--max-engines", type=int, default=8,
+                   help="prepared-engine LRU capacity")
+    p.add_argument("--max-bytes", type=int, default=None,
+                   help="resident-index byte budget for the engine LRU")
+    p.add_argument("--queue-depth", type=int, default=64,
+                   help="admission bound: parked requests before 429")
+    p.add_argument("--batch-window-ms", type=float, default=2.0,
+                   help="linger window for coalescing concurrent requests")
+    p.add_argument("--max-batch", type=int, default=64,
+                   help="max requests coalesced into one frontier run")
+    p.add_argument("--no-batching", action="store_true",
+                   help="serve each request as its own frontier run")
+    p.add_argument("--request-timeout", type=float, default=60.0)
+    p.add_argument("--events-out", metavar="PATH",
+                   help="write the structured event log as JSONL on shutdown")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("bench", help="run one paper experiment or query history")
     p.add_argument("experiment",

@@ -37,7 +37,7 @@ from repro.kernels import (
     resolve_backend,
     sample_batch as _kernel_sample_batch,
 )
-from repro.rng import GeneratorLanes, RngLike, make_rng
+from repro.rng import GeneratorLanes, LaneRng, RngLike, make_rng
 from repro.sampling.counters import CostCounters
 from repro.telemetry import (
     MemoryReport,
@@ -494,6 +494,49 @@ class BatchTeaEngine(Engine):
             lengths=max_length - steps_left,
             hop_vertex=hop_vertex,
             hop_time=hop_time,
+        )
+
+    # -- lane-seeded execution ---------------------------------------------------
+
+    def run_lanes(
+        self,
+        starts: np.ndarray,
+        seeds: np.ndarray,
+        max_length: int,
+        stop_probability: float = 0.0,
+        keep_hops: bool = True,
+        counters: Optional[CostCounters] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> FrontierResult:
+        """Walk ``starts`` with explicit per-walk lane seeds.
+
+        Walk ``i`` is advanced by a counter-based stream keyed on
+        ``seeds[i]`` (:class:`~repro.rng.LaneRng`), so its sampled path
+        is a pure function of ``(starts[i], seeds[i])`` — independent of
+        which other walks share the frontier, their order, or how the
+        caller partitions a workload into ``run_lanes`` calls. This is
+        the coalescing contract the serving batcher
+        (:mod:`repro.serve`) is built on: batched requests are
+        bit-identical to solo runs.
+        """
+        self.prepare()
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        seeds = np.ascontiguousarray(seeds)
+        if starts.size != seeds.size:
+            raise ValueError("starts and seeds must be equal length")
+        counters = counters if counters is not None else CostCounters()
+        frontier_hist = (
+            registry.histogram(
+                "batch.frontier_size", "active walkers per frontier iteration"
+            )
+            if registry is not None
+            else None
+        )
+        return self._run_frontier(
+            starts, int(max_length), float(stop_probability),
+            np.random.default_rng(0),  # unused: draws come from the lanes
+            counters, keep_hops, frontier_hist,
+            lane_rng=LaneRng(seeds),
         )
 
     # -- run ---------------------------------------------------------------------

@@ -120,3 +120,19 @@ class WorkerCrashError(TeaError):
 
 class FaultPlanError(TeaError):
     """A declarative fault plan is malformed (unknown site/kind, bad JSON)."""
+
+
+class ServeError(TeaError):
+    """A serving request is invalid or cannot be completed.
+
+    Attributes
+    ----------
+    status:
+        The HTTP status code the daemon maps this error to (400 for
+        malformed requests, 429 for admission rejection, 503 for a
+        server that is shutting down).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        self.status = int(status)
+        super().__init__(message)

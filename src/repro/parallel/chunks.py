@@ -123,6 +123,25 @@ def plan_chunks(
     return ChunkPlan(starts=starts, bounds=bounds, seeds=seeds)
 
 
+def plan_for_seeds(
+    starts: np.ndarray, seeds: np.ndarray, chunk_size: int
+) -> ChunkPlan:
+    """Build a plan from caller-supplied per-walk seeds.
+
+    The serving layer (:mod:`repro.serve`) derives each request's lane
+    seeds from the *request's own* seed, then concatenates requests into
+    one plan — per-walk seeding makes the partition (and the batch
+    composition) invisible to every sampled edge.
+    """
+    starts = np.ascontiguousarray(starts, dtype=np.int64)
+    seeds = np.ascontiguousarray(seeds)
+    if starts.size != seeds.size:
+        raise ValueError("starts and seeds must be equal length")
+    return ChunkPlan(
+        starts=starts, bounds=_chunk_bounds(starts.size, chunk_size), seeds=seeds
+    )
+
+
 def rechunk(plan: ChunkPlan, chunk_size: int) -> ChunkPlan:
     """Repartition ``plan`` into ``chunk_size``-walk chunks.
 

@@ -63,6 +63,7 @@ from repro.parallel.chunks import (
     ChunkPlan,
     adaptive_chunk_size,
     plan_chunks,
+    plan_for_seeds,
     rechunk,
 )
 from repro.parallel.pool import WarmWorkerPool
@@ -549,6 +550,103 @@ class ParallelBatchTeaEngine(BatchTeaEngine):
         # Chunk order, regardless of which attempt produced each result:
         # the fold below is then deterministic.
         return [results[cid] for cid in sorted(results)]
+
+    # -- lane-seeded execution ---------------------------------------------
+
+    def run_lanes(
+        self,
+        starts: np.ndarray,
+        seeds: np.ndarray,
+        max_length: int,
+        stop_probability: float = 0.0,
+        keep_hops: bool = True,
+        counters=None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> FrontierResult:
+        """Chunk-parallel twin of :meth:`BatchTeaEngine.run_lanes`.
+
+        The caller supplies per-walk seeds; the engine only decides the
+        partition (fixed ``chunk_size`` or the adaptive planner's
+        calibration memory) and the backend. Because every walk's
+        randomness is keyed on its own seed, the result is bit-identical
+        to the serial ``run_lanes`` — across worker counts, backends,
+        chunkings, retries, and degradations — which lets the serving
+        batcher coalesce requests onto this engine without changing any
+        response. Chunk failures go through the same supervised
+        retry/degradation path as :meth:`run`.
+        """
+        self.prepare()
+        self._prebuild_static()
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        seeds = np.ascontiguousarray(seeds)
+        if self.chunk_size:
+            size = self.chunk_size
+        else:
+            size = adaptive_chunk_size(
+                starts.size, self.workers, self._per_walk_seconds,
+                self.chunk_target_ms if self.chunk_target_ms is not None
+                else DEFAULT_CHUNK_TARGET_MS,
+            )
+        plan = plan_for_seeds(starts, seeds, size)
+        workers_used = max(1, min(self.workers, plan.num_chunks))
+        backend = self._resolve_backend(workers_used)
+        self.last_backend = backend
+        self.last_events = {"chunk_retries": 0, "degraded": []}
+        self.last_pool = {"reuses": 0, "builds": 0,
+                          "startup_seconds": 0.0, "attach_seconds": 0.0}
+        rp = {
+            "max_length": int(max_length),
+            "stop_probability": float(stop_probability),
+            "keep_hops": bool(keep_hops),
+            "run_id": current_run_id(),
+            "profile": False,
+        }
+        results = self._execute_chunks(plan, backend, workers_used, rp)
+
+        # Refine the adaptive planner's calibration memory, same as run().
+        if plan.num_walks and results:
+            total_wall = sum(res.wall_seconds for res in results)
+            if total_wall > 0:
+                self._per_walk_seconds = total_wall / plan.num_walks
+
+        parent_log = events.current()
+        if parent_log is not None:
+            for res in results:
+                if res.events:
+                    parent_log.extend(res.events)
+
+        num = int(starts.size)
+        lengths = np.zeros(num, dtype=np.int64)
+        hop_vertex = hop_time = None
+        if keep_hops:
+            hop_vertex = np.zeros((num, int(max_length)), dtype=np.int64)
+            hop_time = np.zeros((num, int(max_length)), dtype=np.float64)
+        for res in results:
+            lo, hi = plan.chunk(res.chunk_id)
+            lengths[lo:hi] = res.lengths
+            if keep_hops and res.hop_vertex is not None:
+                width = res.hop_vertex.shape[1]
+                hop_vertex[lo:hi, :width] = res.hop_vertex
+                hop_time[lo:hi, :width] = res.hop_time
+        if counters is not None:
+            counters.merge(CostCounters.merge_all(res.counters for res in results))
+        if registry is not None:
+            for res in results:
+                registry.merge(res.registry)
+            registry.counter(
+                "parallel.chunk_retries",
+                "chunk executions repeated after a crash/hang/broken pool",
+            ).inc(int(self.last_events["chunk_retries"]))
+            registry.counter(
+                "resilience.degraded",
+                "backend degradations (process->thread->serial) this run",
+            ).inc(len(self.last_events["degraded"]))
+            if self.fault_injector is not None:
+                self.fault_injector.publish(registry)
+        return FrontierResult(
+            starts=starts, lengths=lengths,
+            hop_vertex=hop_vertex, hop_time=hop_time,
+        )
 
     # -- run ---------------------------------------------------------------
 

@@ -1,0 +1,26 @@
+"""Walk-as-a-service: the `repro serve` daemon.
+
+Long-lived serving over one prepared temporal graph: a bounded request
+queue with admission control, a coalescing batcher that merges
+concurrent compatible queries into single lane-seeded frontier runs
+(bit-identical to solo execution), and a stdlib HTTP front-end. See
+``docs/serving.md``.
+"""
+
+from repro.serve.batcher import Batcher, PendingRequest, RequestQueue
+from repro.serve.client import ServeClient
+from repro.serve.executor import BatchExecutor
+from repro.serve.protocol import SERVE_SCHEMA, WalkRequest, build_spec
+from repro.serve.server import WalkService
+
+__all__ = [
+    "Batcher",
+    "BatchExecutor",
+    "PendingRequest",
+    "RequestQueue",
+    "ServeClient",
+    "SERVE_SCHEMA",
+    "WalkRequest",
+    "WalkService",
+    "build_spec",
+]

@@ -1,0 +1,231 @@
+"""Request queue, admission control, and the coalescing batcher.
+
+The daemon's concurrency model is deliberately simple: HTTP handler
+threads *park* requests in a bounded :class:`RequestQueue` and block on
+a per-request event; one :class:`Batcher` thread drains the queue,
+groups compatible requests by :meth:`~repro.serve.protocol.WalkRequest.
+batch_key`, and hands each group to the executor as a single frontier
+run. Walk engines are not re-entrant (shared scratch arenas), so a
+single consumer is both the safety argument and the batching
+opportunity — everything that queues up while one batch runs coalesces
+into the next.
+
+Admission control is the queue bound: a full queue rejects at submit
+time (the HTTP layer maps this to 429) rather than buffering unbounded
+work. Telemetry conservation is the invariant the stress tests assert:
+
+    serve.received == serve.served + serve.rejected + serve.failed
+
+``received``/``rejected`` are counted inside the queue lock (handler
+threads race on submit); ``served``/``failed`` only ever move in the
+batcher thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.serve.protocol import WalkRequest
+from repro.telemetry import events
+from repro.telemetry.clock import monotonic
+from repro.telemetry.registry import MetricsRegistry
+from repro.walks.spec import WalkSpec
+
+
+@dataclass
+class PendingRequest:
+    """A parked request: the handler thread waits on ``done``."""
+
+    request: WalkRequest
+    request_id: str
+    spec: WalkSpec
+    done: threading.Event = field(default_factory=threading.Event)
+    response: Optional[dict] = None
+    error: Optional[BaseException] = None
+
+    def batch_key(self):
+        return self.request.batch_key(self.spec)
+
+    def resolve(self, response: Optional[dict], error: Optional[BaseException]):
+        self.response = response
+        self.error = error
+        self.done.set()
+
+
+class RequestQueue:
+    """Bounded FIFO with atomic admission accounting."""
+
+    def __init__(self, max_depth: int = 64, registry: Optional[MetricsRegistry] = None):
+        if max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        self.max_depth = int(max_depth)
+        self._cond = threading.Condition()
+        self._items: "deque[PendingRequest]" = deque()
+        self._closed = False
+        self._paused = False
+        registry = registry if registry is not None else MetricsRegistry()
+        self._received = registry.counter(
+            "serve.received", "requests that reached admission control"
+        )
+        self._rejected = registry.counter(
+            "serve.rejected", "requests rejected by admission control (429)"
+        )
+        self._depth = registry.gauge("serve.queue_depth", "parked requests", agg="max")
+
+    def submit(self, pending: PendingRequest) -> bool:
+        """Admit or reject; both outcomes counted under the lock."""
+        with self._cond:
+            self._received.inc()
+            if self._closed or len(self._items) >= self.max_depth:
+                self._rejected.inc()
+                return False
+            self._items.append(pending)
+            self._depth.set(len(self._items))
+            self._cond.notify()
+            return True
+
+    def take(
+        self, max_items: int, linger_s: float = 0.0, timeout: float = 0.2
+    ) -> List[PendingRequest]:
+        """Pop up to ``max_items``, blocking up to ``timeout`` for the
+        first arrival then lingering ``linger_s`` to let stragglers
+        coalesce (the wait releases the lock, so submits land).
+
+        A paused queue never hands out items: the flag is checked under
+        the same lock as :meth:`submit`, so once :meth:`pause` returns,
+        requests park deterministically until :meth:`resume` — tests
+        rely on this to stage exact batch compositions."""
+        with self._cond:
+            if self._paused or not self._items:
+                self._cond.wait(timeout)
+            if self._paused or not self._items:
+                return []
+            if linger_s > 0 and len(self._items) < max_items:
+                deadline = monotonic() + linger_s
+                while len(self._items) < max_items:
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cond.wait(remaining)
+                if self._paused:
+                    return []
+            batch: List[PendingRequest] = []
+            while self._items and len(batch) < max_items:
+                batch.append(self._items.popleft())
+            self._depth.set(len(self._items))
+            return batch
+
+    def pause(self) -> None:
+        """Park the queue: admitted requests are held, not handed out."""
+        with self._cond:
+            self._paused = True
+            self._cond.notify_all()
+
+    def resume(self) -> None:
+        with self._cond:
+            self._paused = False
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        """Stop admitting; wakes any waiting take()."""
+        with self._cond:
+            self._closed = True
+            self._paused = False
+            self._cond.notify_all()
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+
+class Batcher(threading.Thread):
+    """Single consumer thread: drain → group by batch key → execute.
+
+    ``pause()``/``resume()`` gate draining (tests use this to fill the
+    queue deterministically); :meth:`stop` performs a bounded-join
+    shutdown, draining whatever is already parked so no admitted
+    request is abandoned.
+    """
+
+    def __init__(
+        self,
+        queue: RequestQueue,
+        executor,
+        batch_window_ms: float = 2.0,
+        max_batch: int = 64,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        super().__init__(name="serve-batcher", daemon=True)
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        self.queue = queue
+        self.executor = executor
+        self.linger_s = max(0.0, float(batch_window_ms)) / 1000.0
+        self.max_batch = int(max_batch)
+        registry = registry if registry is not None else MetricsRegistry()
+        self._served = registry.counter("serve.served", "requests answered 200")
+        self._failed = registry.counter("serve.failed", "requests failed in execution")
+        self._batches = registry.counter("serve.batches", "frontier runs executed")
+        self._coalesced = registry.counter(
+            "serve.coalesced", "requests that shared a batch with another"
+        )
+        self._batch_size = registry.histogram(
+            "serve.batch_size", "requests coalesced per frontier run"
+        )
+        self._stopping = threading.Event()
+
+    # -- control -----------------------------------------------------------
+
+    def pause(self) -> None:
+        """Hold admitted requests in the queue (delegates to the queue's
+        lock-synchronised gate, so the pause is deterministic)."""
+        self.queue.pause()
+
+    def resume(self) -> None:
+        self.queue.resume()
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        """Close admission, drain, and join; True iff the join was clean."""
+        self._stopping.set()
+        self.queue.close()
+        self.join(timeout)
+        return not self.is_alive()
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            batch = self.queue.take(self.max_batch, self.linger_s, timeout=0.1)
+            if not batch:
+                if self._stopping.is_set() and self.queue.depth() == 0:
+                    break
+                continue
+            self._execute_groups(batch)
+
+    def _execute_groups(self, batch: List[PendingRequest]) -> None:
+        groups: "dict[tuple, List[PendingRequest]]" = {}
+        for pending in batch:
+            groups.setdefault(pending.batch_key(), []).append(pending)
+        for group in groups.values():
+            self._batches.inc()
+            self._batch_size.observe(len(group))
+            if len(group) > 1:
+                self._coalesced.inc(len(group))
+            events.emit(
+                "serve.batch",
+                requests=len(group),
+                walks=sum(p.request.num_walks for p in group),
+            )
+            try:
+                self.executor.execute(group)
+            except BaseException as exc:  # noqa: BLE001 - resolve waiters
+                for pending in group:
+                    self._failed.inc()
+                    pending.resolve(None, exc)
+            else:
+                for pending in group:
+                    self._served.inc()
+                    pending.resolve(pending.response, None)

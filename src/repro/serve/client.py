@@ -1,0 +1,123 @@
+"""Stdlib HTTP client for the walk service.
+
+Connections are keep-alive and thread-local (``http.client`` over the
+daemon's HTTP/1.1): one ``ServeClient`` can be shared by many client
+threads, and each thread reuses its own persistent connection instead
+of paying a TCP handshake per request — under a batched daemon, every
+batch resolution wakes many clients at once, and simultaneous fresh
+connects can overflow the listen backlog into 1 s SYN-retransmit
+stalls. A dropped connection (daemon restart, timeout) is re-opened
+transparently once. The typed helpers raise
+:class:`~repro.exceptions.ServeError` carrying the HTTP status on any
+non-200 answer; :meth:`ServeClient.post` returns the raw
+``(status, payload)`` pair for callers (the stress test) that treat
+429 as a legitimate outcome rather than an error.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import threading
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import ServeError
+
+
+class ServeClient:
+    """Talks to one `repro serve` daemon."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1", timeout: float = 30.0):
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._local = threading.local()
+
+    # -- transport ---------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            conn.connect()
+            conn.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._local.conn = conn
+        return conn
+
+    def close(self) -> None:
+        """Drop this thread's persistent connection (if any)."""
+        conn = getattr(self._local, "conn", None)
+        if conn is not None:
+            self._local.conn = None
+            conn.close()
+
+    def _request(self, method: str, path: str, body: Optional[dict]) -> Tuple[int, bytes]:
+        payload = None if body is None else json.dumps(body)
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                return response.status, response.read()
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # Stale keep-alive socket: reconnect once, then give up.
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def post(self, path: str, body: dict) -> Tuple[int, dict]:
+        """Raw POST; returns ``(status, decoded_json)``, never raises on
+        HTTP-level errors (connection errors still propagate)."""
+        status, raw = self._request("POST", path, body)
+        return status, json.loads(raw)
+
+    def _post_ok(self, path: str, body: dict) -> dict:
+        status, payload = self.post(path, body)
+        if status != 200:
+            raise ServeError(
+                payload.get("error", f"HTTP {status}") if isinstance(payload, dict)
+                else f"HTTP {status}",
+                status=status,
+            )
+        return payload
+
+    def _get_ok(self, path: str) -> bytes:
+        status, raw = self._request("GET", path, None)
+        if status != 200:
+            raise ServeError(f"GET {path} -> HTTP {status}", status=status)
+        return raw
+
+    # -- typed endpoints ---------------------------------------------------
+
+    def walk(self, starts: Sequence[int], **kwargs) -> dict:
+        return self._post_ok("/walk", {"starts": list(starts), **kwargs})
+
+    def recommend(self, starts: Sequence[int], **kwargs) -> dict:
+        return self._post_ok("/recommend", {"starts": list(starts), **kwargs})
+
+    def gnn_sample(
+        self,
+        nodes: Sequence[int],
+        times: Sequence[float],
+        fanouts: Sequence[int] = (10,),
+        **kwargs,
+    ) -> dict:
+        return self._post_ok(
+            "/gnn/sample",
+            {"nodes": list(nodes), "times": list(times),
+             "fanouts": list(fanouts), **kwargs},
+        )
+
+    def healthz(self) -> dict:
+        return json.loads(self._get_ok("/healthz"))
+
+    def stats(self) -> dict:
+        return json.loads(self._get_ok("/stats"))
+
+    def metrics(self) -> str:
+        return self._get_ok("/metrics").decode()

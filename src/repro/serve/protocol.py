@@ -1,0 +1,199 @@
+"""Request/response schema for the walk service.
+
+One wire format, three request kinds:
+
+* ``walk`` — run temporal random walks from the given start vertices
+  and return the sampled paths (or just lengths);
+* ``recommend`` — same walk execution, aggregated server-side into a
+  visit-count top-k per the e-commerce recommendation recipe;
+* ``gnn_sample`` — temporal neighbor blocks from the GNN sampler
+  (served per-request, never coalesced: the sampler draws from one
+  generator, so sharing a batch would entangle request randomness).
+
+The batching contract lives here too: a request's randomness is fully
+determined by its own ``seed``. :meth:`WalkRequest.lane_seeds` derives
+one counter-based lane seed per walk from it (exactly what a solo run
+uses), so the batcher may concatenate any set of requests sharing a
+:meth:`WalkRequest.batch_key` into one frontier run and every request
+still receives bit-identical walks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.engines.session import _spec_key
+from repro.exceptions import ServeError
+from repro.rng import make_rng, spawn_seeds
+from repro.walks.apps import (
+    DEFAULT_EXP_SCALE,
+    exponential_walk,
+    linear_walk,
+    temporal_node2vec,
+    unbiased_walk,
+)
+from repro.walks.spec import WalkSpec
+
+#: Schema stamp included in every response envelope.
+SERVE_SCHEMA = "tea-repro/serve/v1"
+
+#: Hard per-request walk cap: a single request may not monopolise the
+#: batcher (admission control bounds queue *depth*; this bounds width).
+MAX_WALKS_PER_REQUEST = 100_000
+
+APPS = ("linear", "exponential", "node2vec", "unbiased")
+
+
+def build_spec(
+    app: str,
+    scale: Optional[float] = None,
+    p: Optional[float] = None,
+    q: Optional[float] = None,
+    time_window: Optional[Tuple[float, float]] = None,
+) -> WalkSpec:
+    """Build the :class:`WalkSpec` for a request's application knobs."""
+    if app == "linear":
+        return linear_walk(time_window=time_window)
+    if app == "unbiased":
+        return unbiased_walk(time_window=time_window)
+    if app == "exponential":
+        return exponential_walk(
+            scale=scale if scale is not None else DEFAULT_EXP_SCALE,
+            time_window=time_window,
+        )
+    if app == "node2vec":
+        return temporal_node2vec(
+            p=p if p is not None else 0.5,
+            q=q if q is not None else 2.0,
+            scale=scale if scale is not None else DEFAULT_EXP_SCALE,
+            time_window=time_window,
+        )
+    raise ServeError(f"unknown app {app!r}; expected one of {APPS}")
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ServeError(message)
+
+
+@dataclass(frozen=True)
+class WalkRequest:
+    """One validated walk/recommend query.
+
+    ``starts`` are the request's start vertices; each is walked
+    ``walks_per_vertex`` times, so the request contributes
+    ``len(starts) * walks_per_vertex`` lanes to whichever batch it
+    joins.
+    """
+
+    kind: str  # "walk" | "recommend"
+    starts: Tuple[int, ...]
+    app: str = "exponential"
+    walks_per_vertex: int = 1
+    max_length: int = 20
+    stop_probability: float = 0.0
+    seed: int = 0
+    scale: Optional[float] = None
+    p: Optional[float] = None
+    q: Optional[float] = None
+    time_window: Optional[Tuple[float, float]] = None
+    record_paths: bool = True
+    top_k: int = 5
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_json(cls, payload, kind: str = "walk") -> "WalkRequest":
+        """Validate a decoded JSON body; raises :class:`ServeError` (→ 400)."""
+        _require(isinstance(payload, dict), "request body must be a JSON object")
+        starts = payload.get("starts")
+        _require(
+            isinstance(starts, (list, tuple)) and len(starts) > 0,
+            "'starts' must be a non-empty list of vertex ids",
+        )
+        _require(
+            all(isinstance(v, int) and not isinstance(v, bool) and v >= 0
+                for v in starts),
+            "'starts' entries must be non-negative integers",
+        )
+        app = payload.get("app", "exponential")
+        _require(app in APPS, f"'app' must be one of {APPS}, got {app!r}")
+        wpv = payload.get("walks_per_vertex", 1)
+        _require(isinstance(wpv, int) and wpv >= 1, "'walks_per_vertex' must be >= 1")
+        max_length = payload.get("max_length", 20)
+        _require(isinstance(max_length, int) and max_length >= 1,
+                 "'max_length' must be >= 1")
+        stop_p = float(payload.get("stop_probability", 0.0))
+        _require(0.0 <= stop_p < 1.0, "'stop_probability' must be in [0, 1)")
+        seed = payload.get("seed", 0)
+        _require(isinstance(seed, int), "'seed' must be an integer")
+        window = payload.get("time_window")
+        if window is not None:
+            _require(
+                isinstance(window, (list, tuple)) and len(window) == 2,
+                "'time_window' must be a [lo, hi] pair",
+            )
+            window = (float(window[0]), float(window[1]))
+        top_k = payload.get("top_k", 5)
+        _require(isinstance(top_k, int) and top_k >= 1, "'top_k' must be >= 1")
+        _require(
+            len(starts) * wpv <= MAX_WALKS_PER_REQUEST,
+            f"request exceeds {MAX_WALKS_PER_REQUEST} walks",
+        )
+
+        def _opt_float(key):
+            value = payload.get(key)
+            return None if value is None else float(value)
+
+        return cls(
+            kind=kind,
+            starts=tuple(int(v) for v in starts),
+            app=app,
+            walks_per_vertex=wpv,
+            max_length=max_length,
+            stop_probability=stop_p,
+            seed=seed,
+            scale=_opt_float("scale"),
+            p=_opt_float("p"),
+            q=_opt_float("q"),
+            time_window=window,
+            record_paths=bool(payload.get("record_paths", True)),
+            top_k=top_k,
+        )
+
+    # -- batching contract -------------------------------------------------
+
+    def spec(self) -> WalkSpec:
+        return build_spec(
+            self.app, scale=self.scale, p=self.p, q=self.q,
+            time_window=self.time_window,
+        )
+
+    @property
+    def num_walks(self) -> int:
+        return len(self.starts) * self.walks_per_vertex
+
+    def expanded_starts(self) -> np.ndarray:
+        """Start vertex per lane, ``walks_per_vertex`` lanes per start."""
+        starts = np.asarray(self.starts, dtype=np.int64)
+        return np.repeat(starts, self.walks_per_vertex)
+
+    def lane_seeds(self) -> np.ndarray:
+        """Per-lane counter seeds — the same derivation a solo run uses,
+        so batch composition cannot perturb any lane's draws."""
+        return spawn_seeds(make_rng(self.seed), self.num_walks)
+
+    def batch_key(self, spec: Optional[WalkSpec] = None) -> Tuple:
+        """Coalescing key: requests sharing it run in one frontier pass.
+
+        The spec key covers (window, weight model, dynamic parameter);
+        ``max_length`` and ``stop_probability`` join because they shape
+        the frontier loop itself. ``record_paths``/``top_k``/``kind``
+        stay out — they are post-processing and must not fragment
+        batches.
+        """
+        spec = spec if spec is not None else self.spec()
+        return (_spec_key(spec), self.max_length, self.stop_probability)

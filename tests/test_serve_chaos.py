@@ -1,0 +1,132 @@
+"""Chaos serving: faults under a live daemon must be invisible to clients.
+
+Drives declarative fault plans (worker crash + transient IO) through
+the ``tea-parallel`` engine kind while requests flow over HTTP, and
+asserts the serving contract: the client still receives a bit-identical
+result after retry/degradation, and the recovery is *observable* —
+``serve.retries`` / ``resilience.degraded`` appear in ``/metrics``.
+"""
+
+import pytest
+
+from repro.resilience.faults import FaultInjector
+from repro.serve import ServeClient, WalkService
+
+#: One walk request wide enough for 4 chunks at chunk_size=2.
+QUERY = dict(starts=[1, 2, 3, 4], walks_per_vertex=2, seed=424, max_length=8)
+
+CRASH_AND_IO_PLAN = {
+    "seed": 7,
+    "rules": [
+        {"site": "chunk", "kind": "worker_crash", "chunks": [0], "attempts": [0]},
+        {"site": "chunk", "kind": "io_error", "chunks": [1], "attempts": [0]},
+    ],
+}
+
+IO_ONLY_PLAN = {
+    "seed": 7,
+    "rules": [
+        {"site": "chunk", "kind": "io_error", "chunks": [0, 1], "attempts": [0]},
+    ],
+}
+
+
+def _serve_once(graph, engine_kwargs, n_queries=1):
+    """Boot a daemon, run the canonical query n times, return responses
+    plus the final metrics text and stats counters."""
+    with WalkService(
+        graph, engine="tea-parallel", engine_kwargs=engine_kwargs, queue_depth=16
+    ) as service:
+        client = ServeClient(port=service.port, timeout=120.0)
+        responses = [client.walk(**QUERY) for _ in range(n_queries)]
+        metrics = client.metrics()
+        counters = client.stats()["counters"]
+    return responses, metrics, counters
+
+
+def test_transient_io_recovery_is_bit_identical(small_graph):
+    """io_error on two chunks: retried in place, client sees the exact
+    no-fault result, serve.retries lands in /metrics."""
+    base_kwargs = dict(backend="thread", workers=2, chunk_size=2, retries=3)
+    baseline, _, base_counters = _serve_once(small_graph, base_kwargs)
+    faulted_kwargs = dict(
+        base_kwargs, fault_injector=FaultInjector.from_plan(IO_ONLY_PLAN)
+    )
+    faulted, metrics, counters = _serve_once(small_graph, faulted_kwargs)
+    assert faulted[0]["walks"] == baseline[0]["walks"]
+    assert faulted[0]["times"] == baseline[0]["times"]
+    assert counters["retries"] >= 2, counters
+    assert base_counters["retries"] == 0
+    assert "tea_serve_retries" in metrics
+    assert "tea_parallel_chunk_retries" in metrics
+
+
+def test_worker_crash_degrades_and_recovers(small_graph):
+    """A real forked-worker crash breaks the process pool; the engine
+    degrades process -> thread under the server and the client still
+    receives the bit-identical answer. Both the degradation and the
+    retries are visible in /metrics."""
+    base_kwargs = dict(backend="process", workers=2, chunk_size=2, retries=3)
+    baseline, _, _ = _serve_once(small_graph, base_kwargs)
+    faulted_kwargs = dict(
+        base_kwargs,
+        fault_injector=FaultInjector.from_plan(CRASH_AND_IO_PLAN),
+    )
+    faulted, metrics, counters = _serve_once(small_graph, faulted_kwargs)
+    assert faulted[0]["walks"] == baseline[0]["walks"]
+    assert faulted[0]["times"] == baseline[0]["times"]
+    assert faulted[0]["lengths"] == baseline[0]["lengths"]
+    assert counters["retries"] >= 1, counters
+    # Degradation surfaced in the Prometheus exposition with a nonzero
+    # value (the counter only exists once a parallel run published it).
+    degraded_lines = [
+        line for line in metrics.splitlines()
+        if line.startswith("tea_resilience_degraded ")
+    ]
+    assert degraded_lines, metrics
+    assert float(degraded_lines[0].split()[1]) >= 1.0
+    assert "tea_serve_retries" in metrics
+
+
+def test_faults_do_not_leak_across_requests(small_graph):
+    """attempts=[0] rules re-fire per run; every request must still get
+    the same bit-identical answer (retry determinism, request after
+    request)."""
+    faulted_kwargs = dict(
+        backend="thread", workers=2, chunk_size=2, retries=3,
+        fault_injector=FaultInjector.from_plan(IO_ONLY_PLAN),
+    )
+    responses, _, counters = _serve_once(small_graph, faulted_kwargs, n_queries=3)
+    assert responses[0]["walks"] == responses[1]["walks"] == responses[2]["walks"]
+    assert counters["failed"] == 0
+    assert counters["served"] == 3
+
+
+def test_fault_budget_exhaustion_fails_request_not_server(small_graph):
+    """A fault plan that out-crashes the retry budget fails that request
+    (500) but conservation holds and the daemon keeps serving."""
+    hopeless = {
+        "seed": 1,
+        "rules": [
+            {"site": "chunk", "kind": "worker_crash", "chunks": [0],
+             "attempts": [0, 1, 2, 3, 4]},
+        ],
+    }
+    kwargs = dict(
+        backend="thread", workers=2, chunk_size=2, retries=1,
+        fault_injector=FaultInjector.from_plan(hopeless),
+    )
+    with WalkService(
+        small_graph, engine="tea-parallel", engine_kwargs=kwargs, queue_depth=16
+    ) as service:
+        client = ServeClient(port=service.port, timeout=120.0)
+        status, payload = client.post("/walk", QUERY)
+        assert status == 500
+        assert "retry budget" in payload["error"]
+        # The daemon survives: health and conservation intact.
+        assert client.healthz()["status"] == "ok"
+        counters = client.stats()["counters"]
+        assert counters["failed"] == 1
+        assert counters["received"] == (
+            counters["served"] + counters["rejected"] + counters["failed"]
+        )

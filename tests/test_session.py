@@ -83,3 +83,163 @@ class TestResults:
         session.query(unbiased_walk(), Workload(max_length=2, max_walks=2))
         snap = session.stats.snapshot()
         assert {"queries", "engine_hits", "engine_builds", "hit_rate"} <= set(snap)
+
+
+class TestByteBudget:
+    """Eviction under a resident-index byte budget (serving config)."""
+
+    def _specs(self):
+        return [exponential_walk(scale=s) for s in (10.0, 20.0, 30.0)]
+
+    def test_zero_budget_keeps_exactly_one(self, small_graph):
+        session = TeaSession(small_graph, max_engines=8, max_bytes=0)
+        wl = Workload(max_length=4, max_walks=5)
+        for spec in self._specs():
+            session.query(spec, wl)
+            assert len(session) == 1  # never evicted below the newest
+        assert session.stats.engine_builds == 3
+        assert session.stats.evictions == 2
+        assert session.resident_index_bytes() > 0  # budget floor, not zero
+
+    def test_tiny_budget_tracks_one_index(self, small_graph):
+        probe = TeaSession(small_graph, max_engines=8)
+        probe.query(exponential_walk(scale=10.0), Workload(max_length=4, max_walks=5))
+        one_index = probe.resident_index_bytes()
+        probe.close()
+
+        session = TeaSession(small_graph, max_engines=8, max_bytes=one_index)
+        wl = Workload(max_length=4, max_walks=5)
+        for spec in self._specs():
+            session.query(spec, wl)
+        assert len(session) == 1
+        assert session.resident_index_bytes() <= one_index
+
+    def test_generous_budget_never_evicts(self, small_graph):
+        session = TeaSession(small_graph, max_engines=8, max_bytes=1 << 40)
+        wl = Workload(max_length=4, max_walks=5)
+        for spec in self._specs():
+            session.query(spec, wl)
+        assert len(session) == 3
+        assert session.stats.evictions == 0
+
+    def test_negative_budget_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            TeaSession(small_graph, max_bytes=-1)
+
+    def test_hit_rate_accounting_survives_evictions(self, small_graph):
+        session = TeaSession(small_graph, max_engines=1)
+        wl = Workload(max_length=4, max_walks=5)
+        a = exponential_walk(scale=10.0)
+        b = exponential_walk(scale=20.0)
+        session.query(a, wl)   # build a
+        session.query(a, wl)   # hit
+        session.query(b, wl)   # build b, evicts a
+        session.query(a, wl)   # rebuild a (must NOT count as a hit)
+        assert session.stats.queries == 4
+        assert session.stats.engine_hits == 1
+        assert session.stats.engine_builds == 3
+        assert session.stats.evictions == 2
+        assert session.stats.hit_rate == 0.25
+
+
+class TestSpecKeying:
+    """The cache key must reflect weight-model *structure*."""
+
+    def test_custom_parameters_with_distinct_fns_do_not_alias(self, small_graph):
+        from repro.core.weights import WeightModel
+        from repro.walks.spec import CustomParameter, WalkSpec
+
+        session = TeaSession(small_graph, max_engines=4)
+        wl = Workload(max_length=4, max_walks=5)
+        half = CustomParameter(fn=lambda g, p, c: 0.5, beta_max=1.0, name="half")
+        full = CustomParameter(fn=lambda g, p, c: 1.0, beta_max=1.0, name="full")
+        wm = WeightModel(kind="uniform")
+        session.query(WalkSpec("a", wm, dynamic_parameter=half), wl)
+        session.query(WalkSpec("b", wm, dynamic_parameter=full), wl)
+        # Same beta_max, same type, different functions: two engines.
+        assert session.stats.engine_builds == 2
+        session.query(WalkSpec("c", wm, dynamic_parameter=half), wl)
+        assert session.stats.engine_hits == 1
+
+    def test_weight_model_scale_distinguishes(self, small_graph):
+        session = TeaSession(small_graph, max_engines=4)
+        wl = Workload(max_length=4, max_walks=5)
+        session.query(exponential_walk(scale=10.0), wl)
+        session.query(exponential_walk(scale=10.0 + 1e-9), wl)
+        assert session.stats.engine_builds == 2
+
+    def test_spec_name_is_not_structure(self, small_graph):
+        from repro.walks.spec import WalkSpec
+
+        session = TeaSession(small_graph, max_engines=4)
+        wl = Workload(max_length=4, max_walks=5)
+        spec = exponential_walk(scale=10.0)
+        renamed = WalkSpec("other-label", spec.weight_model,
+                           spec.dynamic_parameter, spec.time_window)
+        session.query(spec, wl)
+        session.query(renamed, wl)
+        assert session.stats.engine_builds == 1
+
+
+class TestEngineKinds:
+    def test_unknown_kind_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            TeaSession(small_graph, engine="tea-warp")
+
+    def test_scalar_kind_maps_to_vectorised_false(self, small_graph):
+        session = TeaSession(small_graph, engine="tea")
+        assert session.vectorised is False
+        session = TeaSession(small_graph, vectorised=False)
+        assert session.engine_kind == "tea"
+
+    def test_parallel_kind_invariant_across_configs(self, small_graph):
+        """Session-served tea-parallel results depend only on the query
+        seed — never on backend or chunking (the PR 7 contract, now
+        holding through the session layer)."""
+        wl = Workload(max_length=6, max_walks=20)
+        spec = exponential_walk(scale=20.0)
+        outcomes = []
+        for kwargs in (
+            {"backend": "serial", "chunk_size": 4},
+            {"backend": "thread", "workers": 2, "chunk_size": 2},
+        ):
+            with TeaSession(
+                small_graph, engine="tea-parallel", engine_kwargs=kwargs
+            ) as session:
+                result = session.query(spec, wl, seed=5)
+                outcomes.append([p.hops for p in result.paths])
+        assert outcomes[0] == outcomes[1]
+
+
+class TestLifecycle:
+    def test_eviction_closes_engine(self, small_graph):
+        session = TeaSession(small_graph, max_engines=1)
+        wl = Workload(max_length=4, max_walks=5)
+        session.query(exponential_walk(scale=10.0), wl)
+        closed = []
+        engine = next(iter(session._engines.values()))
+        engine.close = lambda: closed.append("evicted")  # instance spy
+        session.query(exponential_walk(scale=20.0), wl)  # evicts the first
+        assert closed == ["evicted"]
+
+    def test_close_empties_and_closes_all(self, small_graph):
+        session = TeaSession(small_graph, max_engines=4)
+        wl = Workload(max_length=4, max_walks=5)
+        session.query(exponential_walk(scale=10.0), wl)
+        session.query(exponential_walk(scale=20.0), wl)
+        closed = []
+        for engine in session._engines.values():
+            engine.close = lambda: closed.append(1)
+        session.close()
+        assert len(session) == 0
+        assert len(closed) == 2
+        assert session.resident_index_bytes() == 0
+        # close() is not an eviction for accounting purposes.
+        assert session.stats.evictions == 0
+
+    def test_context_manager_closes(self, small_graph):
+        with TeaSession(small_graph, max_engines=2) as session:
+            session.query(exponential_walk(scale=10.0),
+                          Workload(max_length=4, max_walks=5))
+            assert len(session) == 1
+        assert len(session) == 0
