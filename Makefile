@@ -4,13 +4,14 @@ PYTHON ?= python
 
 .PHONY: install test stats-smoke scaling-smoke ooc-smoke chaos-smoke \
         telemetry-smoke bench-history-smoke kernel-smoke serve-smoke \
-        lint-clocks bench bench-quick examples lint clean
+        ingest-smoke lint-clocks bench bench-quick examples lint clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test: lint-clocks kernel-smoke stats-smoke scaling-smoke ooc-smoke \
-      chaos-smoke telemetry-smoke bench-history-smoke serve-smoke
+      chaos-smoke telemetry-smoke bench-history-smoke serve-smoke \
+      ingest-smoke
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 # Sampling-kernel smoke: fused numpy (and numba, when installed)
@@ -82,6 +83,14 @@ bench-history-smoke:
 serve-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.serve.smoke
 	@echo "serve-smoke: parity + admission + shutdown hold"
+
+# Durable-ingest smoke: bulk columnar ingest bit-identical to batched
+# ingest (and clearly faster than per-edge apply), WAL close/reopen and
+# post-checkpoint recovery bit-identical, pinned epochs byte-stable
+# under concurrent ingest, and scrub reporting the store clean.
+ingest-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.streaming.smoke
+	@echo "ingest-smoke: durability + epoch isolation hold"
 
 # Clock discipline: engine code must take time from
 # repro.telemetry.clock, never raw time.time()/perf_counter().

@@ -1,0 +1,147 @@
+"""Ingest throughput — bulk columnar path vs per-edge apply loop.
+
+Not a paper figure: the paper reports incremental maintenance cost per
+batch (Figure 13d); this bench characterises the durable-ingest ISSUE's
+acceptance bar instead. Three arms over the same edge stream:
+
+* ``bulk``      — one ``add_multiple_edges`` call (one argsort, one
+                  per-vertex group append, one WAL record);
+* ``batched``   — ``apply_batch`` per 1,000-edge batch (the streaming
+                  steady state);
+* ``per_edge``  — ``apply_batch`` per single edge (the naive loop the
+                  bulk path must beat ≥5x on edges/sec, measured on a
+                  prefix so the run stays tractable — the prefix's
+                  smaller index makes the gate conservative).
+
+Each run appends ``edges_per_sec_*`` to
+``bench_results/history/ingest_throughput.jsonl`` so
+``repro bench compare --bench ingest_throughput`` gates regressions.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import (
+    BENCH_SCALE,
+    record_history,
+    write_json_result,
+    write_result,
+)
+from repro.core.weights import WeightModel
+from repro.graph.generators import temporal_powerlaw
+from repro.streaming.batch import StreamingTeaEngine
+from repro.walks.spec import WalkSpec
+
+NUM_EDGES = int(24_000 * BENCH_SCALE)
+PER_EDGE_PREFIX = int(3_000 * BENCH_SCALE)
+BATCH_SIZE = 1_000
+
+_metrics = {}
+
+
+def _spec() -> WalkSpec:
+    return WalkSpec(
+        name="ingest-bench",
+        weight_model=WeightModel("exponential_decay", scale=40.0),
+    )
+
+
+def _stream():
+    return temporal_powerlaw(
+        num_vertices=max(200, NUM_EDGES // 60),
+        num_edges=NUM_EDGES,
+        seed=17,
+        time_horizon=500.0,
+    )
+
+
+def _run_arms():
+    stream = _stream()
+
+    bulk = StreamingTeaEngine(_spec())
+    t0 = time.perf_counter()
+    bulk.add_multiple_edges(stream.src, stream.dst, stream.time)
+    bulk_s = time.perf_counter() - t0
+
+    batched = StreamingTeaEngine(_spec())
+    t0 = time.perf_counter()
+    batched.ingest(stream, batch_size=BATCH_SIZE)
+    batched_s = time.perf_counter() - t0
+
+    prefix = stream[:PER_EDGE_PREFIX]
+    per_edge = StreamingTeaEngine(_spec())
+    t0 = time.perf_counter()
+    for i in range(len(prefix)):
+        per_edge.apply_batch(prefix[i : i + 1])
+    per_edge_s = time.perf_counter() - t0
+
+    # Same index, same walks: bulk and batched ingest must agree
+    # bit-for-bit (the decay forest is batch-boundary-canonical).
+    starts = bulk.active_vertices()[:16]
+    bulk_walks = [w.hops for w in bulk.run_walks(starts, max_length=12, seed=1)]
+    batched_walks = [
+        w.hops for w in batched.run_walks(starts, max_length=12, seed=1)
+    ]
+    assert bulk_walks == batched_walks, "bulk and batched ingest diverged"
+
+    return {
+        "edges_per_sec_bulk": len(stream) / max(bulk_s, 1e-9),
+        "edges_per_sec_batched": len(stream) / max(batched_s, 1e-9),
+        "edges_per_sec_per_edge": len(prefix) / max(per_edge_s, 1e-9),
+        "bulk_s": bulk_s,
+        "batched_s": batched_s,
+        "per_edge_s": per_edge_s,
+    }
+
+
+def test_ingest_throughput(benchmark):
+    metrics = benchmark.pedantic(_run_arms, rounds=1, iterations=1)
+    _metrics.update(metrics)
+    benchmark.extra_info.update({k: round(v, 2) for k, v in metrics.items()})
+    speedup = metrics["edges_per_sec_bulk"] / metrics["edges_per_sec_per_edge"]
+    assert speedup >= 5.0, (
+        f"bulk ingest only {speedup:.1f}x over the per-edge loop "
+        f"({metrics['edges_per_sec_bulk']:,.0f} vs "
+        f"{metrics['edges_per_sec_per_edge']:,.0f} edges/s); gate is 5x"
+    )
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report():
+    yield
+    if not _metrics:
+        return
+    speedup = (
+        _metrics["edges_per_sec_bulk"] / _metrics["edges_per_sec_per_edge"]
+    )
+    lines = [
+        "ingest throughput (edges/sec, higher is better)",
+        f"  bulk add_multiple_edges : {_metrics['edges_per_sec_bulk']:>12,.0f}"
+        f"  ({NUM_EDGES} edges in {_metrics['bulk_s'] * 1e3:.1f} ms)",
+        f"  batched (B={BATCH_SIZE})      : "
+        f"{_metrics['edges_per_sec_batched']:>12,.0f}",
+        f"  per-edge apply loop     : "
+        f"{_metrics['edges_per_sec_per_edge']:>12,.0f}"
+        f"  ({PER_EDGE_PREFIX}-edge prefix)",
+        f"  bulk / per-edge speedup : {speedup:>12.1f}x  (gate: >= 5x)",
+    ]
+    write_result("ingest_throughput", "\n".join(lines))
+    write_json_result(
+        "ingest_throughput",
+        {k: round(v, 3) for k, v in _metrics.items()},
+    )
+    record_history(
+        "ingest_throughput",
+        {
+            "edges_per_sec_bulk": round(_metrics["edges_per_sec_bulk"], 1),
+            "edges_per_sec_batched": round(
+                _metrics["edges_per_sec_batched"], 1
+            ),
+            "edges_per_sec_per_edge": round(
+                _metrics["edges_per_sec_per_edge"], 1
+            ),
+        },
+        num_edges=NUM_EDGES,
+        batch_size=BATCH_SIZE,
+    )

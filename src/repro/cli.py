@@ -9,9 +9,15 @@ Subcommands
 ``compare``   — run several engines on one dataset/application and print
                 the speedup table (a handheld Table 4 cell).
 ``serve``     — long-lived walk-serving daemon with request batching
-                (see ``docs/serving.md``).
+                (see ``docs/serving.md``); ``--streaming-app`` /
+                ``--wal-dir`` attach a live-ingest lane.
+``ingest``    — durably ingest an edge stream into a WAL-backed
+                streaming store (see ``docs/streaming.md``).
+``recover``   — replay a WAL-backed store, report what survived, and
+                optionally compact it into a checkpoint.
 ``scrub``     — verify every checksum of a persisted out-of-core trunk
-                store and locate corrupt pages.
+                store *or* a streaming WAL directory (auto-detected)
+                and locate corruption.
 
 Every :class:`~repro.exceptions.TeaError` raised by a subcommand exits
 cleanly (message on stderr, exit code 2) instead of dumping a
@@ -230,6 +236,110 @@ def cmd_walk(args) -> int:
     return 0
 
 
+#: Streaming-capable applications (weight-only; node2vec's Dynamic
+#: parameter needs the static adjacency oracle and is rejected by the
+#: streaming engine).
+STREAM_APPS = ("linear", "exponential", "unbiased", "decay")
+
+
+def _stream_spec(app: str, scale: Optional[float] = None):
+    """Build the weight-only :class:`WalkSpec` for streaming commands."""
+    from repro.core.weights import WeightModel
+    from repro.walks.apps import (
+        DEFAULT_EXP_SCALE,
+        exponential_walk,
+        linear_walk,
+        unbiased_walk,
+    )
+    from repro.walks.spec import WalkSpec
+
+    if app == "linear":
+        return linear_walk()
+    if app == "unbiased":
+        return unbiased_walk()
+    if app == "exponential":
+        return exponential_walk(
+            scale=scale if scale is not None else DEFAULT_EXP_SCALE
+        )
+    return WalkSpec(
+        name="decay",
+        weight_model=WeightModel(
+            "exponential_decay",
+            scale=scale if scale is not None else DEFAULT_EXP_SCALE,
+        ),
+    )
+
+
+def _load_stream(args):
+    if args.input:
+        return graph_io.load_auto(args.input)
+    return DATASETS[args.dataset].generate(seed=args.seed, scale=args.scale)
+
+
+def cmd_ingest(args) -> int:
+    """Durably ingest an edge stream into a WAL-backed streaming store."""
+    from repro.streaming import StreamingTeaEngine
+    from repro.telemetry.clock import now as _now
+
+    stream = _load_stream(args)
+    spec = _stream_spec(args.app, args.exp_scale)
+    with StreamingTeaEngine(
+        spec, wal_dir=args.wal_dir, group_commit=args.group_commit
+    ) as engine:
+        if engine.recovered_batches:
+            print(f"recovered {engine.recovered_batches} batch(es) "
+                  f"({engine.recovered_edges} edges) -> epoch {engine.epoch}")
+        t0 = _now()
+        if args.batch_size:
+            batches = engine.ingest(stream, batch_size=args.batch_size)
+        else:
+            engine.add_multiple_edges(stream.src, stream.dst, stream.time)
+            batches = 1
+        engine.wal.sync()
+        elapsed = _now() - t0
+        rate = len(stream) / max(elapsed, 1e-9)
+        print(f"ingested {len(stream)} edges in {batches} batch(es) "
+              f"({rate:,.0f} edges/s) -> epoch {engine.epoch}, "
+              f"{engine.num_edges} edges total")
+        if args.checkpoint:
+            manifest = engine.checkpoint()
+            print(f"checkpoint: epoch {manifest['epoch']}, "
+                  f"{manifest['num_edges']} edges, WAL trimmed to "
+                  f"segment {manifest['wal']['segment']}")
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """Replay a durable streaming store and report what survived."""
+    from pathlib import Path
+
+    from repro.streaming import StreamingTeaEngine
+
+    if not Path(args.wal_dir).is_dir():
+        print(f"not a directory: {args.wal_dir}", file=sys.stderr)
+        return 2
+    spec = _stream_spec(args.app, args.exp_scale)
+    with StreamingTeaEngine(spec, wal_dir=args.wal_dir) as engine:
+        print(f"{args.wal_dir}: recovered {engine.recovered_batches} "
+              f"batch(es), {engine.recovered_edges} edges -> "
+              f"epoch {engine.epoch}, {engine.num_edges} edges")
+        torn = engine.wal.truncated_tail_bytes
+        if torn:
+            print(f"torn tail: {torn} byte(s) truncated from the last segment")
+        if args.walks:
+            starts = engine.active_vertices()[: args.walks]
+            paths = engine.run_walks(starts, max_length=args.length,
+                                     seed=args.seed)
+            hops = sum(p.num_edges for p in paths)
+            print(f"verification walks: {len(paths)} walks, {hops} hops")
+        if args.checkpoint:
+            manifest = engine.checkpoint()
+            print(f"checkpoint: epoch {manifest['epoch']}, "
+                  f"{manifest['num_edges']} edges, WAL trimmed to "
+                  f"segment {manifest['wal']['segment']}")
+    return 0
+
+
 def cmd_stats(args) -> int:
     if args.report:
         from repro.telemetry import format_stats_table, load_run_report
@@ -345,6 +455,7 @@ BENCH_TARGETS = {
     "trunksize": "test_trunk_size_ablation.py",
     "gnn": "test_gnn_sampling.py",
     "scaling": "test_walk_scaling.py",
+    "ingest": "test_ingest_throughput.py",
 }
 
 
@@ -435,10 +546,45 @@ def cmd_bench(args) -> int:
     return subprocess.call(cmd)
 
 
+def _scrub_wal_dir(directory: str) -> int:
+    """WAL-directory arm of ``repro scrub`` (same 0/1/2 exit contract)."""
+    from repro.streaming.wal import scrub_wal
+
+    try:
+        report = scrub_wal(directory)
+    except OSError as exc:
+        print(f"cannot open WAL directory: {exc}", file=sys.stderr)
+        return 2
+    print(f"{report['directory']}: {report['frames_checked']} WAL frame(s) "
+          f"in {report['segments']} segment(s) checked")
+    manifest = report.get("manifest")
+    if manifest is not None:
+        state = "ok" if manifest["ok"] else "CORRUPT"
+        print(f"  checkpoint manifest: epoch {manifest['epoch']}, "
+              f"{manifest['num_edges']} edges — {state}")
+    torn = report.get("torn_tail")
+    if torn is not None:
+        print(f"  torn tail in {torn['file']} at byte {torn['offset_bytes']}: "
+              f"{torn['reason']} — repaired on next open, not corruption")
+    for rec in report["corrupt"]:
+        print(f"  {rec['file']} (byte offset {rec['offset_bytes']}): "
+              f"{rec['reason']}")
+    if report["clean"]:
+        print("clean: all frame and checkpoint checksums match")
+        return 0
+    print(f"CORRUPT: {len(report['corrupt'])} problem(s) found")
+    return 1
+
+
 def cmd_scrub(args) -> int:
-    """Verify a persisted trunk store's checksums end to end."""
+    """Verify a persisted trunk store's (or WAL directory's) checksums."""
+    from pathlib import Path
+
     from repro.core.outofcore import scrub_store
 
+    target = Path(args.directory)
+    if (target / "MANIFEST.json").exists() or any(target.glob("wal-*.log")):
+        return _scrub_wal_dir(args.directory)
     try:
         report = scrub_store(args.directory)
     except OSError as exc:
@@ -495,6 +641,17 @@ def cmd_serve(args) -> int:
         }
     elif args.serve_engine == "tea-batch":
         engine_kwargs = {"kernel_backend": args.kernel_backend}
+    streaming = None
+    if args.streaming_app or args.wal_dir:
+        from repro.streaming import StreamingTeaEngine
+
+        streaming = StreamingTeaEngine(
+            _stream_spec(args.streaming_app or "exponential",
+                         args.streaming_scale),
+            wal_dir=args.wal_dir,
+            group_commit=args.group_commit,
+            retain_epochs=args.retain_epochs,
+        )
     event_log = EventLog()
     previous_log = telemetry_events.install(event_log)
     service = WalkService(
@@ -510,6 +667,7 @@ def cmd_serve(args) -> int:
         host=args.host,
         port=args.port,
         request_timeout=args.request_timeout,
+        streaming=streaming,
     )
     try:
         service.start()
@@ -518,6 +676,11 @@ def cmd_serve(args) -> int:
               f"batching={'off' if args.no_batching else 'on'})")
         print("endpoints: POST /walk /recommend /gnn/sample · "
               "GET /healthz /metrics /stats — Ctrl-C to stop")
+        if streaming is not None:
+            durable = "durable" if streaming.durable else "in-memory"
+            print(f"streaming: POST /stream/ingest /stream/walk "
+                  f"/stream/recommend · GET /stream/epoch "
+                  f"(epoch {streaming.epoch}, {durable})")
         try:
             while True:
                 time.sleep(3600)
@@ -660,9 +823,55 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-batching", action="store_true",
                    help="serve each request as its own frontier run")
     p.add_argument("--request-timeout", type=float, default=60.0)
+    p.add_argument("--streaming-app", default=None, choices=STREAM_APPS,
+                   help="attach a live-ingest lane (/stream/* endpoints) "
+                        "running this weight-only application")
+    p.add_argument("--streaming-scale", type=float, default=None,
+                   help="weight-model scale for the streaming application")
+    p.add_argument("--wal-dir", metavar="DIR",
+                   help="durable streaming: write-ahead log + checkpoint "
+                        "directory (implies --streaming-app exponential; "
+                        "recovers existing state on startup)")
+    p.add_argument("--group-commit", type=int, default=8, metavar="N",
+                   help="WAL fsync barrier every N appended batches")
+    p.add_argument("--retain-epochs", type=int, default=4, metavar="K",
+                   help="recent epoch views pinnable by id via /stream/walk")
     p.add_argument("--events-out", metavar="PATH",
                    help="write the structured event log as JSONL on shutdown")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "ingest", help="durably ingest an edge stream (see docs/streaming.md)"
+    )
+    _add_graph_args(p)
+    p.add_argument("wal_dir", help="WAL + checkpoint directory (created if "
+                                   "missing; recovered first if not empty)")
+    p.add_argument("--app", default="exponential", choices=STREAM_APPS)
+    p.add_argument("--exp-scale", type=float, default=None,
+                   help="weight-model scale (default: the app's default)")
+    p.add_argument("--batch-size", type=int, default=0, metavar="B",
+                   help="ingest in B-edge batches instead of one bulk "
+                        "add_multiple_edges call")
+    p.add_argument("--group-commit", type=int, default=8, metavar="N",
+                   help="WAL fsync barrier every N appended batches")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="write a checkpoint and trim the WAL afterwards")
+    p.set_defaults(fn=cmd_ingest)
+
+    p = sub.add_parser(
+        "recover", help="replay a durable streaming store and report"
+    )
+    p.add_argument("wal_dir", help="WAL + checkpoint directory to recover")
+    p.add_argument("--app", default="exponential", choices=STREAM_APPS)
+    p.add_argument("--exp-scale", type=float, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--walks", type=int, default=0, metavar="N",
+                   help="run N verification walks on the recovered store")
+    p.add_argument("--length", type=int, default=20,
+                   help="max length of the verification walks")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="compact: write a checkpoint and trim the WAL")
+    p.set_defaults(fn=cmd_recover)
 
     p = sub.add_parser("bench", help="run one paper experiment or query history")
     p.add_argument("experiment",
@@ -730,9 +939,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_pagerank)
 
     p = sub.add_parser(
-        "scrub", help="verify checksums of a persisted trunk store"
+        "scrub", help="verify checksums of a trunk store or WAL directory"
     )
-    p.add_argument("directory", help="trunk store directory (c.bin etc.)")
+    p.add_argument("directory",
+                   help="trunk store (c.bin etc.) or streaming WAL "
+                        "directory (wal-*.log / MANIFEST.json) — detected "
+                        "automatically")
     p.set_defaults(fn=cmd_scrub)
 
     p = sub.add_parser("compare", help="run several engines and tabulate")

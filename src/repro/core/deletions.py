@@ -23,6 +23,17 @@ static HPAT, without giving up its sampling complexity:
 
 Vertex deletion is edge deletion of the vertex's out-edges plus
 tombstoning it as a walk target (walks simply treat it as a dead end).
+
+**Epoch pinning.** Each deletion advances an ``epoch`` counter and is
+recorded in a deletion log ``(epoch, vertex, position, original
+weight)``. :meth:`TombstoneHPAT.pin` freezes the current epoch: the
+returned :class:`TombstonePin` answers ``alive_count``/``sample`` as of
+that epoch — edges deleted *after* the pin are treated as alive at
+their original weight — while in-place vertex rebuilds (which would
+destroy older epochs' reachability) are deferred until the last pin is
+released. A pinned reader is bit-identical to one that ran before the
+post-pin deletions happened, which is what lets walk traffic proceed
+isolated from a concurrent mutation stream.
 """
 
 from __future__ import annotations
@@ -51,6 +62,7 @@ class DeletionStats:
     vertex_rebuilds: int = 0
     tombstone_retries: int = 0
     fallback_scans: int = 0
+    deferred_rebuilds: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -58,6 +70,7 @@ class DeletionStats:
             "vertex_rebuilds": self.vertex_rebuilds,
             "tombstone_retries": self.tombstone_retries,
             "fallback_scans": self.fallback_scans,
+            "deferred_rebuilds": self.deferred_rebuilds,
         }
 
 
@@ -92,6 +105,13 @@ class TombstoneHPAT:
         self._dead_positions: Dict[int, List[int]] = {}
         self._stale_dead: Dict[int, int] = {}  # dead-but-not-rebuilt count
         self.stats = DeletionStats()
+        #: Mutation epoch: advances once per accepted deletion.
+        self.epoch = 0
+        # Deletion log (epoch, vertex, position, original weight) —
+        # what a pinned reader needs to resurrect post-pin deletions.
+        self._log: List[tuple] = []
+        self._active_pins = 0
+        self._deferred_rebuilds: set = set()
 
     # -- mutation ------------------------------------------------------------
 
@@ -103,13 +123,23 @@ class TombstoneHPAT:
         pos = int(self.graph.indptr[v]) + position
         if self.dead[pos]:
             return
+        self.epoch += 1
+        self._log.append((self.epoch, v, position, float(self.weights[pos])))
         self.dead[pos] = True
         self.weights[pos] = 0.0
         bisect.insort(self._dead_positions.setdefault(v, []), position)
         self._stale_dead[v] = self._stale_dead.get(v, 0) + 1
         self.stats.deletions += 1
         if self._stale_dead[v] / d >= self.rebuild_threshold:
-            self._rebuild_vertex(v)
+            if self._active_pins:
+                # A rebuild zeroes dead edges out of the shared level
+                # tables — it would tear reachability out from under
+                # every pinned epoch. Defer until the last pin releases.
+                if v not in self._deferred_rebuilds:
+                    self._deferred_rebuilds.add(v)
+                    self.stats.deferred_rebuilds += 1
+            else:
+                self._rebuild_vertex(v)
 
     def delete_edge(self, u: int, v: int, t: float) -> bool:
         """Tombstone the edge (u, v, t); returns False if absent/already dead."""
@@ -205,3 +235,108 @@ class TombstoneHPAT:
 
     def nbytes(self) -> int:
         return int(self.hpat.nbytes() + self.weights.nbytes + self.dead.nbytes)
+
+    # -- epoch pinning ---------------------------------------------------------
+
+    def pin(self) -> "TombstonePin":
+        """Freeze the current epoch for isolated reads.
+
+        While any pin is alive, in-place vertex rebuilds are deferred
+        (queued, replayed on last release), so the level tables a
+        pinned reader rejection-samples from stay exactly as they were.
+        """
+        self._active_pins += 1
+        return TombstonePin(self)
+
+    def _release_pin(self) -> None:
+        self._active_pins -= 1
+        if self._active_pins == 0 and self._deferred_rebuilds:
+            deferred, self._deferred_rebuilds = self._deferred_rebuilds, set()
+            for v in sorted(deferred):
+                if self._stale_dead.get(v, 0):
+                    self._rebuild_vertex(v)
+
+
+class TombstonePin:
+    """Reads against one frozen deletion epoch (see ``TombstoneHPAT.pin``).
+
+    Answers the same ``alive_count``/``sample`` contract as the live
+    index, but as of the pin's epoch: edges deleted afterwards are
+    *resurrected* — counted alive and sampled at the original weight
+    recorded in the deletion log. Results are bit-identical to running
+    the same reads before the post-pin deletions happened. Release the
+    pin (or use it as a context manager) so deferred rebuilds can run.
+    """
+
+    __slots__ = ("_owner", "epoch", "_log_len", "_released")
+
+    def __init__(self, owner: TombstoneHPAT):
+        self._owner = owner
+        self.epoch = owner.epoch
+        self._log_len = len(owner._log)
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._owner._release_pin()
+
+    def __enter__(self) -> "TombstonePin":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def _revived(self, v: int) -> Dict[int, float]:
+        """position → original weight for post-pin deletions of v."""
+        out: Dict[int, float] = {}
+        for _epoch, u, position, w in self._owner._log[self._log_len:]:
+            if u == v:
+                out[position] = w
+        return out
+
+    def alive_count(self, v: int, candidate_size: int) -> int:
+        s = int(candidate_size)
+        alive = self._owner.alive_count(v, s)
+        return alive + sum(1 for p in self._revived(v) if p < s)
+
+    def sample(
+        self,
+        v: int,
+        candidate_size: int,
+        rng: np.random.Generator,
+        counters: Optional[CostCounters] = None,
+    ) -> int:
+        """Sample a live-at-pin edge index in ``[0, candidate_size)``."""
+        owner = self._owner
+        s = int(candidate_size)
+        revived = self._revived(v)
+        if owner.alive_count(v, s) + sum(1 for p in revived if p < s) <= 0:
+            raise EmptyCandidateSetError(
+                f"vertex {v}: no candidates live at epoch {self.epoch} "
+                f"in prefix of {s}"
+            )
+        lo = int(owner.graph.indptr[v])
+        for _ in range(MAX_TOMBSTONE_RETRIES):
+            idx = owner.hpat.sample(v, s, rng, counters)
+            if not owner.dead[lo + idx] or idx in revived:
+                return idx
+            owner.stats.tombstone_retries += 1
+            if counters is not None:
+                counters.record_trial(False)
+        # Exact fallback over the pin-time weights: live weights with
+        # post-pin deletions patched back to their logged originals.
+        owner.stats.fallback_scans += 1
+        if counters is not None:
+            counters.record_scan(s)
+        w = owner.weights[lo : lo + s].copy()
+        for position, orig in revived.items():
+            if position < s:
+                w[position] = orig
+        prefix = build_prefix_sums(w)
+        if not (prefix[s] > 0):
+            raise EmptyCandidateSetError(
+                f"vertex {v}: zero weight live at epoch {self.epoch}"
+            )
+        r = draw_in_range(rng, 0.0, prefix[s])
+        return its_search(prefix, r, 0, s, counters)

@@ -290,6 +290,24 @@ class VertexIncrementalHPAT:
         (self.blocks, self.num_edges, self._t_ref, self._t_newest,
          self.merged_edges) = state
 
+    def view(self) -> "VertexIncrementalHPAT":
+        """A frozen copy-on-write capture for epoch-snapshot reads.
+
+        Blocks are immutable once built and ``append_batch`` only ever
+        replaces the *list*, so sharing the block objects under a
+        private list pins this vertex's entire structure in
+        O(num_blocks). The view answers the full query API but is
+        never appended to.
+        """
+        frozen = VertexIncrementalHPAT.__new__(VertexIncrementalHPAT)
+        frozen.weight_model = self.weight_model
+        frozen.blocks = list(self.blocks)
+        frozen.num_edges = self.num_edges
+        frozen._t_ref = self._t_ref
+        frozen._t_newest = self._t_newest
+        frozen.merged_edges = self.merged_edges
+        return frozen
+
 
 class IncrementalHPAT:
     """Graph-level streaming HPAT: one block forest per active vertex.
@@ -322,6 +340,10 @@ class IncrementalHPAT:
         self.fault_injector = fault_injector
         #: Batches rolled back by a mid-apply failure (telemetry).
         self.rollbacks = 0
+        #: Vertices touched since the last :meth:`clear_dirty` — the
+        #: copy-on-write delta epoch snapshots re-pin (everything else
+        #: aliases the previous epoch's frozen views).
+        self._dirty: set = set()
         if graph is not None and graph.num_edges:
             self.apply_batch(graph.to_stream())
 
@@ -370,6 +392,7 @@ class IncrementalHPAT:
             self.rollbacks += 1
             raise
         self.num_edges += len(batch)
+        self._dirty.update(touched)
 
     def _new_vertex(self):
         """A fresh per-vertex index of the configured flavour."""
@@ -409,3 +432,39 @@ class IncrementalHPAT:
 
     def nbytes(self) -> int:
         return sum(v.nbytes() for v in self.vertices.values())
+
+    # -- durability hooks --------------------------------------------------
+
+    def capture_vertices(self, vertex_ids) -> Dict[int, Optional[tuple]]:
+        """Pre-batch snapshots of the given vertices (``None`` = absent).
+
+        Taken *before* an apply so the caller can undo a batch whose
+        durability step (WAL append) fails after the in-memory apply
+        succeeded — the inverse direction of ``apply_batch``'s own
+        mid-apply rollback.
+        """
+        captured: Dict[int, Optional[tuple]] = {}
+        for v in vertex_ids:
+            vert = self.vertices.get(int(v))
+            captured[int(v)] = None if vert is None else vert.snapshot()
+        return captured
+
+    def restore_vertices(self, captured: Dict[int, Optional[tuple]],
+                         edges_removed: int) -> None:
+        """Undo an applied batch from :meth:`capture_vertices` state."""
+        for v, state in captured.items():
+            if state is None:
+                self.vertices.pop(v, None)
+            else:
+                self.vertices[v].restore(state)
+        self.num_edges -= int(edges_removed)
+        self.rollbacks += 1
+
+    # -- epoch snapshots ---------------------------------------------------
+
+    def dirty_vertices(self) -> frozenset:
+        """Vertices whose structure changed since :meth:`clear_dirty`."""
+        return frozenset(self._dirty)
+
+    def clear_dirty(self) -> None:
+        self._dirty.clear()

@@ -4,6 +4,12 @@ Wraps :class:`~repro.core.deletions.TombstoneHPAT` in the standard
 engine interface so walks and deletions interleave: deleted edges are
 never traversed, candidate sets that are fully tombstoned become dead
 ends, and everything else behaves exactly like :class:`TeaEngine`.
+
+Reads can also be isolated from the mutation stream: :meth:`pin`
+freezes the current deletion epoch and returns a handle whose walks are
+bit-identical no matter how many deletions land afterwards — the
+mutable-engine half of the streaming subsystem's snapshot-isolation
+story (see :mod:`repro.streaming.snapshot` for the append side).
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core import builder
-from repro.core.deletions import TombstoneHPAT
+from repro.core.deletions import TombstoneHPAT, TombstonePin
 from repro.engines.base import Engine
 from repro.graph.temporal_graph import TemporalGraph
 from repro.telemetry import MemoryReport
@@ -35,6 +41,9 @@ class MutableTeaEngine(Engine):
         super().__init__(graph, spec)
         self.rebuild_threshold = float(rebuild_threshold)
         self.index: Optional[TombstoneHPAT] = None
+        # When set, candidate/sample reads go through this pinned epoch
+        # instead of the live index (see MutableEnginePin.run).
+        self._pin_index: Optional[TombstonePin] = None
 
     def _prepare(self) -> None:
         self.candidate_sizes = builder.search_candidate_sets(self.graph)
@@ -60,21 +69,81 @@ class MutableTeaEngine(Engine):
         self.prepare()
         return self.index.stats
 
+    # -- epoch pinning -------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Current deletion epoch (one per accepted deletion)."""
+        self.prepare()
+        return self.index.epoch
+
+    def pin(self) -> "MutableEnginePin":
+        """Freeze the current epoch for isolated walk traffic.
+
+        Walks run through the returned handle see exactly the edges
+        alive now, at their current weights, however many deletions
+        arrive meanwhile — and are bit-identical to running the same
+        workload on the engine before those deletions. Release the
+        handle (context manager) to let deferred rebuilds proceed.
+        """
+        self.prepare()
+        return MutableEnginePin(self, self.index.pin())
+
     # -- engine interface --------------------------------------------------------
+
+    def _alive_index(self):
+        return self._pin_index if self._pin_index is not None else self.index
 
     def _initial_candidates(self, v: int) -> int:
         s = super()._initial_candidates(v)
-        return s if self.index.alive_count(v, s) > 0 else 0
+        return s if self._alive_index().alive_count(v, s) > 0 else 0
 
     def _next_candidates(self, edge_pos, v, t, counters) -> int:
         s = super()._next_candidates(edge_pos, v, t, counters)
-        return s if self.index.alive_count(v, s) > 0 else 0
+        return s if self._alive_index().alive_count(v, s) > 0 else 0
 
     def sample_edge(self, v, candidate_size, walker_time, rng, counters):
-        return self.index.sample(v, candidate_size, rng, counters)
+        return self._alive_index().sample(v, candidate_size, rng, counters)
 
     def memory_report(self) -> MemoryReport:
         report = super().memory_report()
         if self.index is not None:
             report.add("tombstone_index", self.index.nbytes())
         return report
+
+
+class MutableEnginePin:
+    """A walkable handle over one frozen deletion epoch.
+
+    Thin adapter: :meth:`run` executes the engine's normal walk
+    machinery with candidate/sample reads redirected through the
+    underlying :class:`~repro.core.deletions.TombstonePin` for the
+    duration of the call.
+    """
+
+    def __init__(self, engine: MutableTeaEngine, index_pin: TombstonePin):
+        self._engine = engine
+        self._index_pin = index_pin
+
+    @property
+    def epoch(self) -> int:
+        return self._index_pin.epoch
+
+    def run(self, workload, **kwargs):
+        """Run a workload against the pinned epoch (engine ``run`` API)."""
+        engine = self._engine
+        previous = engine._pin_index
+        engine._pin_index = self._index_pin
+        try:
+            return engine.run(workload, **kwargs)
+        finally:
+            engine._pin_index = previous
+
+    def release(self) -> None:
+        self._index_pin.release()
+
+    def __enter__(self) -> "MutableEnginePin":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

@@ -101,6 +101,37 @@ class ChecksumError(TeaError):
         super().__init__(message)
 
 
+class EpochRetiredError(TeaError):
+    """A pinned streaming epoch has been evicted from the retention window.
+
+    The streaming engine keeps the newest ``retain_epochs`` views alive;
+    a reader that pinned an older epoch must re-pin the current one.
+    """
+
+
+class WalCorruptionError(TeaError):
+    """A write-ahead log is damaged beyond the torn-tail repair rule.
+
+    A bad frame at the physical end of the *last* segment is an expected
+    crash artifact and is silently truncated on open. A bad frame
+    anywhere else — mid-segment, or in a segment that has a successor —
+    means bytes the log previously promised durable are gone, and replay
+    refuses to guess.
+
+    Attributes
+    ----------
+    path:
+        The segment file containing the unreadable frame.
+    offset:
+        Byte offset of the frame within that segment.
+    """
+
+    def __init__(self, message: str, path=None, offset=None):
+        self.path = str(path) if path is not None else None
+        self.offset = offset
+        super().__init__(message)
+
+
 class WorkerCrashError(TeaError):
     """A parallel chunk worker crashed (or hung) past its retry budget.
 

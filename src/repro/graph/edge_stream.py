@@ -100,6 +100,35 @@ class EdgeStream:
         return cls(src, dst, time, sort=sort)
 
     @classmethod
+    def from_arrays(cls, src, dst, time, weight=None,
+                    require_sorted: bool = False) -> "EdgeStream":
+        """Zero-copy columnar constructor for bulk ingest paths.
+
+        Arrays already in the canonical dtypes (int64/int64/float64,
+        1-D, C-contiguous) are adopted without copying — the fast path
+        vectorised ingest and WAL replay rely on; anything else is
+        converted with the same validation the row constructor does.
+
+        Parameters
+        ----------
+        require_sorted:
+            If true, a non-monotonic ``time`` column raises
+            :class:`~repro.exceptions.GraphFormatError` instead of
+            being silently re-sorted — streaming appends must arrive
+            in stream order, and a caller handing us shuffled columns
+            is a bug worth surfacing, not repairing.
+        """
+        src = np.ascontiguousarray(src, dtype=np.int64)
+        dst = np.ascontiguousarray(dst, dtype=np.int64)
+        time = np.ascontiguousarray(time, dtype=np.float64)
+        if require_sorted and not _is_sorted(time):
+            raise GraphFormatError(
+                "from_arrays(require_sorted=True): time column is not "
+                "ascending"
+            )
+        return cls(src, dst, time, weight=weight, sort=not require_sorted)
+
+    @classmethod
     def empty(cls) -> "EdgeStream":
         return cls([], [], [], sort=False)
 

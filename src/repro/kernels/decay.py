@@ -139,6 +139,24 @@ class _RadixBucket:
         return int(self.dst.nbytes + self.times.nbytes + self.relw.nbytes
                    + self.cum.nbytes)
 
+    def pin(self) -> "_RadixBucket":
+        """A frozen alias of this bucket at its current fill.
+
+        Shares the backing arrays (live appends only write at indices
+        ≥ the live ``n``, and capacity growth reallocates rather than
+        moving the filled prefix) but owns its ``n``, so the clone is
+        immune to both future appends *and* ``restore()`` rewinding the
+        live bucket's fill.
+        """
+        b = _RadixBucket.__new__(_RadixBucket)
+        b.bid = self.bid
+        b.n = self.n
+        b.dst = self.dst
+        b.times = self.times
+        b.relw = self.relw
+        b.cum = self.cum
+        return b
+
 
 class DecayRadixForest:
     """Streaming index for one vertex under factorized exponential decay.
@@ -317,3 +335,22 @@ class DecayRadixForest:
          self.buckets_touched, self.reindexed_edges) = state
         for b, n in zip(self.buckets, fills):
             b.n = n
+
+    def view(self) -> "DecayRadixForest":
+        """A frozen copy-on-write capture for epoch-snapshot reads.
+
+        Unlike :meth:`snapshot`/:meth:`restore` — which rewind the
+        *live* buckets' fill in place — a view pins each bucket via
+        :meth:`_RadixBucket.pin`, so concurrent appends and rollbacks
+        on the live forest can never move what the view observes.
+        """
+        frozen = DecayRadixForest.__new__(DecayRadixForest)
+        frozen.weight_model = self.weight_model
+        frozen.buckets = [b.pin() for b in self.buckets]
+        frozen.num_edges = self.num_edges
+        frozen._t_ref = self._t_ref
+        frozen._t_newest = self._t_newest
+        frozen.merged_edges = self.merged_edges
+        frozen.buckets_touched = self.buckets_touched
+        frozen.reindexed_edges = self.reindexed_edges
+        return frozen

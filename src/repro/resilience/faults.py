@@ -18,6 +18,16 @@ wired into the risky layers at named **sites**:
 ``streaming_apply``
     Per-vertex-group admission inside the incremental HPAT's
     ``apply_batch`` (exercises the atomic-rollback path).
+``wal_append``
+    The write-ahead log's record append, before any byte is written
+    (exercises the apply-then-log rollback: the batch must vanish from
+    the index when its durability write fails).
+``wal_fsync``
+    The WAL's group-commit fsync barrier, before the syscall.
+``checkpoint_write``
+    Checkpoint + manifest persistence, before the checkpoint file is
+    written (a failed checkpoint must leave the previous manifest and
+    the untrimmed WAL fully usable).
 
 A plan is JSON (inline, or a file path) of the form::
 
@@ -55,7 +65,8 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.exceptions import FaultPlanError, TransientIOError, WorkerCrashError
 from repro.telemetry import events
 
-SITES = ("trunk_read", "prefetch", "chunk", "streaming_apply")
+SITES = ("trunk_read", "prefetch", "chunk", "streaming_apply",
+         "wal_append", "wal_fsync", "checkpoint_write")
 KINDS = ("io_error", "slow_read", "corrupt_block", "worker_crash", "worker_hang")
 
 #: Default sleep for ``slow_read`` (kept tiny so chaos runs stay fast).

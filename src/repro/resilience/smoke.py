@@ -19,7 +19,17 @@ asserts the engine's *contract* under it:
   and located by :func:`~repro.core.outofcore.scrub_store`;
 * **rollback** — a fault mid ``apply_batch`` leaves the incremental
   HPAT exactly at its pre-batch state, and the retried batch lands
-  identically to a never-faulted ingest.
+  identically to a never-faulted ingest;
+* **wal_crash** — the durable-ingest crash-consistency gate: the WAL
+  tail is truncated at *every* byte offset (every possible
+  ``os._exit`` point) and each recovery must walk bit-identically to a
+  never-crashed engine holding the same durable batch prefix;
+* **torn_append** — an injected ``wal_append`` failure rolls the
+  already-applied batch back out of the index, so the accepted set and
+  the durable set never diverge, and ``scrub_wal`` stays clean;
+* **checkpoint_fault** — a failed ``checkpoint_write`` leaves the
+  previous manifest and the untrimmed WAL authoritative; the retried
+  checkpoint and subsequent recovery are unaffected.
 
 All injections are seeded/selector-driven — the smoke is deterministic
 apart from scheduling, and runs on the ``tiny`` synthetic dataset.
@@ -272,12 +282,192 @@ def rollback_scenario(verbose: bool) -> dict:
             "edges_after_retry": int(engine.num_edges)}
 
 
+def _ingest_stream():
+    from repro.graph.generators import temporal_powerlaw
+
+    return temporal_powerlaw(
+        num_vertices=24, num_edges=96, seed=11, time_horizon=50.0
+    )
+
+
+def wal_crash_scenario(verbose: bool) -> dict:
+    """(f) Crash at *every* WAL byte offset: recovery matches the
+    never-crashed store built from the same durable prefix, bit for bit.
+    """
+    import shutil
+
+    from repro.streaming.batch import StreamingTeaEngine
+    from repro.streaming.wal import SEGMENT_MAGIC, WriteAheadLog, list_segments
+
+    spec = _smoke_spec()
+    stream = _ingest_stream()
+    batches = list(stream.batches(24))
+    with tempfile.TemporaryDirectory(prefix="tea-wal-") as tmp:
+        wal_dir = Path(tmp) / "wal"
+        with StreamingTeaEngine(spec, wal_dir=wal_dir) as engine:
+            for batch in batches:
+                engine.apply_batch(batch, sync=True)
+        segments = list_segments(wal_dir)
+        assert len(segments) == 1, "scenario assumes a single tiny segment"
+        _, seg_path = segments[0]
+        data = seg_path.read_bytes()
+        # Frame start offsets, so each truncation maps to its durable
+        # prefix (number of complete frames strictly before the cut).
+        frame_starts = [
+            lsn[1] for lsn, _s, _d, _t in WriteAheadLog.replay(wal_dir)
+        ]
+        starts = sorted({int(b.src[0]) for b in batches})[:8]
+        # Reference engines per durable-prefix length, built fresh
+        # in memory (never crashed, never recovered).
+        references = []
+        for k in range(len(batches) + 1):
+            ref = StreamingTeaEngine(spec)
+            for batch in batches[:k]:
+                ref.apply_batch(batch)
+            references.append(
+                [w.hops for w in ref.run_walks(starts, max_length=12, seed=3)]
+            )
+        checked = 0
+        for cut in range(len(SEGMENT_MAGIC), len(data) + 1):
+            crash_dir = Path(tmp) / f"crash-{cut}"
+            crash_dir.mkdir()
+            (crash_dir / seg_path.name).write_bytes(data[:cut])
+            durable = sum(1 for off in frame_starts
+                          if off + 8 <= cut and _frame_fits(data, off, cut))
+            with StreamingTeaEngine(spec, wal_dir=crash_dir) as recovered:
+                assert recovered.recovered_batches == durable, (
+                    f"cut {cut}: recovered {recovered.recovered_batches} "
+                    f"batches, durable prefix is {durable}"
+                )
+                got = [w.hops for w in
+                       recovered.run_walks(starts, max_length=12, seed=3)]
+            assert got == references[durable], (
+                f"cut {cut}: post-recovery walks diverged from the "
+                f"never-crashed store with {durable} batches"
+            )
+            checked += 1
+            shutil.rmtree(crash_dir)
+        return {"wal_crash_offsets_checked": int(checked),
+                "wal_crash_batches": len(batches)}
+
+
+def _frame_fits(data: bytes, off: int, cut: int) -> bool:
+    """Whole frame starting at ``off`` survives a truncation at ``cut``."""
+    import struct
+
+    if off + 8 > cut:
+        return False
+    (length,) = struct.unpack_from("<I", data, off)
+    return off + 8 + length <= cut
+
+
+def torn_append_scenario(verbose: bool) -> dict:
+    """(g) WAL append fails mid-ingest: the applied batch is rolled back
+    out of the index (acceptance == durability), and recovery sees only
+    the durable prefix.
+    """
+    from repro.streaming.batch import StreamingTeaEngine
+    from repro.streaming.wal import scrub_wal
+
+    spec = _smoke_spec()
+    stream = _ingest_stream()
+    batches = list(stream.batches(24))
+    with tempfile.TemporaryDirectory(prefix="tea-torn-") as tmp:
+        injector = FaultInjector.from_plan({"rules": [
+            {"site": "wal_append", "kind": "io_error", "calls": [2]},
+        ]})
+        engine = StreamingTeaEngine(spec, wal_dir=tmp,
+                                    fault_injector=injector)
+        engine.apply_batch(batches[0])
+        engine.apply_batch(batches[1])
+        edges_before = engine.num_edges
+        epoch_before = engine.epoch
+        try:
+            engine.apply_batch(batches[2])
+        except TransientIOError:
+            pass
+        else:
+            raise AssertionError("torn-append scenario: fault did not fire")
+        assert engine.num_edges == edges_before, (
+            "torn-append scenario: undurable batch left edges in the index"
+        )
+        assert engine.epoch == epoch_before, (
+            "torn-append scenario: undurable batch advanced the epoch"
+        )
+        # Retry (injector exhausted) must land as if nothing happened.
+        engine.apply_batch(batches[2])
+        walks = [w.hops for w in engine.run_walks(
+            engine.active_vertices()[:6], max_length=12, seed=5)]
+        engine.close()
+        report = scrub_wal(tmp)
+        assert report["clean"], f"torn-append scenario: scrub found {report}"
+        reference = StreamingTeaEngine(spec)
+        for batch in batches[:3]:
+            reference.apply_batch(batch)
+        ref_walks = [w.hops for w in reference.run_walks(
+            reference.active_vertices()[:6], max_length=12, seed=5)]
+        assert walks == ref_walks, (
+            "torn-append scenario: retried ingest diverged from clean ingest"
+        )
+        rollbacks = engine.index.rollbacks
+        return {"torn_append_rollbacks": int(rollbacks),
+                "torn_append_frames": int(report["frames_checked"])}
+
+
+def checkpoint_fault_scenario(verbose: bool) -> dict:
+    """(h) Checkpoint write fails: the old manifest and untrimmed WAL
+    stay authoritative, and recovery is unaffected.
+    """
+    from repro.streaming.batch import StreamingTeaEngine
+    from repro.streaming.snapshot import load_manifest
+
+    spec = _smoke_spec()
+    stream = _ingest_stream()
+    batches = list(stream.batches(24))
+    with tempfile.TemporaryDirectory(prefix="tea-ckpt-") as tmp:
+        injector = FaultInjector.from_plan({"rules": [
+            {"site": "checkpoint_write", "kind": "io_error", "calls": [0]},
+        ]})
+        engine = StreamingTeaEngine(spec, wal_dir=tmp,
+                                    fault_injector=injector)
+        for batch in batches[:2]:
+            engine.apply_batch(batch)
+        try:
+            engine.checkpoint()
+        except TransientIOError:
+            pass
+        else:
+            raise AssertionError("checkpoint scenario: fault did not fire")
+        assert load_manifest(tmp) is None, (
+            "checkpoint scenario: failed checkpoint left a manifest"
+        )
+        # Second attempt succeeds; more ingest rides on top of it.
+        manifest = engine.checkpoint()
+        for batch in batches[2:]:
+            engine.apply_batch(batch)
+        walks = [w.hops for w in engine.run_walks(
+            engine.active_vertices()[:6], max_length=12, seed=7)]
+        engine.close()
+        recovered = StreamingTeaEngine(spec, wal_dir=tmp)
+        got = [w.hops for w in recovered.run_walks(
+            recovered.active_vertices()[:6], max_length=12, seed=7)]
+        recovered.close()
+        assert got == walks, (
+            "checkpoint scenario: recovery through a checkpoint diverged"
+        )
+        return {"checkpoint_epoch": int(manifest["epoch"]),
+                "checkpoint_recovered_batches": int(recovered.recovered_batches)}
+
+
 SCENARIOS = (
     ("crash", crash_scenario),
     ("hang", hang_scenario),
     ("transient_io", transient_io_scenario),
     ("corruption", corruption_scenario),
     ("rollback", rollback_scenario),
+    ("wal_crash", wal_crash_scenario),
+    ("torn_append", torn_append_scenario),
+    ("checkpoint_fault", checkpoint_fault_scenario),
 )
 
 

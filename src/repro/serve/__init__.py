@@ -12,6 +12,7 @@ from repro.serve.client import ServeClient
 from repro.serve.executor import BatchExecutor
 from repro.serve.protocol import SERVE_SCHEMA, WalkRequest, build_spec
 from repro.serve.server import WalkService
+from repro.serve.streaming import StreamService
 
 __all__ = [
     "Batcher",
@@ -20,6 +21,7 @@ __all__ = [
     "RequestQueue",
     "ServeClient",
     "SERVE_SCHEMA",
+    "StreamService",
     "WalkRequest",
     "WalkService",
     "build_spec",

@@ -16,6 +16,15 @@ Endpoints
 ``GET  /metrics``     Prometheus text exposition
 ``GET  /stats``       session/queue/counter snapshot (JSON)
 
+With a streaming engine attached (``streaming=`` / ``repro serve
+--streaming-app``) four more come up, backed by
+:class:`~repro.serve.streaming.StreamService`:
+
+``POST /stream/ingest``     append an edge batch, advancing the epoch
+``POST /stream/walk``       walk a pinned (or the newest) epoch view
+``POST /stream/recommend``  same walks, aggregated into a top-k
+``GET  /stream/epoch``      current epoch / edge count / durability
+
 Every query gets its own 16-hex request id which doubles as the event
 log ``run_id`` for its ``serve.request``/``serve.response`` span — one
 id per request regardless of how the batcher groups them.
@@ -34,6 +43,7 @@ from repro.graph.temporal_graph import TemporalGraph
 from repro.serve.batcher import Batcher, PendingRequest, RequestQueue
 from repro.serve.executor import BatchExecutor
 from repro.serve.protocol import WalkRequest
+from repro.serve.streaming import StreamService
 from repro.telemetry import events
 from repro.telemetry.clock import monotonic, now
 from repro.telemetry.exporters import to_prometheus
@@ -95,6 +105,11 @@ class _Handler(BaseHTTPRequestHandler):
             )
         elif self.path == "/stats":
             self._send_json(200, service.stats())
+        elif self.path == "/stream/epoch":
+            if service.stream is None:
+                self._send_json(404, {"error": "no streaming engine attached"})
+            else:
+                self._send_json(200, service.stream.epoch_info())
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
 
@@ -107,6 +122,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._serve_walk("recommend")
         elif self.path == "/gnn/sample":
             self._serve_gnn()
+        elif self.path == "/stream/ingest":
+            self._serve_stream("ingest")
+        elif self.path == "/stream/walk":
+            self._serve_stream("walk")
+        elif self.path == "/stream/recommend":
+            self._serve_stream("recommend")
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
 
@@ -168,6 +189,37 @@ class _Handler(BaseHTTPRequestHandler):
         service.gnn_served.inc()
         self._finish(request_id, 200, response, t0, "gnn")
 
+    def _serve_stream(self, verb: str) -> None:
+        """Streaming endpoints run inline: ingest must not be coalesced
+        (it mutates), and pinned-view walks are lock-free reads."""
+        service = self.service
+        endpoint = f"stream_{verb}"
+        t0 = now()
+        request_id = events.new_run_id()
+        events.emit("serve.request", run_id=request_id, endpoint=endpoint)
+        if service.stream is None:
+            self._finish(
+                request_id, 404, {"error": "no streaming engine attached"},
+                t0, endpoint,
+            )
+            return
+        try:
+            payload = self._read_json()
+            if verb == "ingest":
+                response = service.stream.ingest(payload)
+            else:
+                response = service.stream.walk(payload, kind=verb)
+        except ServeError as exc:
+            self._finish(
+                request_id, exc.status, {"error": str(exc)}, t0, endpoint
+            )
+            return
+        except TeaError as exc:
+            self._finish(request_id, 500, {"error": str(exc)}, t0, endpoint)
+            return
+        response["run_id"] = request_id
+        self._finish(request_id, 200, response, t0, endpoint)
+
     def _finish(
         self, request_id: str, status: int, payload: dict, t0: float, kind: str
     ) -> None:
@@ -220,8 +272,15 @@ class WalkService:
         port: int = 0,
         request_timeout: float = 60.0,
         registry: Optional[MetricsRegistry] = None,
+        streaming=None,
     ):
         self.registry = registry if registry is not None else MetricsRegistry()
+        # Optional live-ingest lane: a StreamingTeaEngine served through
+        # the /stream/* endpoints (epoch-pinned reads, serialised writes).
+        self.stream = (
+            StreamService(streaming, registry=self.registry)
+            if streaming is not None else None
+        )
         self.session = TeaSession(
             graph,
             max_engines=max_engines,
@@ -294,6 +353,8 @@ class WalkService:
             clean = self.batcher.stop(timeout) and clean
         else:
             self.queue.close()
+        if self.stream is not None:
+            self.stream.close()
         self.session.close()
         events.emit("serve.stop", clean=clean)
         return clean
@@ -313,7 +374,11 @@ class WalkService:
 
     def stats(self) -> dict:
         reg = self.registry
+        streaming = (
+            None if self.stream is None else self.stream.epoch_info()
+        )
         return {
+            "streaming": streaming,
             "engine": self.session.engine_kind,
             "batching": self.batching,
             "session": self.session.stats.snapshot(),

@@ -1,0 +1,176 @@
+"""Live-ingest serving: the daemon's bridge to a streaming engine.
+
+:class:`StreamService` wraps one :class:`~repro.streaming.batch.
+StreamingTeaEngine` for the HTTP front-end. Writes (``/stream/ingest``)
+are serialised under a lock — the incremental HPAT is a single-mutator
+structure — while reads (``/stream/walk``, ``/stream/recommend``) pin
+an immutable :class:`~repro.streaming.snapshot.EpochView` and run
+outside the lock: a view's arrays are frozen at publish time, so any
+number of handler threads may walk them while the next batch applies.
+
+That pin is the serving-side isolation contract: a request carrying
+``"epoch": N`` gets bit-identical walks no matter how much ingest has
+happened since epoch N was published (within the engine's retention
+window; older epochs answer 410). Requests without an epoch pin the
+newest view — never a half-applied batch.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.exceptions import (
+    EpochRetiredError,
+    GraphFormatError,
+    NotSupportedError,
+    ServeError,
+)
+from repro.serve.protocol import MAX_WALKS_PER_REQUEST, SERVE_SCHEMA
+from repro.telemetry.registry import MetricsRegistry
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ServeError(message)
+
+
+class StreamService:
+    """Validated JSON handlers over one streaming engine."""
+
+    def __init__(self, engine, registry: Optional[MetricsRegistry] = None):
+        self.engine = engine
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._ingested = self.registry.counter(
+            "serve.stream_edges", "edges accepted via /stream/ingest"
+        )
+        self._walked = self.registry.counter(
+            "serve.stream_walks", "walks served from pinned epochs"
+        )
+
+    # -- GET /stream/epoch -------------------------------------------------
+
+    def epoch_info(self) -> dict:
+        with self._lock:
+            view = self.engine.pin()
+            return {
+                "schema": SERVE_SCHEMA,
+                "epoch": int(view.epoch),
+                "num_edges": int(view.num_edges),
+                "retained_epochs": len(self.engine._views),
+                "durable": bool(self.engine.durable),
+            }
+
+    # -- POST /stream/ingest -----------------------------------------------
+
+    def ingest(self, payload) -> dict:
+        _require(isinstance(payload, dict), "request body must be a JSON object")
+        columns = []
+        for key in ("src", "dst", "time"):
+            col = payload.get(key)
+            _require(
+                isinstance(col, (list, tuple)) and len(col) > 0,
+                f"'{key}' must be a non-empty list",
+            )
+            _require(
+                all(isinstance(x, (int, float)) and not isinstance(x, bool)
+                    for x in col),
+                f"'{key}' entries must be numbers",
+            )
+            columns.append(col)
+        src, dst, times = columns
+        _require(
+            len(src) == len(dst) == len(times),
+            "'src', 'dst' and 'time' must have equal lengths",
+        )
+        sync = payload.get("sync")
+        _require(
+            sync is None or isinstance(sync, bool),
+            "'sync' must be a boolean when given",
+        )
+        with self._lock:
+            try:
+                out = self.engine.add_multiple_edges(src, dst, times, sync=sync)
+            except (GraphFormatError, NotSupportedError) as exc:
+                # Malformed columns or a stream-order violation: the
+                # batch was rejected atomically — the client's fault.
+                raise ServeError(str(exc))
+        self._ingested.inc(out["edges"])
+        return {
+            "schema": SERVE_SCHEMA,
+            "kind": "stream_ingest",
+            "edges": int(out["edges"]),
+            "epoch": int(out["epoch"]),
+            "num_edges": int(out["num_edges"]),
+        }
+
+    # -- POST /stream/walk | /stream/recommend -----------------------------
+
+    def walk(self, payload, kind: str) -> dict:
+        _require(isinstance(payload, dict), "request body must be a JSON object")
+        starts = payload.get("starts")
+        _require(
+            isinstance(starts, (list, tuple)) and len(starts) > 0,
+            "'starts' must be a non-empty list of vertex ids",
+        )
+        _require(
+            all(isinstance(v, int) and not isinstance(v, bool) and v >= 0
+                for v in starts),
+            "'starts' entries must be non-negative integers",
+        )
+        _require(
+            len(starts) <= MAX_WALKS_PER_REQUEST,
+            f"request exceeds {MAX_WALKS_PER_REQUEST} walks",
+        )
+        max_length = payload.get("max_length", 20)
+        _require(isinstance(max_length, int) and max_length >= 1,
+                 "'max_length' must be >= 1")
+        seed = payload.get("seed", 0)
+        _require(isinstance(seed, int), "'seed' must be an integer")
+        epoch = payload.get("epoch")
+        _require(epoch is None or isinstance(epoch, int),
+                 "'epoch' must be an integer when given")
+        top_k = payload.get("top_k", 5)
+        _require(isinstance(top_k, int) and top_k >= 1, "'top_k' must be >= 1")
+        with self._lock:
+            try:
+                view = self.engine.pin(epoch)
+            except EpochRetiredError as exc:
+                raise ServeError(str(exc), status=410)
+        # Outside the lock: the view is immutable, ingest may proceed.
+        paths = view.run_walks(starts, max_length=max_length, seed=seed)
+        self._walked.inc(len(paths))
+        response = {
+            "schema": SERVE_SCHEMA,
+            "kind": f"stream_{kind}",
+            "epoch": int(view.epoch),
+            "num_edges": int(view.num_edges),
+            "num_walks": len(paths),
+            "lengths": [p.num_edges for p in paths],
+            "walks": [[int(v) for v in p.vertices] for p in paths],
+            "times": [[float(t) for t in p.times[1:]] for p in paths],
+        }
+        if kind == "recommend":
+            response["recommendations"] = self._recommend(
+                paths, set(starts), top_k
+            )
+        return response
+
+    @staticmethod
+    def _recommend(paths, exclude, top_k: int) -> list:
+        """Visit-count top-k, starts excluded, vertex-id tie-break."""
+        counts: dict = {}
+        for path in paths:
+            for vertex in path.vertices[1:]:
+                if vertex in exclude:
+                    continue
+                counts[vertex] = counts.get(vertex, 0) + 1
+        ranked = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        return [[vertex, count] for vertex, count in ranked[:top_k]]
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            self.engine.close()

@@ -1,5 +1,27 @@
-"""Streaming graph support (paper Section 3.5)."""
+"""Streaming graph support (paper Section 3.5) with durable ingest.
+
+:class:`StreamingTeaEngine` is the front door; :mod:`repro.streaming.wal`
+and :mod:`repro.streaming.snapshot` hold the write-ahead log and the
+epoch-view / checkpoint machinery underneath it.
+"""
 
 from repro.streaming.batch import StreamingTeaEngine
+from repro.streaming.snapshot import (
+    EpochView,
+    load_checkpoint,
+    load_manifest,
+    verify_checkpoint,
+    write_checkpoint,
+)
+from repro.streaming.wal import WriteAheadLog, scrub_wal
 
-__all__ = ["StreamingTeaEngine"]
+__all__ = [
+    "StreamingTeaEngine",
+    "EpochView",
+    "WriteAheadLog",
+    "scrub_wal",
+    "write_checkpoint",
+    "load_checkpoint",
+    "load_manifest",
+    "verify_checkpoint",
+]

@@ -1,0 +1,354 @@
+"""Epoch snapshots and checkpoint manifests for streaming ingest.
+
+Two jobs live here, both about serving reads against a *stable*
+version of the stream (the TVA blueprint in PAPERS.md):
+
+**Epoch views.** Every applied batch advances the engine's epoch and
+publishes an immutable :class:`EpochView` — a copy-on-write capture of
+the incremental index. Vertices untouched since the previous epoch
+share their frozen view object with it; touched vertices get a fresh
+O(num_blocks) pin (immutable blocks / append-only radix buckets make
+that a shallow capture — see ``VertexIncrementalHPAT.view`` and
+``DecayRadixForest.view``). A walk that pins epoch N is bit-identical
+whether ingest is idle or mid-batch for epoch N+1, because nothing the
+view references ever mutates.
+
+**Checkpoint manifests.** Replaying a WAL from the beginning costs
+O(total batches ever ingested) in disk scanning; a checkpoint bounds
+that by persisting the full durable edge history as compact columns
+(``checkpoint-<epoch>.bin``: magic, edge/batch counts, src/dst/time
+arrays, batch-size array) plus an atomically renamed ``MANIFEST.json``
+recording the checkpoint's CRC32, its epoch, and the WAL position it
+covers. The batch-size column matters for bit-identity: the carry
+forest's block structure depends on the exact batch boundaries the
+edges arrived in, so recovery replays the checkpoint *batch by batch*
+— reproducing the identical index a never-crashed engine holds — then
+replays only WAL records at or after the manifest position; segments
+before it are trimmed. Manifest writes are crash-safe by construction:
+checkpoint tmp → fsync → rename → manifest tmp → fsync → rename →
+directory fsync, so a crash leaves either the old (manifest,
+checkpoint) pair or the new one, never a torn hybrid. A CRC mismatch
+on load therefore means real disk corruption (the WAL prefix it
+covered has been trimmed), and recovery raises rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ChecksumError, EmptyCandidateSetError
+from repro.rng import RngLike, make_rng
+from repro.sampling.counters import CostCounters
+from repro.telemetry import events
+from repro.walks.walker import Walker, WalkPath
+
+#: Schema stamp for the checkpoint manifest.
+MANIFEST_SCHEMA = "tea-repro/streaming-checkpoint/v1"
+MANIFEST_NAME = "MANIFEST.json"
+CHECKPOINT_MAGIC = b"TEACKPT1"
+
+
+# ---------------------------------------------------------------------------
+# Epoch views
+# ---------------------------------------------------------------------------
+
+
+class EpochView:
+    """An immutable, walkable capture of the streaming index at one epoch.
+
+    Holds frozen per-vertex views (shared with neighbouring epochs for
+    untouched vertices) and answers the same read API as the live
+    engine: candidate counts, weighted prefix sampling, and whole
+    temporal walks. Safe to use from any thread while ingest proceeds.
+    """
+
+    __slots__ = ("epoch", "num_edges", "_vertices")
+
+    def __init__(self, epoch: int, num_edges: int, vertices: Dict[int, object]):
+        self.epoch = int(epoch)
+        self.num_edges = int(num_edges)
+        self._vertices = vertices
+
+    @classmethod
+    def capture(cls, epoch: int, index, previous: Optional["EpochView"] = None,
+                ) -> "EpochView":
+        """Freeze ``index`` (an ``IncrementalHPAT``) as of now.
+
+        Copy-on-write against ``previous``: only vertices in the
+        index's dirty set since the last capture are re-pinned; the
+        rest alias the previous epoch's frozen objects.
+        """
+        if previous is None:
+            vertices = {v: vert.view() for v, vert in index.vertices.items()}
+        else:
+            vertices = dict(previous._vertices)
+            for v in index.dirty_vertices():
+                vert = index.vertices.get(v)
+                if vert is None:
+                    vertices.pop(v, None)
+                else:
+                    vertices[v] = vert.view()
+        index.clear_dirty()
+        return cls(epoch, index.num_edges, vertices)
+
+    # -- reads -------------------------------------------------------------
+
+    def active_vertices(self) -> List[int]:
+        return sorted(self._vertices)
+
+    def candidate_count(self, v: int, t: Optional[float]) -> int:
+        vert = self._vertices.get(v)
+        return vert.candidate_count(t) if vert is not None else 0
+
+    def sample(self, v: int, candidate_size: int, rng,
+               counters: Optional[CostCounters] = None) -> Tuple[int, float]:
+        vert = self._vertices.get(v)
+        if vert is None:
+            raise EmptyCandidateSetError(f"vertex {v} has no out-edges")
+        return vert.sample(candidate_size, rng, counters)
+
+    def walk(self, start: int, max_length: int, seed: RngLike = None,
+             counters: Optional[CostCounters] = None) -> WalkPath:
+        """One temporal walk over exactly this epoch's edges."""
+        rng = make_rng(seed)
+        return walk_index(self, int(start), int(max_length), rng, counters)
+
+    def run_walks(self, starts, max_length: int = 80, seed: RngLike = 0,
+                  counters: Optional[CostCounters] = None) -> List[WalkPath]:
+        """Walks from each start, sharing one RNG stream (engine parity)."""
+        rng = make_rng(seed)
+        return [
+            walk_index(self, int(u), int(max_length), rng, counters)
+            for u in np.asarray(starts)
+        ]
+
+    def nbytes(self) -> int:
+        return sum(v.nbytes() for v in self._vertices.values())
+
+    def __repr__(self) -> str:
+        return (f"EpochView(epoch={self.epoch}, |E|={self.num_edges}, "
+                f"|V|={len(self._vertices)})")
+
+
+def walk_index(index, start: int, max_length: int, rng,
+               counters: Optional[CostCounters] = None) -> WalkPath:
+    """The streaming temporal-walk loop over any candidate/sample index.
+
+    Shared by the live engine and frozen epoch views so the two can
+    never drift: same candidate queries, same RNG call sequence.
+    """
+    walker = Walker(int(start))
+    v = walker.start_vertex
+    while walker.num_edges < max_length:
+        s = index.candidate_count(v, walker.current_time)
+        if s <= 0:
+            break
+        if counters is not None:
+            counters.record_step()
+        v2, t2 = index.sample(v, s, rng, counters)
+        walker.advance(v2, t2)
+        v = v2
+    return walker.finish()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint manifests
+# ---------------------------------------------------------------------------
+
+
+def checkpoint_name(epoch: int) -> str:
+    return f"checkpoint-{epoch:08d}.bin"
+
+
+def _fsync_directory(directory: Path) -> None:
+    """Make a rename durable (POSIX: fsync the containing directory)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-fsync
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_checkpoint(directory, src, dst, times, batch_sizes, epoch: int,
+                     wal_position: Tuple[int, int],
+                     fault_injector=None) -> dict:
+    """Persist the full edge history + manifest; returns the manifest.
+
+    The checkpoint body is columnar (``u64 n``, ``u64 k``, then int64
+    src, int64 dst, float64 time, int64 batch sizes — the ``k`` batch
+    lengths summing to ``n``, preserving the original batch
+    boundaries); its CRC32 goes into the manifest, not the file, so a
+    torn body and a stale manifest can never agree. Write order is the
+    crash-safe one: checkpoint tmp → fsync → rename → manifest tmp →
+    fsync → rename → directory fsync.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    if fault_injector is not None:
+        fault_injector.check("checkpoint_write")
+    src = np.ascontiguousarray(src, dtype=np.int64)
+    dst = np.ascontiguousarray(dst, dtype=np.int64)
+    times = np.ascontiguousarray(times, dtype=np.float64)
+    batch_sizes = np.ascontiguousarray(batch_sizes, dtype=np.int64)
+    if int(batch_sizes.sum()) != int(src.size):
+        raise ValueError(
+            f"batch_sizes sum to {int(batch_sizes.sum())}, expected "
+            f"{int(src.size)} edges"
+        )
+    payload = b"".join((
+        struct.pack("<QQ", src.size, batch_sizes.size),
+        src.tobytes(), dst.tobytes(), times.tobytes(),
+        batch_sizes.tobytes(),
+    ))
+    crc = zlib.crc32(payload)
+    name = checkpoint_name(epoch)
+    tmp = directory / (name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(CHECKPOINT_MAGIC)
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, directory / name)
+    manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "epoch": int(epoch),
+        "num_edges": int(src.size),
+        "num_batches": int(batch_sizes.size),
+        "checkpoint": name,
+        "checkpoint_crc": int(crc),
+        "checkpoint_bytes": len(CHECKPOINT_MAGIC) + len(payload),
+        "wal": {"segment": int(wal_position[0]), "offset": int(wal_position[1])},
+    }
+    mtmp = directory / (MANIFEST_NAME + ".tmp")
+    with open(mtmp, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(mtmp, directory / MANIFEST_NAME)
+    _fsync_directory(directory)
+    events.emit("checkpoint.write", epoch=int(epoch),
+                num_edges=int(src.size),
+                checkpoint_bytes=int(manifest["checkpoint_bytes"]))
+    return manifest
+
+
+def load_manifest(directory) -> Optional[dict]:
+    """The current manifest, or ``None`` when no checkpoint exists."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        manifest = json.loads(path.read_text())
+    except ValueError as exc:
+        raise ChecksumError(f"checkpoint manifest is not valid JSON: {exc}",
+                            path=path)
+    required = {"schema", "epoch", "num_edges", "num_batches", "checkpoint",
+                "checkpoint_crc", "checkpoint_bytes", "wal"}
+    missing = required - set(manifest)
+    if missing:
+        raise ChecksumError(
+            f"checkpoint manifest missing fields: {sorted(missing)}",
+            path=path,
+        )
+    return manifest
+
+
+def load_checkpoint(directory) -> Optional[
+        Tuple[dict, np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+    """Load and CRC-verify the checkpoint; ``None`` when absent.
+
+    Returns ``(manifest, src, dst, times, batch_sizes)``. Raises
+    :class:`~repro.exceptions.ChecksumError` when the manifest and the
+    checkpoint body disagree (bit rot, a stale manifest): the WAL
+    prefix the checkpoint covered has been trimmed, so there is no
+    safe fallback and recovery must surface the corruption.
+    """
+    directory = Path(directory)
+    manifest = load_manifest(directory)
+    if manifest is None:
+        return None
+    path = directory / manifest["checkpoint"]
+    if not path.exists():
+        raise ChecksumError(
+            f"manifest references missing checkpoint {manifest['checkpoint']}",
+            path=path,
+        )
+    data = path.read_bytes()
+    if len(data) != manifest["checkpoint_bytes"]:
+        raise ChecksumError(
+            f"checkpoint {path.name}: {len(data)} bytes on disk, manifest "
+            f"says {manifest['checkpoint_bytes']}",
+            path=path,
+        )
+    if data[: len(CHECKPOINT_MAGIC)] != CHECKPOINT_MAGIC:
+        raise ChecksumError(f"checkpoint {path.name}: bad magic", path=path)
+    payload = data[len(CHECKPOINT_MAGIC):]
+    actual = zlib.crc32(payload)
+    if actual != manifest["checkpoint_crc"]:
+        raise ChecksumError(
+            f"checkpoint {path.name}: CRC mismatch",
+            path=path, expected=manifest["checkpoint_crc"], actual=actual,
+        )
+    n, k = struct.unpack_from("<QQ", payload, 0)
+    expect = 16 + n * 24 + k * 8
+    if len(payload) != expect:
+        raise ChecksumError(
+            f"checkpoint {path.name}: {n} edges / {k} batches need {expect} "
+            f"payload bytes, found {len(payload)}",
+            path=path,
+        )
+    off = 16
+    src = np.frombuffer(payload, dtype=np.int64, count=n, offset=off)
+    off += 8 * n
+    dst = np.frombuffer(payload, dtype=np.int64, count=n, offset=off)
+    off += 8 * n
+    times = np.frombuffer(payload, dtype=np.float64, count=n, offset=off)
+    off += 8 * n
+    batch_sizes = np.frombuffer(payload, dtype=np.int64, count=k, offset=off)
+    if int(batch_sizes.sum()) != int(n):
+        raise ChecksumError(
+            f"checkpoint {path.name}: batch sizes sum to "
+            f"{int(batch_sizes.sum())}, expected {n}",
+            path=path,
+        )
+    return manifest, src, dst, times, batch_sizes
+
+
+def verify_checkpoint(directory) -> Optional[dict]:
+    """Scrub helper: manifest + checkpoint integrity as a report dict.
+
+    Returns ``None`` when the directory has no manifest; otherwise a
+    dict with ``ok`` and a ``corrupt`` list shaped like the trunk-store
+    scrub records.
+    """
+    directory = Path(directory)
+    if not (directory / MANIFEST_NAME).exists():
+        return None
+    corrupt: List[dict] = []
+    manifest = None
+    try:
+        loaded = load_checkpoint(directory)
+        if loaded is not None:
+            manifest = loaded[0]
+    except ChecksumError as exc:
+        corrupt.append({
+            "file": Path(exc.path).name if exc.path else MANIFEST_NAME,
+            "page": None, "offset_bytes": 0, "reason": str(exc),
+        })
+    return {
+        "ok": not corrupt,
+        "epoch": None if manifest is None else manifest["epoch"],
+        "num_edges": None if manifest is None else manifest["num_edges"],
+        "corrupt": corrupt,
+    }

@@ -194,3 +194,70 @@ class TestMutableEngine:
         engine.prepare()
         engine.index.delete_position(v, 0)
         assert engine.deletion_stats.deletions == 1
+
+
+class TestEpochPinning:
+    def _paths(self, result):
+        return [tuple(p.hops) for p in result.paths]
+
+    def test_pinned_walks_survive_deletions(self, small_graph):
+        engine = MutableTeaEngine(small_graph, exponential_walk(scale=20.0))
+        engine.prepare()
+        workload = Workload(max_length=10, max_walks=40)
+        want = self._paths(engine.run(workload, seed=7))
+        with engine.pin() as pin:
+            rng = make_rng(11)
+            for _ in range(150):
+                v = int(rng.integers(0, small_graph.num_vertices))
+                d = small_graph.out_degree(v)
+                if d:
+                    engine.index.delete_position(v, int(rng.integers(0, d)))
+            # The pinned epoch walks exactly like the pre-deletion engine.
+            assert self._paths(pin.run(workload, seed=7)) == want
+            # The live engine has moved on.
+            assert engine.epoch > pin.epoch
+        live = self._paths(engine.run(workload, seed=7))
+        assert live != want
+
+    def test_pin_defers_rebuilds_until_release(self, small_graph):
+        engine = MutableTeaEngine(small_graph, unbiased_walk(),
+                                  rebuild_threshold=0.1)
+        engine.prepare()
+        v = int(np.argmax(small_graph.degrees()))
+        d = small_graph.out_degree(v)
+        pin = engine.pin()
+        for pos in range(d - 1):
+            engine.index.delete_position(v, pos)
+        assert engine.index.stats.deferred_rebuilds > 0
+        rebuilds_during_pin = engine.index.stats.vertex_rebuilds
+        pin.release()
+        # Release flushes the deferred rebuilds.
+        assert engine.index.stats.vertex_rebuilds > rebuilds_during_pin
+
+    def test_epoch_advances_per_deletion(self, small_graph):
+        engine = MutableTeaEngine(small_graph, unbiased_walk())
+        engine.prepare()
+        assert engine.epoch == 0
+        v = int(np.argmax(small_graph.degrees()))
+        engine.index.delete_position(v, 0)
+        engine.index.delete_position(v, 1)
+        assert engine.epoch == 2
+
+    def test_nested_pin_runs_restore_previous(self, small_graph):
+        """pin.run temporarily redirects reads, then restores."""
+        engine = MutableTeaEngine(small_graph, unbiased_walk())
+        engine.prepare()
+        workload = Workload(max_length=8, max_walks=20)
+        outer = engine.pin()
+        v = int(np.argmax(small_graph.degrees()))
+        for pos in range(small_graph.out_degree(v)):
+            engine.index.delete_position(v, pos)
+        inner = engine.pin()
+        want_outer = self._paths(outer.run(workload, seed=2))
+        want_inner = self._paths(inner.run(workload, seed=2))
+        # Interleave: outer still sees pre-deletion state afterwards.
+        assert self._paths(outer.run(workload, seed=2)) == want_outer
+        assert self._paths(inner.run(workload, seed=2)) == want_inner
+        assert engine._pin_index is None
+        inner.release()
+        outer.release()

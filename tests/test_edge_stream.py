@@ -121,3 +121,41 @@ class TestBatches:
     def test_bad_batch_size(self):
         with pytest.raises(ValueError):
             list(EdgeStream.empty().batches(0))
+
+
+class TestFromArrays:
+    def test_canonical_arrays_adopted_without_copy(self):
+        src = np.array([0, 1, 2], dtype=np.int64)
+        dst = np.array([1, 2, 0], dtype=np.int64)
+        time = np.array([1.0, 2.0, 3.0], dtype=np.float64)
+        stream = EdgeStream.from_arrays(src, dst, time, require_sorted=True)
+        assert stream.src is src or np.shares_memory(stream.src, src)
+        assert list(stream.time) == [1.0, 2.0, 3.0]
+
+    def test_dtype_conversion(self):
+        stream = EdgeStream.from_arrays(
+            np.array([0, 1], dtype=np.int32),
+            np.array([1, 0], dtype=np.int32),
+            np.array([1, 2], dtype=np.int32),
+        )
+        assert stream.src.dtype == np.int64
+        assert stream.time.dtype == np.float64
+
+    def test_require_sorted_rejects_unsorted(self):
+        with pytest.raises(GraphFormatError):
+            EdgeStream.from_arrays([0, 1], [1, 0], [5.0, 2.0],
+                                   require_sorted=True)
+
+    def test_unsorted_without_flag_is_sorted(self):
+        stream = EdgeStream.from_arrays([0, 1], [1, 0], [5.0, 2.0])
+        assert list(stream.time) == [2.0, 5.0]
+        assert list(stream.src) == [1, 0]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(GraphFormatError):
+            EdgeStream.from_arrays([0, 1], [1], [1.0, 2.0])
+
+    def test_equal_times_accepted_as_sorted(self):
+        stream = EdgeStream.from_arrays([0, 1], [1, 0], [2.0, 2.0],
+                                        require_sorted=True)
+        assert len(stream) == 2

@@ -109,3 +109,227 @@ class TestEquivalenceWithStatic:
             dst, _ = streaming.index.sample(v, d, rng)
             counts[key_pos[dst]] += 1
         assert chisquare_ok(counts, exact)
+
+
+def _decay_spec(scale: float = 20.0):
+    from repro.core.weights import WeightModel
+    from repro.walks.spec import WalkSpec
+
+    return WalkSpec(
+        name="decay", weight_model=WeightModel("exponential_decay", scale=scale)
+    )
+
+
+def _hops(engine_or_view, starts, seed=5, max_length=12):
+    return [
+        w.hops
+        for w in engine_or_view.run_walks(starts, max_length=max_length,
+                                          seed=seed)
+    ]
+
+
+class TestBulkIngest:
+    def test_add_multiple_edges_matches_batched(self, stream):
+        """Decay forest is batch-boundary-canonical: bulk == batched."""
+        bulk = StreamingTeaEngine(_decay_spec())
+        out = bulk.add_multiple_edges(stream.src, stream.dst, stream.time)
+        assert out == {"edges": 600, "epoch": 1, "num_edges": 600}
+        batched = StreamingTeaEngine(_decay_spec())
+        batched.ingest(stream, batch_size=75)
+        starts = bulk.active_vertices()[:10]
+        assert _hops(bulk, starts) == _hops(batched, starts)
+
+    def test_unsorted_columns_rejected(self, stream):
+        from repro.exceptions import GraphFormatError
+
+        engine = StreamingTeaEngine(_decay_spec())
+        with pytest.raises(GraphFormatError):
+            engine.add_multiple_edges(
+                stream.src, stream.dst, stream.time[::-1]
+            )
+        assert engine.num_edges == 0 and engine.epoch == 0
+
+
+class TestEpochIsolation:
+    def test_pinned_epoch_is_byte_stable(self, stream):
+        engine = StreamingTeaEngine(exponential_walk(scale=20.0),
+                                    retain_epochs=16)
+        engine.apply_batch(stream[:300])
+        pinned = engine.pin()
+        starts = pinned.active_vertices()[:10]
+        before = _hops(pinned, starts)
+        for batch in stream[300:].batches(60):
+            engine.apply_batch(batch)
+        assert _hops(pinned, starts) == before
+        current = engine.pin()
+        assert current.epoch > pinned.epoch
+        assert current.num_edges == 600
+        assert _hops(current, starts) != before
+
+    def test_pin_by_id_and_retirement(self, stream):
+        from repro.exceptions import EpochRetiredError
+
+        engine = StreamingTeaEngine(exponential_walk(scale=20.0),
+                                    retain_epochs=2)
+        for batch in stream.batches(100):
+            engine.apply_batch(batch)
+        assert engine.pin(engine.epoch).epoch == engine.epoch
+        assert engine.pin(engine.epoch - 1).epoch == engine.epoch - 1
+        with pytest.raises(EpochRetiredError):
+            engine.pin(1)
+
+    def test_reader_writer_stress(self, stream):
+        """Pinned-epoch walks byte-stable under *concurrent* ingest."""
+        import threading
+
+        engine = StreamingTeaEngine(exponential_walk(scale=20.0),
+                                    retain_epochs=64)
+        engine.apply_batch(stream[:200])
+        pinned = engine.pin()
+        starts = pinned.active_vertices()[:8]
+        reference = _hops(pinned, starts)
+
+        failures = []
+        done = threading.Event()
+
+        def reader():
+            while not done.is_set():
+                if _hops(pinned, starts) != reference:
+                    failures.append("pinned walks drifted")
+                    return
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for batch in stream[200:].batches(20):
+                engine.apply_batch(batch)
+        finally:
+            done.set()
+            thread.join(30)
+        assert not thread.is_alive()
+        assert not failures
+        assert _hops(pinned, starts) == reference
+        assert engine.num_edges == 600
+
+
+class TestDurability:
+    def test_close_reopen_bit_identical(self, stream, tmp_path):
+        with StreamingTeaEngine(exponential_walk(scale=20.0),
+                                wal_dir=tmp_path) as engine:
+            engine.ingest(stream, batch_size=90)
+            epoch = engine.epoch
+            starts = engine.active_vertices()[:10]
+            want = _hops(engine, starts)
+        with StreamingTeaEngine(exponential_walk(scale=20.0),
+                                wal_dir=tmp_path) as recovered:
+            assert recovered.epoch == epoch
+            assert recovered.recovered_edges == 600
+            assert _hops(recovered, starts) == want
+
+    def test_checkpoint_bounds_replay(self, stream, tmp_path):
+        spec = _decay_spec()
+        with StreamingTeaEngine(spec, wal_dir=tmp_path) as engine:
+            engine.ingest(stream[:400], batch_size=100)
+            engine.checkpoint()
+            engine.ingest(stream[400:], batch_size=100)
+            starts = engine.active_vertices()[:10]
+            want = _hops(engine, starts)
+        with StreamingTeaEngine(spec, wal_dir=tmp_path) as recovered:
+            # 4 batches come from the checkpoint, 2 from the WAL suffix,
+            # and the index walks identically either way.
+            assert recovered.recovered_batches == 6
+            assert recovered.epoch == 6
+            assert _hops(recovered, starts) == want
+
+    def test_recovery_after_hard_crash_mid_stream(self, stream, tmp_path):
+        """Durable prefix survives even when close() never runs."""
+        spec = _decay_spec()
+        engine = StreamingTeaEngine(spec, wal_dir=tmp_path)
+        for batch in stream.batches(150):
+            engine.apply_batch(batch, sync=True)
+        starts = engine.active_vertices()[:10]
+        want = _hops(engine, starts)
+        # No close(): simulate the process dying with the fd open.
+        del engine
+        with StreamingTeaEngine(spec, wal_dir=tmp_path) as recovered:
+            assert recovered.epoch == 4
+            assert _hops(recovered, starts) == want
+
+    def test_wal_append_fault_rolls_back_index(self, stream, tmp_path):
+        """A batch whose WAL write fails must vanish from the index."""
+        from repro.exceptions import TransientIOError
+        from repro.resilience import FaultInjector
+
+        spec = _decay_spec()
+        injector = FaultInjector.from_plan(
+            {"rules": [
+                {"site": "wal_append", "kind": "io_error", "calls": [1]}
+            ]}
+        )
+        engine = StreamingTeaEngine(spec, wal_dir=tmp_path,
+                                    fault_injector=injector)
+        batches = list(stream.batches(200))
+        engine.apply_batch(batches[0])
+        starts = engine.active_vertices()[:10]
+        want = _hops(engine, starts)
+        with pytest.raises(TransientIOError):
+            engine.apply_batch(batches[1])
+        assert engine.num_edges == 200 and engine.epoch == 1
+        assert _hops(engine, starts) == want
+        # The retry succeeds and the engine continues normally.
+        engine.apply_batch(batches[1])
+        engine.apply_batch(batches[2])
+        assert engine.num_edges == 600 and engine.epoch == 3
+        engine.close()
+
+
+class TestStreamService:
+    """The serving bridge, exercised without a daemon."""
+
+    def _service(self, stream):
+        from repro.serve.streaming import StreamService
+
+        engine = StreamingTeaEngine(_decay_spec(), retain_epochs=8)
+        engine.apply_batch(stream[:300])
+        return StreamService(engine), engine
+
+    def test_ingest_walk_roundtrip(self, stream):
+        service, engine = self._service(stream)
+        starts = engine.active_vertices()[:6]
+        pinned = service.walk({"starts": starts, "seed": 3, "epoch": 1},
+                              kind="walk")
+        out = service.ingest({
+            "src": stream.src[300:].tolist(),
+            "dst": stream.dst[300:].tolist(),
+            "time": stream.time[300:].tolist(),
+        })
+        assert out["epoch"] == 2 and out["num_edges"] == 600
+        again = service.walk({"starts": starts, "seed": 3, "epoch": 1},
+                             kind="walk")
+        assert again["walks"] == pinned["walks"]
+        assert again["times"] == pinned["times"]
+        current = service.walk({"starts": starts, "seed": 3}, kind="walk")
+        assert current["epoch"] == 2 and current["num_edges"] == 600
+
+    def test_recommend_and_epoch_info(self, stream):
+        service, engine = self._service(stream)
+        starts = engine.active_vertices()[:6]
+        out = service.walk({"starts": starts, "top_k": 3}, kind="recommend")
+        assert len(out["recommendations"]) <= 3
+        assert all(v not in starts for v, _ in out["recommendations"])
+        info = service.epoch_info()
+        assert info["epoch"] == 1 and info["durable"] is False
+
+    def test_validation_and_status_codes(self, stream):
+        from repro.exceptions import ServeError
+
+        service, _ = self._service(stream)
+        with pytest.raises(ServeError) as exc:
+            service.ingest({"src": [1], "dst": [2]})
+        assert exc.value.status == 400
+        with pytest.raises(ServeError) as exc:
+            service.ingest({"src": [1], "dst": [2], "time": [0.0]})
+        assert exc.value.status == 400  # precedes existing edges
+        with pytest.raises(ServeError) as exc:
+            service.walk({"starts": [0], "epoch": 99}, kind="walk")
+        assert exc.value.status == 410
